@@ -1,0 +1,149 @@
+//! Criterion benches, one per evaluation figure (wall-clock of the full
+//! experiment at reduced scale). The `figures` binary regenerates the actual
+//! paper series (virtual cluster minutes at n=2000, P=16); these benches
+//! track the host-side cost of each experiment and catch performance
+//! regressions in the engine paths each figure exercises.
+
+use aa_bench::experiments::{run_single_injection, FIG8_STRATEGIES, SWEEP_STRATEGIES};
+use aa_bench::workload::{community_vertex_batch, ExperimentParams};
+use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_params() -> ExperimentParams {
+    ExperimentParams {
+        n: 500,
+        procs: 8,
+        ba_m: 2,
+        seed: 0xBE7C4,
+        compute_scale: 1.0,
+    }
+}
+
+/// Figure 4: anytime-anywhere vs baseline restart, injection at RC4.
+fn fig4_restart_vs_aa(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig4_restart_vs_aa");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for strategy in [
+        AdditionStrategy::RoundRobinPs,
+        AdditionStrategy::BaselineRestart,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| run_single_injection(&params, 4, 6, 512, strategy));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 5: single-step injection at RC0, mid-sweep batch, per strategy.
+fn fig5_single_step_rc0(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig5_single_step_rc0");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for strategy in SWEEP_STRATEGIES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| run_single_injection(&params, 0, 30, 3000, strategy));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 6: the same injection at RC8.
+fn fig6_single_step_rc8(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig6_single_step_rc8");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for strategy in SWEEP_STRATEGIES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| run_single_injection(&params, 8, 30, 3000, strategy));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 7: the cut-edge measurement path (new_cut_edges over the final
+/// partition) for each strategy's run.
+fn fig7_cut_edges(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig7_cut_edges");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for strategy in SWEEP_STRATEGIES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let row = run_single_injection(&params, 0, 30, 3000, strategy);
+                    row.new_cut_edges
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Figure 8: incremental additions over 10 RC steps, per strategy.
+fn fig8_incremental(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8_incremental");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    for strategy in FIG8_STRATEGIES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut e = AnytimeEngine::new(
+                        params.base_graph(),
+                        EngineConfig {
+                            num_procs: params.procs,
+                            seed: params.seed,
+                            ..Default::default()
+                        },
+                    );
+                    e.initialize();
+                    for round in 0..10u64 {
+                        let batch = community_vertex_batch(e.graph(), 4, params.seed ^ round);
+                        e.add_vertices(&batch, strategy);
+                        e.rc_step();
+                    }
+                    e.run_to_convergence(64);
+                    e.makespan_us()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig4_restart_vs_aa,
+    fig5_single_step_rc0,
+    fig6_single_step_rc8,
+    fig7_cut_edges,
+    fig8_incremental
+);
+criterion_main!(figures);

@@ -1,0 +1,173 @@
+//! Figure-reproduction harness.
+//!
+//! Regenerates the data series of every figure in the papers' evaluation
+//! section. Usage:
+//!
+//! ```text
+//! figures [fig4|fig5|fig6|fig7|fig8|all] [--n N] [--procs P] [--seed S]
+//! ```
+//!
+//! Times are simulated-cluster minutes (LogP makespan); batch sizes are
+//! scaled from the papers' 50 000-vertex setup to the chosen `--n` at the
+//! same fraction of |V| (the paper-scale size is shown alongside).
+
+use aa_bench::experiments::{self, AnytimeRow, Fig4Row, Fig8Row, ScalingRow, SingleStepRow};
+use aa_bench::workload::ExperimentParams;
+
+fn parse_args() -> (Vec<String>, ExperimentParams) {
+    let mut params = ExperimentParams::default();
+    let mut figs = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--n" => params.n = args.next().expect("--n N").parse().expect("invalid N"),
+            "--procs" => {
+                params.procs = args.next().expect("--procs P").parse().expect("invalid P")
+            }
+            "--seed" => params.seed = args.next().expect("--seed S").parse().expect("invalid S"),
+            "--compute-scale" => {
+                params.compute_scale = args
+                    .next()
+                    .expect("--compute-scale X")
+                    .parse()
+                    .expect("invalid scale")
+            }
+            "all" => figs.extend(["fig4", "fig5", "fig6", "fig7", "fig8"].map(String::from)),
+            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime") => figs.push(f.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|all] [--n N] [--procs P] [--seed S] [--compute-scale X]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if figs.is_empty() {
+        figs.push("all".into());
+        figs = vec!["fig4".into(), "fig5".into(), "fig6".into(), "fig7".into(), "fig8".into()];
+    }
+    figs.dedup();
+    (figs, params)
+}
+
+fn print_header(params: &ExperimentParams, title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "    n = {} vertices, P = {} processors, seed = {}, compute x{} (paper: n = 50000, P = 16)",
+        params.n, params.procs, params.seed, params.compute_scale
+    );
+}
+
+fn print_fig4(rows: &[Fig4Row]) {
+    println!("{:<10} {:>28} {:>18}", "inject at", "Anytime Anywhere (RR-PS)", "Baseline Restart");
+    for r in rows {
+        println!(
+            "RC{:<9} {:>24.3} min {:>14.3} min",
+            r.inject_step, r.anytime_minutes, r.restart_minutes
+        );
+    }
+}
+
+fn print_single_step(rows: &[SingleStepRow], metric_cut: bool) {
+    let strategies = experiments::SWEEP_STRATEGIES;
+    print!("{:<22}", "vertices added (paper)");
+    for s in strategies {
+        print!(" {:>16}", s.to_string());
+    }
+    println!();
+    for chunk in rows.chunks(strategies.len()) {
+        print!("{:<10} ({:>6})  ", chunk[0].batch, chunk[0].paper_batch);
+        for r in chunk {
+            if metric_cut {
+                print!(" {:>16}", r.new_cut_edges);
+            } else {
+                print!(" {:>12.3} min", r.minutes);
+            }
+        }
+        println!();
+    }
+}
+
+fn print_fig8(rows: &[Fig8Row]) {
+    let strategies = experiments::FIG8_STRATEGIES;
+    print!("{:<26}", "per-step (paper, cumul.)");
+    for s in strategies {
+        print!(" {:>17}", s.to_string());
+    }
+    println!();
+    for chunk in rows.chunks(strategies.len()) {
+        print!(
+            "{:<6} ({:>4}, {:>5})     ",
+            chunk[0].per_step, chunk[0].paper_per_step, chunk[0].cumulative
+        );
+        for r in chunk {
+            print!(" {:>13.3} min", r.minutes);
+        }
+        println!();
+    }
+}
+
+fn print_anytime(rows: &[AnytimeRow]) {
+    println!("{:<8} {:>12} {:>18} {:>14}", "RC step", "minutes", "mean |error|", "top-25 overlap");
+    for r in rows {
+        println!(
+            "{:<8} {:>12.4} {:>18.3e} {:>13.0}%",
+            r.rc_step,
+            r.minutes,
+            r.mean_abs_error,
+            r.top25_overlap * 100.0
+        );
+    }
+}
+
+fn print_scaling(rows: &[ScalingRow]) {
+    println!("{:<8} {:>14} {:>10} {:>14} {:>10}", "procs", "minutes", "RC steps", "bytes moved", "speedup");
+    let base = rows[0].minutes;
+    for r in rows {
+        println!(
+            "{:<8} {:>14.4} {:>10} {:>14} {:>9.2}x",
+            r.procs,
+            r.minutes,
+            r.rc_steps,
+            r.bytes,
+            base / r.minutes
+        );
+    }
+}
+
+fn main() {
+    let (figs, params) = parse_args();
+    for f in figs {
+        match f.as_str() {
+            "fig4" => {
+                print_header(&params, "Figure 4: anytime-anywhere vs baseline restart (512 paper-scale additions)");
+                print_fig4(&experiments::fig4(&params));
+            }
+            "fig5" => {
+                print_header(&params, "Figure 5: vertex additions at RC0 — time per strategy");
+                print_single_step(&experiments::fig5(&params), false);
+            }
+            "fig6" => {
+                print_header(&params, "Figure 6: vertex additions at RC8 — time per strategy");
+                print_single_step(&experiments::fig6(&params), false);
+            }
+            "fig7" => {
+                print_header(&params, "Figure 7: new cut edges per strategy (RC0 sweep)");
+                print_single_step(&experiments::fig7(&params), true);
+            }
+            "fig8" => {
+                print_header(&params, "Figure 8: incremental vertex additions over 10 RC steps");
+                print_fig8(&experiments::fig8(&params));
+            }
+            "anytime" => {
+                print_header(&params, "Anytime quality: closeness error per RC step (beyond-paper)");
+                print_anytime(&experiments::anytime_quality(&params));
+            }
+            "scaling" => {
+                print_header(&params, "Strong scaling of the static analysis (beyond-paper ablation)");
+                print_scaling(&experiments::scaling(&params));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The `aa` command-line tool.
+//!
+//! ```text
+//! aa analyze  <graph> [--format F] [--procs P] [--top K] [--strategy S]
+//!                     [--stream FILE] [--save-checkpoint FILE] [--resume FILE]
+//! aa partition <graph> --parts K [--format F]
+//! aa convert  <in> <out> [--from F] [--to F]
+//! ```
+
+use aa_cli::commands::{analyze, convert, partition_report, AnalyzeOpts, Measure};
+use aa_cli::Format;
+use aa_core::AdditionStrategy;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+usage:
+  aa analyze  <graph> [--format edgelist|pajek|metis] [--procs P] [--top K]
+              [--strategy roundrobin|cutedge|repartition|restart]
+              [--stream FILE] [--save-checkpoint FILE] [--resume FILE]
+              [--measure degree|eigenvector|pagerank|cliques]... [--trace CSV]
+  aa partition <graph> --parts K [--format F]
+  aa convert  <in> <out> [--from F] [--to F]
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn parse_strategy(s: &str) -> AdditionStrategy {
+    match s.to_ascii_lowercase().as_str() {
+        "roundrobin" | "rr" => AdditionStrategy::RoundRobinPs,
+        "cutedge" | "ce" => AdditionStrategy::CutEdgePs,
+        "repartition" | "rs" => AdditionStrategy::RepartitionS,
+        "restart" => AdditionStrategy::BaselineRestart,
+        other => fail(&format!("unknown strategy {other:?}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(sub) = args.first() else {
+        fail("missing subcommand")
+    };
+    let rest = &args[1..];
+
+    let result = match sub.as_str() {
+        "analyze" => run_analyze(rest),
+        "partition" => run_partition(rest),
+        "convert" => run_convert(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return;
+        }
+        other => fail(&format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn run_analyze(args: &[String]) -> Result<String, String> {
+    let mut opts = AnalyzeOpts::default();
+    let mut positional: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--format" => opts.format = Some(Format::parse(&value("--format"))?),
+            "--procs" => {
+                opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?
+            }
+            "--top" => opts.top = value("--top").parse().map_err(|_| "invalid --top")?,
+            "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
+            "--stream" => opts.stream = Some(PathBuf::from(value("--stream"))),
+            "--save-checkpoint" => {
+                opts.save_checkpoint = Some(PathBuf::from(value("--save-checkpoint")))
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
+            "--measure" => opts.measures.push(Measure::parse(&value("--measure"))?),
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
+            other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    match positional {
+        Some(p) => opts.input = p,
+        None if opts.resume.is_some() => {}
+        None => fail("analyze needs a graph file (or --resume)"),
+    }
+    analyze(&opts)
+}
+
+fn run_partition(args: &[String]) -> Result<String, String> {
+    let mut input: Option<PathBuf> = None;
+    let mut format = None;
+    let mut parts = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--parts" => parts = value("--parts").parse().map_err(|_| "invalid --parts")?,
+            "--format" => format = Some(Format::parse(&value("--format"))?),
+            other if !other.starts_with('-') => input = Some(PathBuf::from(other)),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    let input = input.unwrap_or_else(|| fail("partition needs a graph file"));
+    if parts == 0 {
+        fail("partition needs --parts K");
+    }
+    partition_report(&input, format, parts)
+}
+
+fn run_convert(args: &[String]) -> Result<String, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut from = None;
+    let mut to = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--from" => from = Some(Format::parse(&value("--from"))?),
+            "--to" => to = Some(Format::parse(&value("--to"))?),
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if paths.len() != 2 {
+        fail("convert needs <in> and <out>");
+    }
+    convert(&paths[0], from, &paths[1], to)
+}

@@ -1,0 +1,373 @@
+//! Subcommand implementations for the `aa` binary.
+
+use crate::{load_graph, save_graph, Format};
+use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig};
+use aa_partition::{
+    quality, BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner,
+    RoundRobinPartitioner,
+};
+use std::path::{Path, PathBuf};
+
+/// Options shared by the analysis subcommands.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOpts {
+    /// Graph file.
+    pub input: PathBuf,
+    /// Explicit input format (otherwise guessed from the extension).
+    pub format: Option<Format>,
+    /// Virtual processors.
+    pub procs: usize,
+    /// Ranking size to print.
+    pub top: usize,
+    /// Vertex-addition strategy for `av` stream commands.
+    pub strategy: AdditionStrategy,
+    /// Optional update stream file to apply after the static analysis.
+    pub stream: Option<PathBuf>,
+    /// Optional checkpoint file to write at the end.
+    pub save_checkpoint: Option<PathBuf>,
+    /// Optional checkpoint file to resume from (skips loading `input`).
+    pub resume: Option<PathBuf>,
+    /// Extra measures to report alongside closeness.
+    pub measures: Vec<Measure>,
+    /// Optional CSV file to dump the communication trace to.
+    pub trace: Option<PathBuf>,
+}
+
+/// Additional measures the `analyze` subcommand can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Distributed degree centrality.
+    Degree,
+    /// Distributed eigenvector centrality.
+    Eigenvector,
+    /// Distributed PageRank (d = 0.85).
+    Pagerank,
+    /// Distributed maximal clique enumeration (summary only).
+    Cliques,
+}
+
+impl Measure {
+    /// Parses a measure name.
+    pub fn parse(name: &str) -> Result<Measure, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "degree" => Ok(Measure::Degree),
+            "eigenvector" | "eigen" => Ok(Measure::Eigenvector),
+            "pagerank" | "pr" => Ok(Measure::Pagerank),
+            "cliques" => Ok(Measure::Cliques),
+            other => Err(format!(
+                "unknown measure {other:?} (degree|eigenvector|pagerank|cliques)"
+            )),
+        }
+    }
+}
+
+impl Default for AnalyzeOpts {
+    fn default() -> Self {
+        AnalyzeOpts {
+            input: PathBuf::new(),
+            format: None,
+            procs: 8,
+            top: 10,
+            strategy: AdditionStrategy::CutEdgePs,
+            stream: None,
+            save_checkpoint: None,
+            resume: None,
+            measures: Vec::new(),
+            trace: None,
+        }
+    }
+}
+
+/// `aa analyze`: run the pipeline (or resume a checkpoint), apply an optional
+/// update stream, print the ranking and cost ledger. Returns the printed
+/// report (also printed to stdout by the binary).
+pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
+    let config = EngineConfig {
+        num_procs: opts.procs,
+        ..Default::default()
+    };
+    let mut engine = if let Some(ckpt) = &opts.resume {
+        let mut file = std::fs::File::open(ckpt)
+            .map_err(|e| format!("cannot open checkpoint {}: {e}", ckpt.display()))?;
+        AnytimeEngine::restore_checkpoint(&mut file, config)
+            .map_err(|e| format!("cannot restore checkpoint: {e}"))?
+    } else {
+        let graph = load_graph(&opts.input, opts.format)?;
+        let mut e = AnytimeEngine::new(graph, config);
+        e.initialize();
+        e
+    };
+
+    if opts.trace.is_some() {
+        engine.cluster_mut().enable_trace();
+    }
+    let mut out = String::new();
+    let steps = engine.run_to_convergence(16 * opts.procs + 64);
+    out.push_str(&format!(
+        "graph: {} vertices, {} edges — converged in {steps} RC steps\n",
+        engine.graph().vertex_count(),
+        engine.graph().edge_count()
+    ));
+
+    if let Some(stream_path) = &opts.stream {
+        let text = std::fs::read_to_string(stream_path)
+            .map_err(|e| format!("cannot read stream {}: {e}", stream_path.display()))?;
+        let cmds = crate::stream::parse_stream(&text)?;
+        out.push_str(&format!("applying {} stream commands…\n", cmds.len()));
+        for cmd in &cmds {
+            for line in crate::stream::apply(&mut engine, cmd, opts.strategy) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        engine.run_to_convergence(16 * opts.procs + 64);
+    }
+
+    let snap = engine.snapshot();
+    out.push_str(&format!(
+        "\ntop-{} closeness (cluster time {:.1} ms over {} RC steps):\n",
+        opts.top,
+        snap.makespan_us / 1000.0,
+        engine.rc_steps()
+    ));
+    for (v, c) in snap.top_k(opts.top) {
+        out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
+    }
+    for measure in &opts.measures {
+        match measure {
+            Measure::Degree => {
+                out.push_str(&format!("\ntop-{} degree centrality:\n", opts.top));
+                push_top(&mut out, &engine.degree_centrality(), opts.top);
+            }
+            Measure::Eigenvector => {
+                out.push_str(&format!("\ntop-{} eigenvector centrality:\n", opts.top));
+                push_top(&mut out, &engine.eigenvector_centrality(300, 1e-10), opts.top);
+            }
+            Measure::Pagerank => {
+                out.push_str(&format!("\ntop-{} pagerank:\n", opts.top));
+                push_top(&mut out, &engine.pagerank(0.85, 200, 1e-12), opts.top);
+            }
+            Measure::Cliques => {
+                let cliques = engine.maximal_cliques();
+                let largest = cliques.iter().map(|c| c.len()).max().unwrap_or(0);
+                out.push_str(&format!(
+                    "\nmaximal cliques: {} found, largest size {largest}\n",
+                    cliques.len()
+                ));
+            }
+        }
+    }
+    out.push_str(&format!("\n{}", engine.cluster().ledger().report()));
+
+    if let Some(path) = &opts.trace {
+        use std::io::Write;
+        let events = engine.cluster_mut().take_trace();
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+        );
+        writeln!(file, "src,dst,bytes,phase,makespan_us")
+            .map_err(|e| format!("trace write failed: {e}"))?;
+        for ev in &events {
+            writeln!(
+                file,
+                "{},{},{},{},{:.3}",
+                ev.src, ev.dst, ev.bytes, ev.phase, ev.makespan_us
+            )
+            .map_err(|e| format!("trace write failed: {e}"))?;
+        }
+        out.push_str(&format!(
+            "communication trace ({} events) written to {}\n",
+            events.len(),
+            path.display()
+        ));
+    }
+
+    if let Some(path) = &opts.save_checkpoint {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        engine
+            .save_checkpoint(&mut file)
+            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+        out.push_str(&format!("checkpoint written to {}\n", path.display()));
+    }
+    Ok(out)
+}
+
+/// Appends a top-k listing of a score vector to the report.
+fn push_top(out: &mut String, scores: &[f64], k: usize) {
+    let mut idx: Vec<usize> = (0..scores.len()).filter(|&v| scores[v] > 0.0).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+    for v in idx.into_iter().take(k) {
+        out.push_str(&format!("  vertex {v:>8}  score {:.6e}\n", scores[v]));
+    }
+}
+
+/// `aa partition`: compare all partitioners on a graph file.
+pub fn partition_report(path: &Path, format: Option<Format>, k: usize) -> Result<String, String> {
+    let g = load_graph(path, format)?;
+    let mut out = format!(
+        "{} vertices, {} edges, k = {k}\n{:<18} {:>9} {:>9} {:>10}\n",
+        g.vertex_count(),
+        g.edge_count(),
+        "partitioner",
+        "cut",
+        "balance",
+        "max part"
+    );
+    let partitioners: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(MultilevelKWay::default()),
+        Box::new(BfsGrowPartitioner),
+        Box::new(RoundRobinPartitioner),
+        Box::new(HashPartitioner),
+    ];
+    for p in partitioners {
+        let part = p.partition(&g, k);
+        part.validate(&g).map_err(|e| format!("{}: {e}", p.name()))?;
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>9.3} {:>10}\n",
+            p.name(),
+            quality::edge_cut(&g, &part),
+            quality::balance(&part),
+            part.part_sizes().into_iter().max().unwrap_or(0),
+        ));
+    }
+    Ok(out)
+}
+
+/// `aa convert`: read one format, write another.
+pub fn convert(
+    input: &Path,
+    in_format: Option<Format>,
+    output: &Path,
+    out_format: Option<Format>,
+) -> Result<String, String> {
+    let g = load_graph(input, in_format)?;
+    save_graph(&g, output, out_format)?;
+    Ok(format!(
+        "converted {} ({} vertices, {} edges) -> {}\n",
+        input.display(),
+        g.vertex_count(),
+        g.edge_count(),
+        output.display()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_graph::generators;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aa_cli_{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_test_graph(dir: &Path) -> PathBuf {
+        let g = generators::barabasi_albert(50, 2, 1, 7);
+        let path = dir.join("g.txt");
+        save_graph(&g, &path, Some(Format::EdgeList)).unwrap();
+        path
+    }
+
+    #[test]
+    fn analyze_produces_ranking_and_ledger() {
+        let dir = temp_dir("analyze");
+        let input = write_test_graph(&dir);
+        let report = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            top: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("converged"));
+        assert!(report.contains("top-5 closeness"));
+        assert!(report.contains("recombination"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_with_stream_and_checkpoint_roundtrip() {
+        let dir = temp_dir("stream_ckpt");
+        let input = write_test_graph(&dir);
+        let stream = dir.join("updates.txt");
+        std::fs::write(&stream, "ae 0 30 1\nav 1,2\nconverge\nsnapshot 3\n").unwrap();
+        let ckpt = dir.join("state.aacp");
+        let report = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            top: 3,
+            stream: Some(stream),
+            save_checkpoint: Some(ckpt.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("added vertex 50"));
+        assert!(report.contains("checkpoint written"));
+
+        // Resume from the checkpoint without the input graph.
+        let resumed = analyze(&AnalyzeOpts {
+            procs: 4,
+            top: 3,
+            resume: Some(ckpt),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(resumed.contains("51 vertices"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_writes_a_trace_csv() {
+        let dir = temp_dir("trace");
+        let input = write_test_graph(&dir);
+        let trace = dir.join("trace.csv");
+        let report = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            trace: Some(trace.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("communication trace"));
+        let csv = std::fs::read_to_string(&trace).unwrap();
+        assert!(csv.starts_with("src,dst,bytes,phase,makespan_us"));
+        assert!(csv.lines().count() > 10, "trace should have many events");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partition_report_lists_all_partitioners() {
+        let dir = temp_dir("partition");
+        let input = write_test_graph(&dir);
+        let report = partition_report(&input, None, 4).unwrap();
+        for name in ["multilevel-kway", "bfs-grow", "round-robin", "hash"] {
+            assert!(report.contains(name), "missing {name} in:\n{report}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let dir = temp_dir("convert");
+        let input = write_test_graph(&dir);
+        let out = dir.join("g.net");
+        let msg = convert(&input, None, &out, None).unwrap();
+        assert!(msg.contains("converted"));
+        let g = load_graph(&out, None).unwrap();
+        assert_eq!(g.vertex_count(), 50);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_missing_input_fails_cleanly() {
+        let err = analyze(&AnalyzeOpts {
+            input: PathBuf::from("/nope.txt"),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The dynamic-update stream language: parsing and application.
+
+use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, VertexBatch};
+use aa_graph::{VertexId, Weight};
+
+/// One parsed stream command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `ae u v w` — add edge.
+    AddEdge(VertexId, VertexId, Weight),
+    /// `de u v` — delete edge.
+    DeleteEdge(VertexId, VertexId),
+    /// `cw u v w` — change edge weight.
+    ChangeWeight(VertexId, VertexId, Weight),
+    /// `dv v` — delete vertex.
+    DeleteVertex(VertexId),
+    /// `av a1,a2,…` — add one vertex with unit edges to the anchors.
+    AddVertex(Vec<VertexId>),
+    /// `step` — one recombination step.
+    Step,
+    /// `converge` — recombination to convergence.
+    Converge,
+    /// `rebalance` — migrate rows to rebalance load.
+    Rebalance,
+    /// `fail r` — crash and recover processor `r`.
+    Fail(usize),
+    /// `snapshot k` — print the top-k closeness ranking.
+    Snapshot(usize),
+}
+
+/// Parses a stream file's contents. Returns commands or a message naming the
+/// offending line.
+pub fn parse_stream(text: &str) -> Result<Vec<Command>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let op = toks.next().unwrap();
+        let mut arg = |what: &str| -> Result<u32, String> {
+            toks.next()
+                .ok_or_else(|| format!("line {lineno}: missing {what}"))?
+                .parse()
+                .map_err(|_| format!("line {lineno}: invalid {what}"))
+        };
+        let cmd = match op {
+            "ae" => Command::AddEdge(arg("u")?, arg("v")?, arg("w")?),
+            "de" => Command::DeleteEdge(arg("u")?, arg("v")?),
+            "cw" => Command::ChangeWeight(arg("u")?, arg("v")?, arg("w")?),
+            "dv" => Command::DeleteVertex(arg("v")?),
+            "av" => {
+                let anchors_tok = toks
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: missing anchor list"))?;
+                let anchors: Result<Vec<VertexId>, _> =
+                    anchors_tok.split(',').map(|a| a.parse()).collect();
+                Command::AddVertex(
+                    anchors.map_err(|_| format!("line {lineno}: invalid anchor list"))?,
+                )
+            }
+            "step" => Command::Step,
+            "converge" => Command::Converge,
+            "rebalance" => Command::Rebalance,
+            "fail" => Command::Fail(arg("rank")? as usize),
+            "snapshot" => Command::Snapshot(arg("k")? as usize),
+            other => return Err(format!("line {lineno}: unknown command {other:?}")),
+        };
+        if toks.next().is_some() {
+            return Err(format!("line {lineno}: trailing tokens"));
+        }
+        out.push(cmd);
+    }
+    Ok(out)
+}
+
+/// Applies one command to a running engine. Returns lines to print (empty
+/// for silent commands).
+pub fn apply(engine: &mut AnytimeEngine, cmd: &Command, strategy: AdditionStrategy) -> Vec<String> {
+    match cmd {
+        Command::AddEdge(u, v, w) => {
+            let added = engine.add_edge(*u, *v, *w);
+            if added {
+                vec![]
+            } else {
+                vec![format!("warning: edge ({u},{v}) already present")]
+            }
+        }
+        Command::DeleteEdge(u, v) => {
+            if engine.delete_edge(*u, *v) {
+                vec![]
+            } else {
+                vec![format!("warning: edge ({u},{v}) not found")]
+            }
+        }
+        Command::ChangeWeight(u, v, w) => {
+            if engine.change_edge_weight(*u, *v, *w) {
+                vec![]
+            } else {
+                vec![format!("warning: weight change on ({u},{v}) was a no-op")]
+            }
+        }
+        Command::DeleteVertex(v) => {
+            if engine.graph().is_alive(*v) {
+                engine.delete_vertex(*v);
+                vec![]
+            } else {
+                vec![format!("warning: vertex {v} not alive")]
+            }
+        }
+        Command::AddVertex(anchors) => {
+            let mut batch = VertexBatch::new(1);
+            let mut dropped = Vec::new();
+            for &a in anchors {
+                if engine.graph().is_alive(a) {
+                    batch.connect(0, Endpoint::Existing(a), 1);
+                } else {
+                    dropped.push(a);
+                }
+            }
+            let ids = engine.add_vertices(&batch, strategy);
+            let mut out = vec![format!("added vertex {}", ids[0])];
+            if !dropped.is_empty() {
+                out.push(format!("warning: dead anchors skipped: {dropped:?}"));
+            }
+            out
+        }
+        Command::Step => {
+            engine.rc_step();
+            vec![]
+        }
+        Command::Converge => {
+            let steps = engine.run_to_convergence(16 * engine.config().num_procs + 64);
+            vec![format!("converged in {steps} steps")]
+        }
+        Command::Rebalance => {
+            let moved = engine.rebalance();
+            vec![format!("rebalanced: {moved} vertices migrated")]
+        }
+        Command::Fail(rank) => {
+            let report = engine.fail_and_recover_processor(*rank);
+            vec![format!(
+                "processor {rank} crashed and recovered: {} rows reseeded, {} rows resent",
+                report.reseeded_rows, report.resent_rows
+            )]
+        }
+        Command::Snapshot(k) => {
+            let snap = engine.snapshot();
+            let mut out = vec![format!(
+                "snapshot at RC{} ({:.1} ms cluster time):",
+                snap.rc_step,
+                snap.makespan_us / 1000.0
+            )];
+            for (v, c) in snap.top_k(*k) {
+                out.push(format!("  vertex {v:>6}  closeness {c:.6e}"));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::EngineConfig;
+    use aa_graph::generators;
+
+    #[test]
+    fn parse_full_language() {
+        let text = "\
+# demo stream
+ae 0 5 2
+de 1 2
+cw 3 4 9
+dv 7
+av 1,2,3
+step
+converge
+rebalance
+fail 2
+snapshot 10
+";
+        let cmds = parse_stream(text).unwrap();
+        assert_eq!(cmds.len(), 10);
+        assert_eq!(cmds[0], Command::AddEdge(0, 5, 2));
+        assert_eq!(cmds[4], Command::AddVertex(vec![1, 2, 3]));
+        assert_eq!(cmds[8], Command::Fail(2));
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        assert!(parse_stream("ae 0").unwrap_err().contains("line 1"));
+        assert!(parse_stream("\nxx 1").unwrap_err().contains("line 2"));
+        assert!(parse_stream("ae 0 1 2 3").unwrap_err().contains("trailing"));
+        assert!(parse_stream("av one,two").unwrap_err().contains("anchor"));
+    }
+
+    #[test]
+    fn apply_stream_end_to_end() {
+        let g = generators::barabasi_albert(40, 2, 1, 3);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 3,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        let cmds = parse_stream("converge\nae 0 20 1\nav 5,6\nstep\nde 0 1\nconverge\nsnapshot 3\n")
+            .unwrap();
+        let mut printed = Vec::new();
+        for cmd in &cmds {
+            printed.extend(apply(&mut e, cmd, AdditionStrategy::RoundRobinPs));
+        }
+        assert!(e.is_converged());
+        assert!(printed.iter().any(|l| l.contains("added vertex 40")));
+        assert!(printed.iter().any(|l| l.contains("snapshot")));
+        // Final state is exact.
+        let dense = e.distances_dense();
+        let oracle = aa_graph::algo::apsp_dijkstra(e.graph());
+        for v in e.graph().vertices() {
+            assert_eq!(dense[v as usize], oracle[v as usize]);
+        }
+    }
+
+    #[test]
+    fn apply_warns_on_noops() {
+        let g = generators::path(5);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 2,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        let warn = apply(&mut e, &Command::DeleteEdge(0, 4), AdditionStrategy::RoundRobinPs);
+        assert!(warn[0].contains("not found"));
+        let warn = apply(&mut e, &Command::DeleteVertex(99), AdditionStrategy::RoundRobinPs);
+        assert!(warn[0].contains("not alive"));
+    }
+}

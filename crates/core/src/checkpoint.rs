@@ -1,0 +1,318 @@
+//! Engine checkpointing: save and restore the complete analysis state.
+//!
+//! Complements the processor-failure recovery in [`crate::resilience`]: a
+//! periodic checkpoint bounds the recomputation after a *whole-cluster*
+//! failure, the remaining fault-tolerance scenario the papers' future work
+//! names. The format is a small self-contained little-endian binary layout
+//! (magic + version header) holding the world graph, the partition and every
+//! distance-vector row. Volatile state (boundary caches, delta baselines,
+//! dirty sets) is intentionally *not* saved: restore marks every row dirty
+//! and downgrades all sends to full rows, which is always safe and costs one
+//! re-exchange.
+
+use crate::config::EngineConfig;
+use crate::engine::AnytimeEngine;
+use crate::proc_state::ProcState;
+use aa_graph::{Graph, VertexId, Weight};
+use aa_partition::partition::UNASSIGNED;
+use aa_partition::Partition;
+use aa_runtime::SimCluster;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"AACP";
+const VERSION: u32 = 1;
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl AnytimeEngine {
+    /// Writes a checkpoint of the current analysis state.
+    pub fn save_checkpoint<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        assert!(self.initialized, "call initialize() first");
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        write_u64(w, self.rc_steps_done as u64)?;
+        write_u32(w, self.config.num_procs as u32)?;
+        write_u32(w, u32::from(self.converged))?;
+        write_u64(w, self.rr_cursor as u64)?;
+
+        // World graph: capacity, alive flags, edges.
+        let cap = self.world.capacity();
+        write_u64(w, cap as u64)?;
+        for v in 0..cap as VertexId {
+            w.write_all(&[u8::from(self.world.is_alive(v))])?;
+        }
+        write_u64(w, self.world.edge_count() as u64)?;
+        for (u, v, weight) in self.world.edges() {
+            write_u32(w, u)?;
+            write_u32(w, v)?;
+            write_u32(w, weight)?;
+        }
+
+        // Partition assignment (u32::MAX sentinel for unassigned).
+        for slot in &self.partition.assignment {
+            write_u32(w, if *slot == UNASSIGNED { u32::MAX } else { *slot as u32 })?;
+        }
+
+        // Distance-vector rows, per processor.
+        for ps in &self.procs {
+            write_u64(w, ps.dv.row_count() as u64)?;
+            for &v in ps.dv.vertices() {
+                write_u32(w, v)?;
+                let row = ps.dv.row(v);
+                write_u64(w, row.len() as u64)?;
+                for &d in row {
+                    write_u32(w, d)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores an engine from a checkpoint. The LogP accounting starts
+    /// fresh (the reader decides whether past cost matters); every row is
+    /// marked dirty and all delta baselines are reset, so the first
+    /// recombination steps re-exchange boundary state — always safe.
+    pub fn restore_checkpoint<R: Read>(r: &mut R, config: EngineConfig) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an anytime-anywhere checkpoint"));
+        }
+        if read_u32(r)? != VERSION {
+            return Err(bad("unsupported checkpoint version"));
+        }
+        let rc_steps = read_u64(r)? as usize;
+        let procs = read_u32(r)? as usize;
+        if procs != config.num_procs {
+            return Err(bad("processor count differs from the checkpointed run"));
+        }
+        let converged = read_u32(r)? != 0;
+        let rr_cursor = read_u64(r)? as usize;
+
+        // World graph.
+        let cap = read_u64(r)? as usize;
+        let mut alive = vec![false; cap];
+        for flag in alive.iter_mut() {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            *flag = b[0] != 0;
+        }
+        let mut world = Graph::with_vertices(cap);
+        let edges = read_u64(r)? as usize;
+        for _ in 0..edges {
+            let u = read_u32(r)?;
+            let v = read_u32(r)?;
+            let weight = read_u32(r)?;
+            if u as usize >= cap || v as usize >= cap {
+                return Err(bad("edge endpoint out of range"));
+            }
+            world.add_edge(u, v, weight);
+        }
+        for (v, &a) in alive.iter().enumerate() {
+            if !a {
+                world.remove_vertex(v as VertexId);
+            }
+        }
+
+        // Partition.
+        let mut partition = Partition::unassigned(cap, procs);
+        for slot in partition.assignment.iter_mut() {
+            let raw = read_u32(r)?;
+            *slot = if raw == u32::MAX { UNASSIGNED } else { raw as usize };
+        }
+        partition
+            .validate(&world)
+            .map_err(|e| bad(&format!("invalid partition: {e}")))?;
+
+        // Processor states with restored rows.
+        let mut states = Vec::with_capacity(procs);
+        for rank in 0..procs {
+            let mut ps = ProcState::new(rank, cap);
+            ps.rebuild_view(&world, &partition);
+            let rows = read_u64(r)? as usize;
+            for _ in 0..rows {
+                let v = read_u32(r)?;
+                if partition.part_of(v) != Some(rank) {
+                    return Err(bad("row owned by the wrong processor"));
+                }
+                let len = read_u64(r)? as usize;
+                if len > cap {
+                    return Err(bad("row longer than the graph"));
+                }
+                let mut row = Vec::with_capacity(len);
+                for _ in 0..len {
+                    row.push(read_u32(r)? as Weight);
+                }
+                ps.dv.insert_row(v, row);
+                ps.dirty.insert(v);
+            }
+            states.push(ps);
+        }
+
+        let p = config.num_procs;
+        let mut cluster = SimCluster::new(p, config.logp, config.exchange);
+        cluster.set_compute_scale(config.compute_scale);
+        let engine = AnytimeEngine {
+            world,
+            partition,
+            procs: states,
+            cluster,
+            config,
+            rc_steps_done: rc_steps,
+            converged,
+            initialized: true,
+            rr_cursor,
+            pivot_pending: vec![false; p],
+        };
+        engine
+            .check_invariants()
+            .map_err(|e| bad(&format!("inconsistent checkpoint: {e}")))?;
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{Endpoint, VertexBatch};
+    use crate::strategy::AdditionStrategy;
+    use aa_graph::{algo, generators};
+
+    fn engine(n: usize, p: usize, seed: u64) -> AnytimeEngine {
+        let g = generators::barabasi_albert(n, 2, 2, seed);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: p,
+                seed,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e
+    }
+
+    #[test]
+    fn roundtrip_preserves_distances() {
+        let mut e = engine(70, 4, 3);
+        e.run_to_convergence(64);
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+        let restored = AnytimeEngine::restore_checkpoint(
+            &mut buf.as_slice(),
+            e.config().clone(),
+        )
+        .unwrap();
+        assert_eq!(restored.distances_dense(), e.distances_dense());
+        assert_eq!(restored.rc_steps(), e.rc_steps());
+        assert_eq!(
+            restored.partition().assignment,
+            e.partition().assignment
+        );
+    }
+
+    #[test]
+    fn restored_engine_continues_with_dynamic_updates() {
+        let mut e = engine(60, 4, 5);
+        e.run_to_convergence(64);
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+        let mut restored =
+            AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), e.config().clone()).unwrap();
+        let mut batch = VertexBatch::new(2);
+        batch.connect(0, Endpoint::Existing(7), 1);
+        batch.connect(1, Endpoint::New(0), 2);
+        restored.add_vertices(&batch, AdditionStrategy::CutEdgePs);
+        restored.delete_edge(0, 1);
+        restored.run_to_convergence(96);
+        assert!(restored.is_converged());
+        let dense = restored.distances_dense();
+        let oracle = algo::apsp_dijkstra(restored.graph());
+        for v in restored.graph().vertices() {
+            assert_eq!(dense[v as usize], oracle[v as usize]);
+        }
+    }
+
+    #[test]
+    fn mid_run_checkpoint_resumes_and_converges() {
+        let mut e = engine(60, 4, 7);
+        e.rc_step(); // partial state only
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+        let mut restored =
+            AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), e.config().clone()).unwrap();
+        restored.run_to_convergence(64);
+        let dense = restored.distances_dense();
+        let oracle = algo::apsp_dijkstra(restored.graph());
+        for v in restored.graph().vertices() {
+            assert_eq!(dense[v as usize], oracle[v as usize]);
+        }
+    }
+
+    #[test]
+    fn checkpoint_with_tombstones_roundtrips() {
+        let mut e = engine(50, 3, 9);
+        e.run_to_convergence(64);
+        e.delete_vertex(10);
+        e.run_to_convergence(64);
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+        let restored =
+            AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), e.config().clone()).unwrap();
+        assert!(!restored.graph().is_alive(10));
+        assert_eq!(restored.distances_dense(), e.distances_dense());
+    }
+
+    #[test]
+    fn garbage_and_mismatches_rejected() {
+        let e = {
+            let mut e = engine(20, 2, 11);
+            e.run_to_convergence(32);
+            e
+        };
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+
+        // Wrong magic.
+        let mut junk = buf.clone();
+        junk[0] = b'X';
+        assert!(
+            AnytimeEngine::restore_checkpoint(&mut junk.as_slice(), e.config().clone()).is_err()
+        );
+        // Wrong processor count.
+        let bad_config = EngineConfig {
+            num_procs: 5,
+            ..e.config().clone()
+        };
+        assert!(AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), bad_config).is_err());
+        // Truncated stream.
+        let truncated = &buf[..buf.len() / 2];
+        assert!(AnytimeEngine::restore_checkpoint(
+            &mut &truncated[..],
+            e.config().clone()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Distance vectors and the distance matrix owned by one virtual processor.
+//!
+//! Every processor stores one **distance vector** (DV) per vertex it owns:
+//! the current shortest-path estimates from that vertex to *every* vertex id
+//! slot in the graph. Estimates start at `INF` and only ever decrease
+//! (except during deletion invalidation), which is the anytime property's
+//! backbone. Columns grow when vertices are added (the papers' amortized
+//! doubling analysis applies — `Vec` growth is exactly that), and whole rows
+//! migrate between processors during repartitioning.
+
+use aa_graph::{VertexId, Weight, INF};
+
+/// Relaxes `dst[t] = min(dst[t], src[t] + offset)` for every column.
+/// Returns whether any entry decreased. `INF` saturates.
+#[inline]
+pub fn relax_row(dst: &mut [Weight], src: &[Weight], offset: Weight) -> bool {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut changed = false;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let cand = s.saturating_add(offset);
+        if cand < *d {
+            *d = cand;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// The distance vectors of one processor's owned vertices.
+#[derive(Debug, Clone, Default)]
+pub struct DistanceMatrix {
+    rows: Vec<Vec<Weight>>,
+    /// Global vertex id of each row.
+    vertex_of_row: Vec<VertexId>,
+    /// Row index of each global vertex id slot (`u32::MAX` if not owned here).
+    row_of: Vec<u32>,
+    cols: usize,
+}
+
+const NO_ROW: u32 = u32::MAX;
+
+impl DistanceMatrix {
+    /// Creates an empty matrix with `cols` columns (one per vertex id slot).
+    pub fn new(cols: usize) -> Self {
+        DistanceMatrix {
+            rows: Vec::new(),
+            vertex_of_row: Vec::new(),
+            row_of: vec![NO_ROW; cols],
+            cols,
+        }
+    }
+
+    /// Number of owned rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (vertex id slots).
+    pub fn col_count(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether this matrix owns a row for vertex `v`.
+    pub fn has_row(&self, v: VertexId) -> bool {
+        (v as usize) < self.row_of.len() && self.row_of[v as usize] != NO_ROW
+    }
+
+    /// Adds a row for vertex `v`, initialized to `INF` except `row[v] = 0`.
+    ///
+    /// # Panics
+    /// Panics if `v` already has a row or lies outside the column range.
+    pub fn add_row(&mut self, v: VertexId) {
+        assert!((v as usize) < self.cols, "vertex {v} outside column range");
+        assert!(!self.has_row(v), "vertex {v} already has a row");
+        let mut row = vec![INF; self.cols];
+        row[v as usize] = 0;
+        self.row_of[v as usize] = self.rows.len() as u32;
+        self.rows.push(row);
+        self.vertex_of_row.push(v);
+    }
+
+    /// Inserts a row with explicit contents (used for migration).
+    pub fn insert_row(&mut self, v: VertexId, mut row: Vec<Weight>) {
+        assert!((v as usize) < self.cols, "vertex {v} outside column range");
+        assert!(!self.has_row(v), "vertex {v} already has a row");
+        // A migrated row may predate recent column extensions.
+        assert!(row.len() <= self.cols, "row longer than column count");
+        row.resize(self.cols, INF);
+        self.row_of[v as usize] = self.rows.len() as u32;
+        self.rows.push(row);
+        self.vertex_of_row.push(v);
+    }
+
+    /// Removes and returns the row of vertex `v` (used for migration).
+    pub fn take_row(&mut self, v: VertexId) -> Vec<Weight> {
+        let idx = self.row_of[v as usize];
+        assert!(idx != NO_ROW, "vertex {v} has no row here");
+        let idx = idx as usize;
+        let row = self.rows.swap_remove(idx);
+        self.vertex_of_row.swap_remove(idx);
+        self.row_of[v as usize] = NO_ROW;
+        if idx < self.rows.len() {
+            let moved = self.vertex_of_row[idx];
+            self.row_of[moved as usize] = idx as u32;
+        }
+        row
+    }
+
+    /// Grows the column space to `new_cols`, filling new entries with `INF`.
+    /// No-op if `new_cols <= col_count()`.
+    pub fn extend_cols(&mut self, new_cols: usize) {
+        if new_cols <= self.cols {
+            return;
+        }
+        for row in &mut self.rows {
+            row.resize(new_cols, INF);
+        }
+        self.row_of.resize(new_cols, NO_ROW);
+        self.cols = new_cols;
+    }
+
+    /// The distance vector of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` has no row here.
+    pub fn row(&self, v: VertexId) -> &[Weight] {
+        let idx = self.row_of[v as usize];
+        assert!(idx != NO_ROW, "vertex {v} has no row here");
+        &self.rows[idx as usize]
+    }
+
+    /// Mutable distance vector of vertex `v`.
+    pub fn row_mut(&mut self, v: VertexId) -> &mut [Weight] {
+        let idx = self.row_of[v as usize];
+        assert!(idx != NO_ROW, "vertex {v} has no row here");
+        &mut self.rows[idx as usize]
+    }
+
+    /// Owned vertices in row order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertex_of_row
+    }
+
+    /// `dst_row[t] = min(dst_row[t], src_row[t] + offset)` where both rows
+    /// live in this matrix. Returns whether anything changed; a self-relax is
+    /// a no-op.
+    pub fn relax_rows(&mut self, dst: VertexId, src: VertexId, offset: Weight) -> bool {
+        let di = self.row_of[dst as usize];
+        let si = self.row_of[src as usize];
+        assert!(di != NO_ROW && si != NO_ROW, "both rows must be owned here");
+        if di == si {
+            return false;
+        }
+        let (di, si) = (di as usize, si as usize);
+        let (lo, hi, dst_is_lo) = if di < si { (di, si, true) } else { (si, di, false) };
+        let (a, b) = self.rows.split_at_mut(hi);
+        let (dst_row, src_row) = if dst_is_lo {
+            (&mut a[lo], &b[0] as &[Weight])
+        } else {
+            (&mut b[0], &a[lo] as &[Weight])
+        };
+        relax_row(dst_row, src_row, offset)
+    }
+
+    /// Relaxes the row of `dst` against an external row slice.
+    pub fn relax_with_external(&mut self, dst: VertexId, src_row: &[Weight], offset: Weight) -> bool {
+        relax_row(self.row_mut(dst), src_row, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relax_row_basics() {
+        let mut dst = vec![10, INF, 3, INF];
+        let src = vec![1, 2, INF, INF];
+        assert!(relax_row(&mut dst, &src, 5));
+        assert_eq!(dst, vec![6, 7, 3, INF]);
+        // Second pass changes nothing.
+        assert!(!relax_row(&mut dst, &src, 5));
+    }
+
+    #[test]
+    fn relax_row_saturates_at_inf() {
+        let mut dst = vec![INF];
+        let src = vec![INF];
+        assert!(!relax_row(&mut dst, &src, 100), "INF + x must stay INF");
+        assert_eq!(dst, vec![INF]);
+        let mut dst2 = vec![INF];
+        // Saturation caps the candidate at INF, which is never an improvement.
+        assert!(!relax_row(&mut dst2, &[u32::MAX - 1], 100));
+        assert_eq!(dst2, vec![INF]);
+    }
+
+    #[test]
+    fn add_row_initializes_identity() {
+        let mut m = DistanceMatrix::new(4);
+        m.add_row(2);
+        assert!(m.has_row(2));
+        assert_eq!(m.row(2), &[INF, INF, 0, INF]);
+        assert_eq!(m.row_count(), 1);
+        assert_eq!(m.vertices(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a row")]
+    fn duplicate_row_rejected() {
+        let mut m = DistanceMatrix::new(2);
+        m.add_row(0);
+        m.add_row(0);
+    }
+
+    #[test]
+    fn take_row_fixes_swapped_index() {
+        let mut m = DistanceMatrix::new(3);
+        m.add_row(0);
+        m.add_row(1);
+        m.add_row(2);
+        let r = m.take_row(0); // row 2 swaps into slot 0
+        assert_eq!(r[0], 0);
+        assert!(!m.has_row(0));
+        assert_eq!(m.row(2)[2], 0, "swapped row still reachable");
+        assert_eq!(m.row(1)[1], 0);
+        assert_eq!(m.row_count(), 2);
+    }
+
+    #[test]
+    fn migration_roundtrip() {
+        let mut a = DistanceMatrix::new(3);
+        a.add_row(1);
+        a.row_mut(1)[0] = 7;
+        let row = a.take_row(1);
+        let mut b = DistanceMatrix::new(3);
+        b.insert_row(1, row);
+        assert_eq!(b.row(1), &[7, 0, INF]);
+    }
+
+    #[test]
+    fn insert_row_pads_short_rows() {
+        let mut m = DistanceMatrix::new(5);
+        m.insert_row(0, vec![0, 1, 2]);
+        assert_eq!(m.row(0), &[0, 1, 2, INF, INF]);
+    }
+
+    #[test]
+    fn extend_cols_pads_with_inf() {
+        let mut m = DistanceMatrix::new(2);
+        m.add_row(1);
+        m.extend_cols(4);
+        assert_eq!(m.col_count(), 4);
+        assert_eq!(m.row(1), &[INF, 0, INF, INF]);
+        m.add_row(3);
+        assert_eq!(m.row(3)[3], 0);
+        m.extend_cols(3); // shrink request is a no-op
+        assert_eq!(m.col_count(), 4);
+    }
+
+    #[test]
+    fn relax_rows_internal() {
+        let mut m = DistanceMatrix::new(3);
+        m.add_row(0);
+        m.add_row(1);
+        m.row_mut(1)[2] = 4;
+        assert!(m.relax_rows(0, 1, 1)); // d(0,*) <= 1 + d(1,*)
+        assert_eq!(m.row(0), &[0, 1, 5]);
+        assert!(!m.relax_rows(0, 0, 1), "self relax is a no-op");
+        // Reverse direction with the dst stored after src.
+        assert!(m.relax_rows(1, 0, 1));
+        assert_eq!(m.row(1)[0], 1);
+    }
+
+    #[test]
+    fn relax_with_external_row() {
+        let mut m = DistanceMatrix::new(3);
+        m.add_row(0);
+        let ext = vec![2, 0, 9];
+        assert!(m.relax_with_external(0, &ext, 3));
+        assert_eq!(m.row(0), &[0, 3, 12]);
+    }
+}

@@ -1,0 +1,806 @@
+//! Dynamic graph updates: the "anywhere" half of the methodology.
+//!
+//! * **Edge additions** follow the papers' algorithm (Fig. 3 of the vertex-
+//!   additions paper, originally from the edge-additions paper): the distance
+//!   vectors of both endpoints are tree-broadcast, every processor applies the
+//!   relaxation `D[x][t] > D[x][u] + w + D[v][t]` to its local rows, and
+//!   subsequent recombination steps propagate the improvements.
+//! * **Edge deletions** (the titled paper's contribution) invalidate the
+//!   entries supported by the deleted edge, reseed the affected rows from
+//!   local Dijkstra, and reconverge. Deletions are applied at a *quiesced*
+//!   point: if the engine has pending updates it first converges, so the
+//!   equality-based support test is exact (see `DESIGN.md`).
+//! * **Vertex additions** extend every distance vector with new columns
+//!   (amortized-doubling growth, as analyzed in the paper), add an owner row,
+//!   and then run the batch's edges through the edge-addition kernel. The
+//!   owning processor is chosen by an [`crate::AdditionStrategy`].
+//! * **Vertex deletions** — the papers' named future work — remove the vertex
+//!   and invalidate every pair whose path ran through it.
+
+use crate::engine::AnytimeEngine;
+use crate::proc_state::ProcState;
+use aa_graph::{VertexId, Weight, INF};
+use aa_logp::Phase;
+use aa_partition::partition::UNASSIGNED;
+use std::time::Instant;
+
+/// An endpoint of a batch edge: either another new vertex (by batch index) or
+/// an existing vertex (by id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Index into the batch's new vertices.
+    New(usize),
+    /// An existing vertex id.
+    Existing(VertexId),
+}
+
+/// A batch of vertices to add, with the edges they bring along. This is the
+/// unit the processor-assignment strategies operate on (the papers extract
+/// such batches from a larger graph with Louvain).
+#[derive(Debug, Clone, Default)]
+pub struct VertexBatch {
+    /// Number of new vertices (batch indices `0..count`).
+    pub count: usize,
+    /// Edges: `(new vertex index, other endpoint, weight)`.
+    pub edges: Vec<(usize, Endpoint, Weight)>,
+}
+
+impl VertexBatch {
+    /// Creates an empty batch of `count` vertices.
+    pub fn new(count: usize) -> Self {
+        VertexBatch {
+            count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an edge from new vertex `i` to `other`.
+    pub fn connect(&mut self, i: usize, other: Endpoint, w: Weight) -> &mut Self {
+        self.edges.push((i, other, w));
+        self
+    }
+
+    /// Validates indices against the batch size and an existing-graph
+    /// capacity.
+    pub fn validate(&self, existing_capacity: usize) -> Result<(), String> {
+        for &(i, other, w) in &self.edges {
+            if i >= self.count {
+                return Err(format!("edge references new vertex {i} >= count {}", self.count));
+            }
+            if w == INF {
+                return Err("edge weight must be finite".into());
+            }
+            match other {
+                Endpoint::New(j) if j >= self.count => {
+                    return Err(format!("edge references new vertex {j} >= count {}", self.count));
+                }
+                Endpoint::New(j) if j == i => return Err(format!("self-loop on new vertex {i}")),
+                Endpoint::Existing(v) if (v as usize) >= existing_capacity => {
+                    return Err(format!("edge references unknown existing vertex {v}"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl AnytimeEngine {
+    /// Dynamically adds edge `(u, v, w)` during the analysis. Returns `false`
+    /// if the edge already exists. The change is incorporated immediately
+    /// (endpoint-row broadcast + relaxation) and fully propagated by
+    /// subsequent recombination steps.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> bool {
+        assert!(self.initialized, "call initialize() first");
+        if !self.world.add_edge(u, v, w) {
+            return false;
+        }
+        let ou = self.partition.part_of(u).expect("u must be assigned");
+        let ov = self.partition.part_of(v).expect("v must be assigned");
+        self.procs[ou].view_add_edge(u, v, w);
+        if ov != ou {
+            self.procs[ov].view_add_edge(u, v, w);
+        }
+        self.relax_through_edge(u, v, w);
+        self.converged = false;
+        true
+    }
+
+    /// The edge-addition relaxation kernel: broadcast both endpoint rows,
+    /// relax every owned row on every processor, propagate locally.
+    pub(crate) fn relax_through_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        let ou = self.partition.part_of(u).expect("u must be assigned");
+        let ov = self.partition.part_of(v).expect("v must be assigned");
+        let row_u = self.procs[ou].dv.row(u).to_vec();
+        let row_v = self.procs[ov].dv.row(v).to_vec();
+        let row_bytes = 4 + 4 * row_u.len();
+        self.cluster.broadcast_cost(Phase::DynamicUpdate, ou, row_bytes);
+        self.cluster.broadcast_cost(Phase::DynamicUpdate, ov, row_bytes);
+
+        for rank in 0..self.procs.len() {
+            let t = Instant::now();
+            let ps = &mut self.procs[rank];
+            // Cache the broadcast rows wherever the endpoint is an external
+            // boundary vertex, so later invalidations can re-relax from them.
+            if !ps.is_local[u as usize] && !ps.adj[u as usize].is_empty() {
+                ps.ext_rows.insert(u, row_u.clone());
+            }
+            if !ps.is_local[v as usize] && !ps.adj[v as usize].is_empty() {
+                ps.ext_rows.insert(v, row_v.clone());
+            }
+            let mut seeds = Vec::new();
+            for x in ps.dv.vertices().to_vec() {
+                let mut changed = false;
+                let a = ps.dv.row(x)[u as usize];
+                if a != INF {
+                    changed |= ps
+                        .dv
+                        .relax_with_external(x, &row_v, a.saturating_add(w));
+                }
+                let b = ps.dv.row(x)[v as usize];
+                if b != INF {
+                    changed |= ps
+                        .dv
+                        .relax_with_external(x, &row_u, b.saturating_add(w));
+                }
+                if changed {
+                    ps.dirty.insert(x);
+                    seeds.push(x);
+                }
+            }
+            ps.propagate_worklist(seeds);
+            self.cluster
+                .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
+        }
+        // The owners also learn the direct edge immediately.
+        self.procs[ou].dv.relax_with_external(u, &row_v, w);
+        self.procs[ov].dv.relax_with_external(v, &row_u, w);
+    }
+
+    /// Adds a batch of edges at once — the edge-additions paper's "new
+    /// relationship formations" arrive in batches. Each distinct endpoint's
+    /// row is broadcast once (instead of twice per edge), every processor
+    /// applies all relaxations in one sweep, and local propagation runs once
+    /// at the end. Returns the number of edges actually inserted (duplicates
+    /// and self-loops are skipped).
+    pub fn add_edges(&mut self, edges: &[(VertexId, VertexId, Weight)]) -> usize {
+        assert!(self.initialized, "call initialize() first");
+        let mut inserted: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(edges.len());
+        for &(u, v, w) in edges {
+            if !self.world.add_edge(u, v, w) {
+                continue;
+            }
+            let ou = self.partition.part_of(u).expect("u must be assigned");
+            let ov = self.partition.part_of(v).expect("v must be assigned");
+            self.procs[ou].view_add_edge(u, v, w);
+            if ov != ou {
+                self.procs[ov].view_add_edge(u, v, w);
+            }
+            inserted.push((u, v, w));
+        }
+        if inserted.is_empty() {
+            return 0;
+        }
+
+        // One broadcast per distinct endpoint.
+        let mut endpoints: Vec<VertexId> = inserted
+            .iter()
+            .flat_map(|&(u, v, _)| [u, v])
+            .collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut rows: std::collections::HashMap<VertexId, Vec<Weight>> =
+            std::collections::HashMap::with_capacity(endpoints.len());
+        for &e in &endpoints {
+            let owner = self.partition.part_of(e).expect("endpoint assigned");
+            let row = self.procs[owner].dv.row(e).to_vec();
+            self.cluster
+                .broadcast_cost(Phase::DynamicUpdate, owner, 4 + 4 * row.len());
+            rows.insert(e, row);
+        }
+
+        for rank in 0..self.procs.len() {
+            let t = Instant::now();
+            let ps = &mut self.procs[rank];
+            for &e in &endpoints {
+                if !ps.is_local[e as usize] && !ps.adj[e as usize].is_empty() {
+                    ps.ext_rows.insert(e, rows[&e].clone());
+                }
+            }
+            let mut seeds = Vec::new();
+            for x in ps.dv.vertices().to_vec() {
+                let mut changed = false;
+                for &(u, v, w) in &inserted {
+                    let a = ps.dv.row(x)[u as usize];
+                    if a != INF {
+                        changed |= ps.dv.relax_with_external(x, &rows[&v], a.saturating_add(w));
+                    }
+                    let b = ps.dv.row(x)[v as usize];
+                    if b != INF {
+                        changed |= ps.dv.relax_with_external(x, &rows[&u], b.saturating_add(w));
+                    }
+                }
+                if changed {
+                    ps.dirty.insert(x);
+                    seeds.push(x);
+                }
+            }
+            ps.propagate_worklist(seeds);
+            self.cluster
+                .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
+        }
+        self.converged = false;
+        inserted.len()
+    }
+
+    /// Deletes a batch of edges at once: one deletion barrier, one broadcast
+    /// per distinct endpoint, one combined invalidation sweep (a pair is
+    /// invalidated if *any* deleted edge supports its current value), one
+    /// reseed. Returns the number of edges actually removed.
+    pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
+        assert!(self.initialized, "call initialize() first");
+        let present: Vec<(VertexId, VertexId, Weight)> = edges
+            .iter()
+            .filter_map(|&(u, v)| self.world.edge_weight(u, v).map(|w| (u, v, w)))
+            .collect();
+        if present.is_empty() {
+            return 0;
+        }
+        if !self.converged {
+            // The support test below is only exact at a fixed point; refuse
+            // to proceed on a state that did not quiesce.
+            self.run_to_convergence(64 * self.procs.len() + 256);
+            assert!(self.converged, "deletion barrier failed to converge");
+        }
+        // Capture pre-deletion rows of every distinct endpoint.
+        let mut endpoints: Vec<VertexId> = present.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut rows: std::collections::HashMap<VertexId, Vec<Weight>> =
+            std::collections::HashMap::with_capacity(endpoints.len());
+        for &e in &endpoints {
+            let owner = self.partition.part_of(e).expect("endpoint assigned");
+            let row = self.procs[owner].dv.row(e).to_vec();
+            self.cluster
+                .broadcast_cost(Phase::DynamicUpdate, owner, 4 + 4 * row.len());
+            rows.insert(e, row);
+        }
+        for &(u, v, _) in &present {
+            self.world.remove_edge(u, v);
+        }
+        let ia = self.config.ia;
+        for rank in 0..self.procs.len() {
+            let t = Instant::now();
+            for &(u, v, _) in &present {
+                self.procs[rank].view_remove_edge(u, v);
+            }
+            invalidate_and_reseed(&mut self.procs[rank], ia, |row, x| {
+                let mut targets = Vec::new();
+                for &(u, v, w) in &present {
+                    targets.extend(affected_targets_edge(
+                        row, x, u, v, w, &rows[&u], &rows[&v],
+                    ));
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                targets
+            });
+            self.cluster
+                .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
+        }
+        self.converged = false;
+        present.len()
+    }
+
+    /// Dynamically deletes edge `(u, v)`. Converges pending updates first
+    /// (deletion barrier, see module docs), invalidates every pair supported
+    /// by the edge, reseeds from local Dijkstra, and leaves reconvergence to
+    /// subsequent recombination steps. Returns `false` if the edge is absent.
+    pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(self.initialized, "call initialize() first");
+        if self.world.edge_weight(u, v).is_none() {
+            return false;
+        }
+        if !self.converged {
+            // The support test below is only exact at a fixed point; refuse
+            // to proceed on a state that did not quiesce.
+            self.run_to_convergence(64 * self.procs.len() + 256);
+            assert!(self.converged, "deletion barrier failed to converge");
+        }
+        let w = self.world.remove_edge(u, v).expect("edge checked above");
+        let ou = self.partition.part_of(u).expect("u must be assigned");
+        let ov = self.partition.part_of(v).expect("v must be assigned");
+        // Pre-deletion endpoint rows (exact, since we are converged).
+        let row_u = self.procs[ou].dv.row(u).to_vec();
+        let row_v = self.procs[ov].dv.row(v).to_vec();
+        let row_bytes = 4 + 4 * row_u.len();
+        self.cluster.broadcast_cost(Phase::DynamicUpdate, ou, row_bytes);
+        self.cluster.broadcast_cost(Phase::DynamicUpdate, ov, row_bytes);
+
+        for rank in 0..self.procs.len() {
+            let t = Instant::now();
+            self.procs[rank].view_remove_edge(u, v);
+            let ia = self.config.ia;
+            invalidate_and_reseed(&mut self.procs[rank], ia, |row, x| {
+                affected_targets_edge(row, x, u, v, w, &row_u, &row_v)
+            });
+            self.cluster
+                .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
+        }
+        self.converged = false;
+        true
+    }
+
+    /// Changes the weight of edge `(u, v)`. Decreases are incorporated like
+    /// additions (pure relaxation); increases like deletions (invalidate +
+    /// reseed, with the deletion barrier). Returns `false` if the edge is
+    /// absent or the weight unchanged.
+    pub fn change_edge_weight(&mut self, u: VertexId, v: VertexId, new_w: Weight) -> bool {
+        assert!(self.initialized, "call initialize() first");
+        assert!(new_w != INF, "weight must be finite");
+        let Some(old_w) = self.world.edge_weight(u, v) else {
+            return false;
+        };
+        if old_w == new_w {
+            return false;
+        }
+        if new_w < old_w {
+            self.world.set_edge_weight(u, v, new_w);
+            for rank in 0..self.procs.len() {
+                self.procs[rank].view_remove_edge(u, v);
+                self.procs[rank].view_add_edge(u, v, new_w);
+            }
+            self.relax_through_edge(u, v, new_w);
+            self.converged = false;
+            return true;
+        }
+        // Increase: invalidate paths supported at the old weight, then make
+        // the new weight known.
+        let deleted = self.delete_edge(u, v);
+        debug_assert!(deleted);
+        let added = self.add_edge(u, v, new_w);
+        debug_assert!(added);
+        true
+    }
+
+    /// Dynamically deletes vertex `v` and all its incident edges (the papers'
+    /// named future work). Applies the deletion barrier, invalidates every
+    /// pair whose path ran through `v`, and reseeds. Returns the removed
+    /// incident edges.
+    pub fn delete_vertex(&mut self, v: VertexId) -> Vec<(VertexId, Weight)> {
+        assert!(self.initialized, "call initialize() first");
+        assert!(self.world.is_alive(v), "vertex {v} is not alive");
+        if !self.converged {
+            // The support test below is only exact at a fixed point; refuse
+            // to proceed on a state that did not quiesce.
+            self.run_to_convergence(64 * self.procs.len() + 256);
+            assert!(self.converged, "deletion barrier failed to converge");
+        }
+        let owner = self.partition.part_of(v).expect("v must be assigned");
+        let row_v = self.procs[owner].dv.row(v).to_vec();
+        self.cluster
+            .broadcast_cost(Phase::DynamicUpdate, owner, 4 + 4 * row_v.len());
+
+        let removed = self.world.remove_vertex(v);
+        let ia = self.config.ia;
+        for rank in 0..self.procs.len() {
+            let t = Instant::now();
+            for &(x, _) in &removed {
+                self.procs[rank].view_remove_edge(v, x);
+            }
+            let ps = &mut self.procs[rank];
+            if ps.dv.has_row(v) {
+                ps.dv.take_row(v);
+                ps.dirty.remove(&v);
+                ps.sent_snapshot.remove(&v);
+                ps.sent_to.remove(&v);
+            }
+            ps.is_local[v as usize] = false;
+            ps.ext_rows.remove(&v);
+            invalidate_and_reseed(ps, ia, |row, x| affected_targets_vertex(row, x, v, &row_v));
+            self.cluster
+                .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
+        }
+        self.partition.assignment[v as usize] = UNASSIGNED;
+        self.converged = false;
+        removed
+    }
+}
+
+/// Targets of row `x` (owner vertex `x`) invalidated by deleting edge
+/// `(u, v, w)`: entries whose value is ≥ the best path through the edge in
+/// either direction. `t == x` is never affected (`d(x,x)=0 < w ≥ 1`).
+fn affected_targets_edge(
+    row: &[Weight],
+    x: VertexId,
+    u: VertexId,
+    v: VertexId,
+    w: Weight,
+    row_u: &[Weight],
+    row_v: &[Weight],
+) -> Vec<usize> {
+    let a = row[u as usize]; // d(x, u)
+    let b = row[v as usize]; // d(x, v)
+    let mut out = Vec::new();
+    for (t, &d) in row.iter().enumerate() {
+        if d == INF || t == x as usize {
+            continue;
+        }
+        let via_uv = a.saturating_add(w).saturating_add(row_v[t]);
+        let via_vu = b.saturating_add(w).saturating_add(row_u[t]);
+        if d >= via_uv.min(via_vu) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Targets of row `x` invalidated by deleting vertex `v`: the column `v`
+/// itself plus every entry whose value routes through `v`.
+fn affected_targets_vertex(row: &[Weight], x: VertexId, v: VertexId, row_v: &[Weight]) -> Vec<usize> {
+    let a = row[v as usize]; // d(x, v)
+    let mut out = Vec::new();
+    if row[v as usize] != INF {
+        out.push(v as usize);
+    }
+    if a == INF {
+        return out;
+    }
+    for (t, &d) in row.iter().enumerate() {
+        if d == INF || t == x as usize || t == v as usize {
+            continue;
+        }
+        if d >= a.saturating_add(row_v[t]) && a.saturating_add(row_v[t]) != INF {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Applies an invalidation rule to every owned row and every cached external
+/// row of `ps`, reseeds affected owned rows from local Dijkstra, re-relaxes
+/// them through cached boundary rows, and propagates locally.
+fn invalidate_and_reseed<F>(ps: &mut ProcState, ia: crate::config::IaAlgorithm, affected: F)
+where
+    F: Fn(&[Weight], VertexId) -> Vec<usize>,
+{
+    let mut dirtied = Vec::new();
+    for x in ps.dv.vertices().to_vec() {
+        let targets = affected(ps.dv.row(x), x);
+        if targets.is_empty() {
+            continue;
+        }
+        let row = ps.dv.row_mut(x);
+        for &t in &targets {
+            row[t] = INF;
+        }
+        dirtied.push(x);
+    }
+    // Cached external rows get the same treatment: reset entries are stale-
+    // high (safe); valid entries remain usable for re-relaxation.
+    let cached: Vec<VertexId> = ps.ext_rows.keys().copied().collect();
+    for b in cached {
+        let row = ps.ext_rows.get(&b).unwrap();
+        let targets = affected(row, b);
+        if targets.is_empty() {
+            continue;
+        }
+        let row = ps.ext_rows.get_mut(&b).unwrap();
+        for t in targets {
+            row[t] = INF;
+        }
+    }
+    // Delta baselines must track what the receivers' caches now hold: apply
+    // the identical rule to every sent snapshot (receivers reset the same
+    // entries of the same values), keeping future deltas consistent.
+    let snapshots: Vec<VertexId> = ps.sent_snapshot.keys().copied().collect();
+    for b in snapshots {
+        let row = ps.sent_snapshot.get(&b).unwrap();
+        let targets = affected(row, b);
+        if targets.is_empty() {
+            continue;
+        }
+        let row = ps.sent_snapshot.get_mut(&b).unwrap();
+        for t in targets {
+            row[t] = INF;
+        }
+    }
+    // Reseed affected rows with post-deletion local paths and cached
+    // boundary knowledge.
+    for &x in &dirtied {
+        let fresh = ps.local_sssp(x, ia);
+        ps.merge_row_min(x, &fresh);
+        ps.relax_from_cache(x);
+        ps.dirty.insert(x);
+    }
+    if !dirtied.is_empty() {
+        // Reset entries must also be re-learnable from *unaffected* neighbour
+        // rows, so the worklist is seeded with every owned vertex (a full
+        // local fixed-point pass), not just the dirtied ones.
+        let all = ps.dv.vertices().to_vec();
+        ps.propagate_worklist(all);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use aa_graph::{algo, generators, Graph};
+
+    fn engine(g: Graph, p: usize) -> AnytimeEngine {
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: p,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e
+    }
+
+    fn assert_oracle(e: &AnytimeEngine) {
+        let dense = e.distances_dense();
+        let oracle = algo::apsp_dijkstra(e.graph());
+        for v in 0..e.graph().capacity() {
+            if e.graph().is_alive(v as u32) {
+                assert_eq!(dense[v], oracle[v], "row {v} differs from oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn add_edge_then_converge_matches_oracle() {
+        let g = generators::barabasi_albert(100, 2, 3, 13);
+        let mut e = engine(g, 4);
+        e.run_to_convergence(32);
+        assert!(e.add_edge(0, 57, 1));
+        assert!(!e.is_converged());
+        e.run_to_convergence(32);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn add_edge_mid_run_still_converges_correctly() {
+        let g = generators::erdos_renyi_gnm(90, 200, 4, 3);
+        let mut e = engine(g, 4);
+        e.rc_step(); // not yet converged
+        assert!(e.add_edge(1, 80, 2));
+        assert!(e.add_edge(5, 33, 1));
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn add_edge_connecting_components() {
+        let mut g = generators::path(12);
+        g.remove_edge(5, 6);
+        let mut e = engine(g, 3);
+        e.run_to_convergence(32);
+        assert_eq!(e.distances_dense()[0][11], INF);
+        assert!(e.add_edge(5, 6, 7));
+        e.run_to_convergence(32);
+        assert_oracle(&e);
+        assert_eq!(e.distances_dense()[0][11], 5 + 7 + 5);
+    }
+
+    #[test]
+    fn duplicate_add_edge_is_rejected() {
+        let g = generators::path(6);
+        let mut e = engine(g, 2);
+        e.run_to_convergence(16);
+        assert!(!e.add_edge(0, 1, 5));
+        assert!(e.is_converged(), "rejected update must not disturb state");
+    }
+
+    #[test]
+    fn delete_edge_then_converge_matches_oracle() {
+        let g = generators::barabasi_albert(80, 3, 2, 17);
+        let mut e = engine(g, 4);
+        e.run_to_convergence(32);
+        let (u, v, _) = e.graph().edges().next().unwrap();
+        assert!(e.delete_edge(u, v));
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn delete_bridge_disconnects() {
+        let g = generators::path(10);
+        let mut e = engine(g, 2);
+        e.run_to_convergence(16);
+        assert!(e.delete_edge(4, 5));
+        e.run_to_convergence(32);
+        assert_oracle(&e);
+        assert_eq!(e.distances_dense()[0][9], INF);
+    }
+
+    #[test]
+    fn delete_edge_mid_run_applies_barrier_first() {
+        let g = generators::erdos_renyi_gnm(60, 150, 3, 23);
+        let mut e = engine(g, 4);
+        // No convergence calls: delete_edge must quiesce on its own.
+        let (u, v, _) = e.graph().edges().nth(3).unwrap();
+        assert!(e.delete_edge(u, v));
+        e.run_to_convergence(64);
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn delete_absent_edge_is_rejected() {
+        let g = generators::path(4);
+        let mut e = engine(g, 2);
+        assert!(!e.delete_edge(0, 3));
+    }
+
+    #[test]
+    fn interleaved_adds_and_deletes_match_oracle() {
+        let g = generators::watts_strogatz(70, 2, 0.1, 3, 31);
+        let mut e = engine(g, 4);
+        e.run_to_convergence(32);
+        assert!(e.add_edge(0, 35, 1));
+        e.rc_step();
+        let (u, v, _) = e.graph().edges().nth(10).unwrap();
+        assert!(e.delete_edge(u, v));
+        e.rc_step();
+        assert!(e.add_edge(3, 66, 2));
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn weight_decrease_matches_oracle() {
+        let g = generators::erdos_renyi_gnm(50, 120, 9, 41);
+        let mut e = engine(g, 3);
+        e.run_to_convergence(32);
+        let (u, v, w) = e.graph().edges().find(|&(_, _, w)| w > 1).unwrap();
+        assert!(e.change_edge_weight(u, v, w - 1));
+        e.run_to_convergence(32);
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn weight_increase_matches_oracle() {
+        let g = generators::erdos_renyi_gnm(50, 120, 3, 43);
+        let mut e = engine(g, 3);
+        e.run_to_convergence(32);
+        let (u, v, w) = e.graph().edges().next().unwrap();
+        assert!(e.change_edge_weight(u, v, w + 7));
+        e.run_to_convergence(64);
+        assert_oracle(&e);
+        assert_eq!(e.graph().edge_weight(u, v), Some(w + 7));
+    }
+
+    #[test]
+    fn weight_change_rejects_absent_or_noop() {
+        let g = generators::path(5);
+        let mut e = engine(g, 2);
+        e.run_to_convergence(16);
+        assert!(!e.change_edge_weight(0, 4, 3), "absent edge");
+        assert!(!e.change_edge_weight(0, 1, 1), "unchanged weight");
+    }
+
+    #[test]
+    fn delete_vertex_matches_oracle() {
+        let g = generators::barabasi_albert(60, 2, 1, 19);
+        let mut e = engine(g, 4);
+        e.run_to_convergence(32);
+        let hub = e
+            .graph()
+            .vertices()
+            .max_by_key(|&v| e.graph().degree(v))
+            .unwrap();
+        let removed = e.delete_vertex(hub);
+        assert!(!removed.is_empty());
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+        e.check_invariants().unwrap();
+        // Distances to the dead vertex are INF everywhere.
+        let dense = e.distances_dense();
+        for v in e.graph().vertices() {
+            assert_eq!(dense[v as usize][hub as usize], INF);
+        }
+    }
+
+    #[test]
+    fn delete_leaf_vertex() {
+        let g = generators::star(8);
+        let mut e = engine(g, 2);
+        e.run_to_convergence(16);
+        e.delete_vertex(3);
+        e.run_to_convergence(16);
+        assert_oracle(&e);
+        assert_eq!(e.graph().vertex_count(), 7);
+    }
+
+    #[test]
+    fn batched_edge_additions_match_oracle() {
+        let g = generators::barabasi_albert(80, 2, 3, 51);
+        let mut e = engine(g, 4);
+        e.run_to_convergence(32);
+        let added = e.add_edges(&[
+            (0, 50, 1),
+            (3, 60, 2),
+            (0, 70, 1),      // shares endpoint 0
+            (0, 1, 5),       // duplicate: skipped
+            (10, 11, 1),
+        ]);
+        assert!((3..=4).contains(&added), "duplicate must be skipped: {added}");
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn batched_edge_additions_mid_run() {
+        let g = generators::erdos_renyi_gnm(60, 150, 4, 53);
+        let mut e = engine(g, 4);
+        e.rc_step();
+        e.add_edges(&[(0, 30, 1), (1, 40, 2), (2, 50, 3)]);
+        e.run_to_convergence(64);
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn batched_edge_deletions_match_oracle() {
+        let g = generators::barabasi_albert(70, 3, 2, 55);
+        let mut e = engine(g, 4);
+        e.run_to_convergence(32);
+        let victims: Vec<(VertexId, VertexId)> = e
+            .graph()
+            .edges()
+            .step_by(7)
+            .take(5)
+            .map(|(u, v, _)| (u, v))
+            .collect();
+        let removed = e.delete_edges(&victims);
+        assert_eq!(removed, victims.len());
+        e.run_to_convergence(96);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn batched_deletions_with_shared_endpoints_and_misses() {
+        let g = generators::path(12);
+        let mut e = engine(g, 3);
+        e.run_to_convergence(32);
+        let removed = e.delete_edges(&[(3, 4), (4, 5), (0, 11)]); // last is absent
+        assert_eq!(removed, 2);
+        e.run_to_convergence(64);
+        assert_oracle(&e);
+        assert_eq!(e.distances_dense()[0][11], INF);
+        assert_eq!(e.distances_dense()[4][4], 0, "isolated middle vertex intact");
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let g = generators::path(6);
+        let mut e = engine(g, 2);
+        e.run_to_convergence(16);
+        assert_eq!(e.add_edges(&[]), 0);
+        assert_eq!(e.delete_edges(&[]), 0);
+        assert!(e.is_converged(), "no-ops must not disturb convergence");
+    }
+
+    #[test]
+    fn batch_validation() {
+        let mut b = VertexBatch::new(2);
+        b.connect(0, Endpoint::New(1), 1);
+        b.connect(1, Endpoint::Existing(3), 2);
+        assert!(b.validate(10).is_ok());
+        assert!(b.validate(2).is_err(), "existing vertex 3 out of range");
+        let mut bad = VertexBatch::new(1);
+        bad.connect(0, Endpoint::New(0), 1);
+        assert!(bad.validate(10).is_err(), "self-loop");
+        let mut bad2 = VertexBatch::new(1);
+        bad2.connect(0, Endpoint::New(5), 1);
+        assert!(bad2.validate(10).is_err(), "new index out of range");
+    }
+}

@@ -1,0 +1,506 @@
+//! The [`AnytimeEngine`]: domain decomposition, initial approximation, and
+//! the recombination loop, orchestrated over the simulated cluster.
+
+use crate::closeness::Snapshot;
+use crate::config::{EngineConfig, Refinement};
+use crate::proc_state::{ProcState, RowUpdate};
+use aa_graph::{Graph, VertexId, Weight, INF};
+use aa_logp::Phase;
+use aa_partition::Partition;
+use aa_runtime::{SimCluster, TransferOut};
+use std::time::Instant;
+
+/// The distributed anytime-anywhere closeness-centrality engine.
+///
+/// Owns the "world" graph (the ground truth the environment mutates), the
+/// current partition, one [`ProcState`] per virtual processor, and the
+/// simulated cluster that accounts for every byte moved and every microsecond
+/// computed. See the crate docs for the three-phase pipeline.
+pub struct AnytimeEngine {
+    pub(crate) world: Graph,
+    pub(crate) partition: Partition,
+    pub(crate) procs: Vec<ProcState>,
+    pub(crate) cluster: SimCluster,
+    pub(crate) config: EngineConfig,
+    pub(crate) rc_steps_done: usize,
+    pub(crate) converged: bool,
+    pub(crate) initialized: bool,
+    /// Cursor for round-robin processor assignment of new vertices.
+    pub(crate) rr_cursor: usize,
+    /// Per-processor flag: a pivot pass improved something last step, so
+    /// another pass is owed even if no new boundary rows arrive
+    /// (PivotPass refinement only).
+    pub(crate) pivot_pending: Vec<bool>,
+}
+
+impl AnytimeEngine {
+    /// Creates an engine over `graph`. Call [`Self::initialize`] before
+    /// stepping.
+    pub fn new(graph: Graph, config: EngineConfig) -> Self {
+        assert!(config.num_procs >= 1, "need at least one processor");
+        let p = config.num_procs;
+        let mut cluster = SimCluster::new(p, config.logp, config.exchange);
+        cluster.set_compute_scale(config.compute_scale);
+        AnytimeEngine {
+            partition: Partition::unassigned(graph.capacity(), p),
+            world: graph,
+            procs: Vec::new(),
+            cluster,
+            config,
+            rc_steps_done: 0,
+            converged: false,
+            initialized: false,
+            rr_cursor: 0,
+            pivot_pending: vec![false; p],
+        }
+    }
+
+    /// Domain decomposition + initial approximation. Also used by the
+    /// baseline-restart strategy to rebuild from scratch (accounting
+    /// accumulates across restarts; use [`SimCluster::reset_accounting`]
+    /// via [`Self::cluster_mut`] to zero it).
+    pub fn initialize(&mut self) {
+        let p = self.config.num_procs;
+
+        // --- Domain decomposition ---------------------------------------
+        let partitioner = self.config.partitioner.build(self.config.seed);
+        let t = Instant::now();
+        self.partition = partitioner.partition(&self.world, p);
+        let elapsed = t.elapsed();
+        // The papers partition in parallel (ParMETIS); approximate by
+        // spreading the measured cost evenly and synchronizing.
+        for rank in 0..p {
+            self.cluster
+                .compute_measured(rank, Phase::DomainDecomposition, elapsed / p as u32);
+        }
+        self.cluster.barrier();
+
+        // Distribute sub-graphs: charge each processor's incoming sub-graph
+        // bytes (8 bytes per half-edge + 4 per vertex) from rank 0.
+        let mut outbox: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
+        let members = self.partition.members();
+        for (rank, verts) in members.iter().enumerate() {
+            if rank == 0 {
+                continue;
+            }
+            let bytes: usize = verts
+                .iter()
+                .map(|&v| 4 + 8 * self.world.degree(v))
+                .sum();
+            outbox[0].push(TransferOut {
+                dst: rank,
+                bytes,
+                payload: (),
+            });
+        }
+        self.cluster.exchange(Phase::DomainDecomposition, outbox);
+
+        // Build processor states.
+        self.procs = (0..p)
+            .map(|rank| {
+                let mut ps = ProcState::new(rank, self.world.capacity());
+                ps.rebuild_view(&self.world, &self.partition);
+                for &v in &members[rank] {
+                    ps.dv.add_row(v);
+                }
+                ps
+            })
+            .collect();
+
+        // --- Initial approximation ---------------------------------------
+        for rank in 0..p {
+            let t = Instant::now();
+            self.procs[rank].initial_approximation(self.config.ia);
+            self.cluster
+                .compute_measured(rank, Phase::InitialApproximation, t.elapsed());
+        }
+        self.cluster.barrier();
+
+        self.rc_steps_done = 0;
+        self.converged = false;
+        self.initialized = true;
+        self.pivot_pending = vec![false; p];
+    }
+
+    /// One recombination step: exchange the distance vectors of boundary
+    /// vertices updated since the last step, relax, refine, and agree on
+    /// termination. Returns `true` when no processor has pending updates
+    /// (the solution is the exact APSP of the current graph).
+    pub fn rc_step(&mut self) -> bool {
+        assert!(self.initialized, "call initialize() first");
+        let p = self.config.num_procs;
+        self.rc_steps_done += 1;
+
+        // 1. Assemble boundary-row sends from dirty rows: full rows on first
+        // contact, only the changed entries afterwards (the papers' "send
+        // only the updated values of the boundary DVs").
+        let mut outbox: Vec<Vec<TransferOut<(VertexId, RowUpdate)>>> =
+            (0..p).map(|_| Vec::new()).collect();
+        for rank in 0..p {
+            let t = Instant::now();
+            let mut dirty: Vec<VertexId> = self.procs[rank].dirty.drain().collect();
+            dirty.sort_unstable(); // deterministic order
+            for u in dirty {
+                let ranks = self.procs[rank].neighbor_ranks(u, &self.partition);
+                if ranks.is_empty() {
+                    continue; // interior vertex: no neighbour processor needs it
+                }
+                for &dst in &ranks {
+                    if let Some(update) = self.procs[rank].build_row_update(u, dst) {
+                        outbox[rank].push(TransferOut {
+                            dst,
+                            bytes: update.bytes(),
+                            payload: (u, update),
+                        });
+                    }
+                }
+                self.procs[rank].record_sent(u, &ranks);
+            }
+            self.cluster
+                .compute_measured(rank, Phase::Recombination, t.elapsed());
+        }
+
+        // 2. Personalized all-to-all exchange.
+        let inbox = self.cluster.exchange(Phase::Recombination, outbox);
+
+        // 3. Apply received rows and refine locally.
+        let mut flags = vec![false; p];
+        for (rank, received) in inbox.into_iter().enumerate() {
+            let t = Instant::now();
+            let mut seeds = Vec::new();
+            for (_src, (v, update)) in received {
+                seeds.extend(self.procs[rank].apply_row_update(v, update));
+            }
+            match self.config.refinement {
+                Refinement::WorklistRelax => {
+                    self.procs[rank].propagate_worklist(seeds);
+                }
+                Refinement::PivotPass => {
+                    if !seeds.is_empty() || self.pivot_pending[rank] {
+                        self.pivot_pending[rank] = self.procs[rank].pivot_pass();
+                    }
+                }
+            }
+            flags[rank] = !self.procs[rank].dirty.is_empty() || self.pivot_pending[rank];
+            self.cluster
+                .compute_measured(rank, Phase::Recombination, t.elapsed());
+        }
+
+        // 4. Global termination test.
+        let any = self.cluster.all_reduce_or(Phase::Recombination, &flags);
+        self.converged = !any;
+        self.converged
+    }
+
+    /// Runs recombination steps until convergence or `max_steps`. Returns the
+    /// number of steps executed.
+    pub fn run_to_convergence(&mut self, max_steps: usize) -> usize {
+        let mut steps = 0;
+        while steps < max_steps {
+            steps += 1;
+            if self.rc_step() {
+                break;
+            }
+        }
+        steps
+    }
+
+    /// The current world graph.
+    pub fn graph(&self) -> &Graph {
+        &self.world
+    }
+
+    /// The current partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The simulated cluster (clocks + ledger).
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access (e.g. to reset accounting between experiment
+    /// phases).
+    pub fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    /// Virtual cluster time elapsed so far, in microseconds.
+    pub fn makespan_us(&self) -> f64 {
+        self.cluster.makespan_us()
+    }
+
+    /// Recombination steps executed so far (across dynamic updates).
+    pub fn rc_steps(&self) -> usize {
+        self.rc_steps_done
+    }
+
+    /// Whether the last recombination step reported convergence.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// An anytime snapshot: closeness estimates from the current (possibly
+    /// partial) distance vectors. Charges the small result gather.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let cap = self.world.capacity();
+        let mut closeness = vec![0.0f64; cap];
+        let mut harmonic = vec![0.0f64; cap];
+        let p = self.config.num_procs;
+        let mut outbox: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
+        for (rank, ps) in self.procs.iter().enumerate() {
+            let t = Instant::now();
+            for &v in ps.dv.vertices() {
+                let row = ps.dv.row(v);
+                let mut sum = 0u64;
+                let mut h = 0.0f64;
+                for (t_idx, &d) in row.iter().enumerate() {
+                    if t_idx != v as usize && d != INF && d > 0 {
+                        sum += d as u64;
+                        h += 1.0 / d as f64;
+                    }
+                }
+                closeness[v as usize] = if sum == 0 { 0.0 } else { 1.0 / sum as f64 };
+                harmonic[v as usize] = h;
+            }
+            self.cluster
+                .compute_measured(rank, Phase::Recombination, t.elapsed());
+            if rank != 0 {
+                // 16 bytes (two f64) per owned vertex to the master.
+                outbox[rank].push(TransferOut {
+                    dst: 0,
+                    bytes: 16 * ps.dv.row_count(),
+                    payload: (),
+                });
+            }
+        }
+        self.cluster.exchange(Phase::Recombination, outbox);
+        Snapshot {
+            rc_step: self.rc_steps_done,
+            makespan_us: self.cluster.makespan_us(),
+            closeness,
+            harmonic,
+        }
+    }
+
+    /// Gathers the full distance matrix by source vertex id (test/debug
+    /// helper; free of cluster charges). Unowned/dead slots yield `INF` rows.
+    pub fn distances_dense(&self) -> Vec<Vec<Weight>> {
+        let cap = self.world.capacity();
+        let mut out = vec![vec![INF; cap]; cap];
+        for ps in &self.procs {
+            for &v in ps.dv.vertices() {
+                let row = ps.dv.row(v);
+                out[v as usize][..row.len()].copy_from_slice(row);
+            }
+        }
+        out
+    }
+
+    /// Internal consistency checks (tests): every live vertex has exactly one
+    /// owning row; views agree with the partition.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut owned = vec![0usize; self.world.capacity()];
+        for ps in &self.procs {
+            for &v in ps.dv.vertices() {
+                owned[v as usize] += 1;
+                if !ps.is_local[v as usize] {
+                    return Err(format!("proc {} owns row {v} but not locality", ps.rank));
+                }
+                if self.partition.part_of(v) != Some(ps.rank) {
+                    return Err(format!("proc {} owns {v} against the partition", ps.rank));
+                }
+            }
+        }
+        for v in 0..self.world.capacity() as VertexId {
+            let expect = usize::from(self.world.is_alive(v));
+            if owned[v as usize] != expect {
+                return Err(format!(
+                    "vertex {v}: {} owners, expected {expect}",
+                    owned[v as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionerKind;
+    use aa_graph::{algo, generators};
+
+    fn config(p: usize) -> EngineConfig {
+        EngineConfig {
+            num_procs: p,
+            ..Default::default()
+        }
+    }
+
+    fn assert_matches_oracle(engine: &AnytimeEngine) {
+        let dense = engine.distances_dense();
+        let oracle = algo::apsp_dijkstra(engine.graph());
+        for v in 0..engine.graph().capacity() {
+            if engine.graph().is_alive(v as VertexId) {
+                assert_eq!(dense[v], oracle[v], "row {v} differs from oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn static_pipeline_matches_oracle_scale_free() {
+        let g = generators::barabasi_albert(150, 2, 3, 11);
+        let mut e = AnytimeEngine::new(g, config(4));
+        e.initialize();
+        e.check_invariants().unwrap();
+        let steps = e.run_to_convergence(32);
+        assert!(e.is_converged(), "did not converge in 32 steps");
+        // Steps are bounded by the maximum number of cut-edge crossings on
+        // any shortest path (the papers bound this by P−1 for processor
+        // chains); small-world graphs stay in the single digits.
+        assert!(steps <= 10, "static convergence took too long: {steps} steps");
+        assert_matches_oracle(&e);
+    }
+
+    #[test]
+    fn static_pipeline_matches_oracle_many_procs() {
+        let g = generators::erdos_renyi_gnm(120, 360, 4, 5);
+        let mut e = AnytimeEngine::new(g, config(8));
+        e.initialize();
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_matches_oracle(&e);
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_local_apsp() {
+        let g = generators::barabasi_albert(60, 2, 1, 3);
+        let mut e = AnytimeEngine::new(g, config(1));
+        e.initialize();
+        let steps = e.run_to_convergence(8);
+        assert!(e.is_converged());
+        assert_eq!(steps, 1, "one processor converges in a single step");
+        assert_matches_oracle(&e);
+    }
+
+    #[test]
+    fn disconnected_graph_converges_with_inf_across_components() {
+        let mut g = generators::path(20);
+        g.remove_edge(9, 10);
+        let mut e = AnytimeEngine::new(g, config(4));
+        e.initialize();
+        e.run_to_convergence(32);
+        assert!(e.is_converged());
+        assert_matches_oracle(&e);
+        let d = e.distances_dense();
+        assert_eq!(d[0][19], INF);
+    }
+
+    #[test]
+    fn pivot_pass_refinement_also_converges_to_oracle() {
+        let g = generators::barabasi_albert(120, 2, 2, 9);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 4,
+                refinement: Refinement::PivotPass,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e.run_to_convergence(200);
+        assert!(e.is_converged(), "pivot-pass refinement failed to converge");
+        assert_matches_oracle(&e);
+    }
+
+    #[test]
+    fn all_partitioners_converge_to_oracle() {
+        for kind in [
+            PartitionerKind::RoundRobin,
+            PartitionerKind::Hash,
+            PartitionerKind::BfsGrow,
+            PartitionerKind::Multilevel,
+        ] {
+            let g = generators::watts_strogatz(80, 3, 0.2, 2, 6);
+            let mut e = AnytimeEngine::new(
+                g,
+                EngineConfig {
+                    num_procs: 5,
+                    partitioner: kind,
+                    ..Default::default()
+                },
+            );
+            e.initialize();
+            e.run_to_convergence(64);
+            assert!(e.is_converged(), "{kind:?} did not converge");
+            assert_matches_oracle(&e);
+        }
+    }
+
+    #[test]
+    fn anytime_estimates_are_monotone_nonincreasing() {
+        let g = generators::barabasi_albert(150, 2, 1, 21);
+        let mut e = AnytimeEngine::new(g, config(6));
+        e.initialize();
+        let mut prev = e.distances_dense();
+        for _ in 0..40 {
+            let done = e.rc_step();
+            let cur = e.distances_dense();
+            for (pr, cr) in prev.iter().zip(&cur) {
+                for (&a, &b) in pr.iter().zip(cr) {
+                    assert!(b <= a, "distance estimate increased: {a} -> {b}");
+                }
+            }
+            prev = cur;
+            if done {
+                break;
+            }
+        }
+        assert!(e.is_converged());
+    }
+
+    #[test]
+    fn snapshot_closeness_matches_exact_at_convergence() {
+        let g = generators::barabasi_albert(100, 2, 1, 8);
+        let exact = algo::exact_closeness(&g);
+        let mut e = AnytimeEngine::new(g, config(4));
+        e.initialize();
+        e.run_to_convergence(32);
+        let snap = e.snapshot();
+        for (v, (&got, &want)) in snap.closeness.iter().zip(&exact).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-12,
+                "closeness of {v}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_and_ledger_accumulate() {
+        let g = generators::barabasi_albert(80, 2, 1, 4);
+        let mut e = AnytimeEngine::new(g, config(4));
+        e.initialize();
+        let after_init = e.makespan_us();
+        assert!(after_init > 0.0);
+        e.run_to_convergence(32);
+        assert!(e.makespan_us() > after_init);
+        let ledger = e.cluster().ledger();
+        assert!(ledger.phase(Phase::InitialApproximation).compute_us > 0.0);
+        assert!(ledger.phase(Phase::Recombination).bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "call initialize")]
+    fn stepping_before_initialize_panics() {
+        let g = generators::path(4);
+        let mut e = AnytimeEngine::new(g, config(2));
+        e.rc_step();
+    }
+}

@@ -1,0 +1,715 @@
+//! Per-processor state: the local sub-graph view and its distance vectors.
+//!
+//! Following the papers, processor `p_i` holds `G_i = (V_i ∪ B_i, E_i)` where
+//! `V_i` are its owned (local) vertices, `E_i` the edges with at least one
+//! endpoint in `V_i`, and `B_i` the *external boundary vertices* — endpoints
+//! of cut edges owned elsewhere, which "act as bridges that connect the
+//! neighbouring sub-graphs". External vertices appear in the adjacency view
+//! but are never expanded: their own neighbourhoods are unknown here.
+
+use crate::dv::DistanceMatrix;
+use aa_graph::{Graph, VertexId, Weight, INF};
+use aa_partition::Partition;
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// A boundary-row update on the wire: the full distance vector on first
+/// contact, or only the entries that changed since the last send — the
+/// papers' "it is sufficient to send only the updated values of the boundary
+/// DVs" optimization.
+#[derive(Debug, Clone)]
+pub enum RowUpdate {
+    /// The complete row (first send to a given processor).
+    Full(Vec<Weight>),
+    /// Changed `(column, new_value)` pairs since the receiver's copy.
+    Delta(Vec<(u32, Weight)>),
+}
+
+impl RowUpdate {
+    /// Wire size in bytes (4-byte vertex id header + payload).
+    pub fn bytes(&self) -> usize {
+        4 + match self {
+            RowUpdate::Full(row) => 4 * row.len(),
+            RowUpdate::Delta(d) => 8 * d.len(),
+        }
+    }
+}
+
+/// The changed `(column, value)` pairs between a previously sent snapshot and
+/// the current row (entries that decreased; increases only happen through
+/// deletion invalidation, which resets both sides consistently).
+pub fn diff_rows(snapshot: &[Weight], current: &[Weight]) -> Vec<(u32, Weight)> {
+    current
+        .iter()
+        .enumerate()
+        .filter(|&(i, &c)| i >= snapshot.len() || c < snapshot[i])
+        .map(|(i, &c)| (i as u32, c))
+        .collect()
+}
+
+/// State of one virtual processor.
+#[derive(Debug, Clone)]
+pub struct ProcState {
+    /// This processor's rank.
+    pub rank: usize,
+    /// Adjacency view: populated for local vertices (all their edges) and for
+    /// external boundary vertices (only their edges to local vertices).
+    pub adj: Vec<Vec<(VertexId, Weight)>>,
+    /// Whether each vertex id slot is owned here.
+    pub is_local: Vec<bool>,
+    /// Distance vectors of owned vertices.
+    pub dv: DistanceMatrix,
+    /// Cached DV rows of external boundary vertices, as last received.
+    pub ext_rows: HashMap<VertexId, Vec<Weight>>,
+    /// Owned vertices whose rows changed since they were last sent.
+    pub dirty: HashSet<VertexId>,
+    /// Per boundary row: copy of the row as last sent (delta baseline).
+    pub sent_snapshot: HashMap<VertexId, Vec<Weight>>,
+    /// Per boundary row: processors that already hold a copy (and can
+    /// therefore accept deltas).
+    pub sent_to: HashMap<VertexId, HashSet<usize>>,
+}
+
+impl ProcState {
+    /// Creates an empty processor state for a graph with `capacity` id slots.
+    pub fn new(rank: usize, capacity: usize) -> Self {
+        ProcState {
+            rank,
+            adj: vec![Vec::new(); capacity],
+            is_local: vec![false; capacity],
+            dv: DistanceMatrix::new(capacity),
+            ext_rows: HashMap::new(),
+            dirty: HashSet::new(),
+            sent_snapshot: HashMap::new(),
+            sent_to: HashMap::new(),
+        }
+    }
+
+    /// Forgets all delta baselines (used when ownership changes under the
+    /// receivers, e.g. repartitioning): the next send of every row is full.
+    pub fn reset_send_state(&mut self) {
+        self.sent_snapshot.clear();
+        self.sent_to.clear();
+    }
+
+    /// Builds the update message for row `u` towards processor `dst`, or
+    /// `None` if `dst` is already up to date. Does not record the send — call
+    /// [`Self::record_sent`] once all destinations are served.
+    pub fn build_row_update(&self, u: VertexId, dst: usize) -> Option<RowUpdate> {
+        let row = self.dv.row(u);
+        if self.sent_to.get(&u).is_some_and(|s| s.contains(&dst)) {
+            let snapshot = self.sent_snapshot.get(&u).expect("snapshot exists for sent row");
+            let delta = diff_rows(snapshot, row);
+            if delta.is_empty() {
+                return None;
+            }
+            Some(RowUpdate::Delta(delta))
+        } else {
+            Some(RowUpdate::Full(row.to_vec()))
+        }
+    }
+
+    /// Records that row `u` was just sent to exactly `dsts`, refreshing the
+    /// delta baseline. Ranks *not* in `dsts` are dropped from the up-to-date
+    /// set: a processor that misses an update (its cut edges to `u` came and
+    /// went) gets a full row on next contact rather than an under-informed
+    /// delta.
+    pub fn record_sent(&mut self, u: VertexId, dsts: &[usize]) {
+        self.sent_snapshot.insert(u, self.dv.row(u).to_vec());
+        self.sent_to.insert(u, dsts.iter().copied().collect());
+    }
+
+    /// Rebuilds the adjacency view and locality flags from the world graph
+    /// and a partition. Does **not** touch the distance matrix or caches —
+    /// callers decide what survives (everything after initial decomposition,
+    /// migrated rows after repartitioning).
+    pub fn rebuild_view(&mut self, world: &Graph, partition: &Partition) {
+        let cap = world.capacity();
+        self.adj = vec![Vec::new(); cap];
+        self.is_local = vec![false; cap];
+        for v in world.vertices() {
+            if partition.part_of(v) == Some(self.rank) {
+                self.is_local[v as usize] = true;
+            }
+        }
+        for v in world.vertices() {
+            if !self.is_local[v as usize] {
+                continue;
+            }
+            for &(u, w) in world.neighbors(v) {
+                self.adj[v as usize].push((u, w));
+                if !self.is_local[u as usize] {
+                    // External boundary vertex: record only its local edges.
+                    self.adj[u as usize].push((v, w));
+                }
+            }
+        }
+        // Local-local edges got pushed once from each side already; external
+        // entries were pushed from the local side only. Nothing to dedup: the
+        // loop above adds each (local, local) edge to both lists exactly once
+        // and each (local, external) edge to both lists exactly once.
+    }
+
+    /// Owned vertices in row order.
+    pub fn local_vertices(&self) -> &[VertexId] {
+        self.dv.vertices()
+    }
+
+    /// Whether local vertex `u` has a cut edge (is a local boundary vertex).
+    pub fn is_boundary(&self, u: VertexId) -> bool {
+        self.adj[u as usize]
+            .iter()
+            .any(|&(v, _)| !self.is_local[v as usize])
+    }
+
+    /// The distinct owner ranks of `u`'s external neighbours.
+    pub fn neighbor_ranks(&self, u: VertexId, partition: &Partition) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self.adj[u as usize]
+            .iter()
+            .filter(|&&(v, _)| !self.is_local[v as usize])
+            .filter_map(|&(v, _)| partition.part_of(v))
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
+    }
+
+    /// Records an edge in the adjacency view if at least one endpoint is
+    /// local. Mirrors [`Self::rebuild_view`]'s shape.
+    pub fn view_add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        if !self.is_local[u as usize] && !self.is_local[v as usize] {
+            return;
+        }
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+    }
+
+    /// Removes an edge from the adjacency view (no-op if absent).
+    pub fn view_remove_edge(&mut self, u: VertexId, v: VertexId) {
+        if let Some(p) = self.adj[u as usize].iter().position(|&(x, _)| x == v) {
+            self.adj[u as usize].swap_remove(p);
+        }
+        if let Some(p) = self.adj[v as usize].iter().position(|&(x, _)| x == u) {
+            self.adj[v as usize].swap_remove(p);
+        }
+    }
+
+    /// Grows all capacity-indexed structures to `new_cap` slots.
+    pub fn extend_capacity(&mut self, new_cap: usize) {
+        if new_cap <= self.adj.len() {
+            return;
+        }
+        self.adj.resize(new_cap, Vec::new());
+        self.is_local.resize(new_cap, false);
+        self.dv.extend_cols(new_cap);
+        for row in self.ext_rows.values_mut() {
+            row.resize(new_cap, INF);
+        }
+        for row in self.sent_snapshot.values_mut() {
+            row.resize(new_cap, INF);
+        }
+    }
+
+    /// Applies a received boundary-row update: replaces or patches the cached
+    /// copy, then relaxes the adjacent local rows. Returns worklist seeds.
+    pub fn apply_row_update(&mut self, v: VertexId, update: RowUpdate) -> Vec<VertexId> {
+        match update {
+            RowUpdate::Full(row) => self.apply_external_row(v, row),
+            RowUpdate::Delta(delta) => {
+                let cap = self.adj.len();
+                let row = self
+                    .ext_rows
+                    .entry(v)
+                    .or_insert_with(|| vec![INF; cap]);
+                row.resize(cap, INF);
+                for &(col, val) in &delta {
+                    if val < row[col as usize] {
+                        row[col as usize] = val;
+                    }
+                }
+                let row = row.clone();
+                let mut seeds = Vec::new();
+                for &(u, w) in self.adj[v as usize].clone().iter() {
+                    if self.is_local[u as usize] && self.dv.relax_with_external(u, &row, w) {
+                        seeds.push(u);
+                        self.dirty.insert(u);
+                    }
+                }
+                seeds
+            }
+        }
+    }
+
+    /// Dijkstra from `source` restricted to the local sub-graph: local
+    /// vertices are expanded, external boundary vertices are reached but not
+    /// expanded. Returns a full-width distance row.
+    pub fn local_dijkstra(&self, source: VertexId) -> Vec<Weight> {
+        let mut dist = vec![INF; self.adj.len()];
+        dist[source as usize] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0u32, source)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            if !self.is_local[u as usize] {
+                continue; // external: reachable, not expandable
+            }
+            for &(v, w) in &self.adj[u as usize] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Local single-source shortest paths with the configured algorithm.
+    /// All variants treat external boundary vertices as reachable sinks.
+    pub fn local_sssp(&self, source: VertexId, algo: crate::config::IaAlgorithm) -> Vec<Weight> {
+        use crate::config::IaAlgorithm;
+        match algo {
+            IaAlgorithm::Dijkstra => self.local_dijkstra(source),
+            IaAlgorithm::DeltaStepping { delta } => self.local_delta_stepping(source, delta),
+            IaAlgorithm::BellmanFord => self.local_bellman_ford(source),
+        }
+    }
+
+    /// Δ-stepping restricted to the local sub-graph (see
+    /// [`aa_graph::centrality::delta_stepping`] for the sequential analogue).
+    pub fn local_delta_stepping(&self, source: VertexId, delta: Weight) -> Vec<Weight> {
+        assert!(delta >= 1, "delta must be at least 1");
+        let mut dist = vec![INF; self.adj.len()];
+        dist[source as usize] = 0;
+        let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
+        let mut bi = 0usize;
+        while bi < buckets.len() {
+            while let Some(v) = buckets[bi].pop() {
+                let dv = dist[v as usize];
+                if dv == INF || (dv / delta) as usize != bi {
+                    continue;
+                }
+                if !self.is_local[v as usize] {
+                    continue; // external boundary: reachable, not expandable
+                }
+                for &(u, w) in &self.adj[v as usize] {
+                    let nd = dv.saturating_add(w);
+                    if nd < dist[u as usize] {
+                        dist[u as usize] = nd;
+                        let b = (nd / delta) as usize;
+                        if buckets.len() <= b {
+                            buckets.resize(b + 1, Vec::new());
+                        }
+                        buckets[b].push(u);
+                    }
+                }
+            }
+            bi += 1;
+            while bi < buckets.len() && buckets[bi].is_empty() {
+                bi += 1;
+            }
+        }
+        dist
+    }
+
+    /// Bellman–Ford sweeps over the local edges to a fixed point.
+    pub fn local_bellman_ford(&self, source: VertexId) -> Vec<Weight> {
+        let mut dist = vec![INF; self.adj.len()];
+        dist[source as usize] = 0;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in 0..self.adj.len() {
+                if !self.is_local[v] || dist[v] == INF {
+                    continue;
+                }
+                for &(u, w) in &self.adj[v] {
+                    let nd = dist[v].saturating_add(w);
+                    if nd < dist[u as usize] {
+                        dist[u as usize] = nd;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Initial approximation: computes the local-sub-graph APSP rows for all
+    /// owned vertices (multithreaded over sources — the papers' OpenMP level)
+    /// and installs them as the distance vectors. Marks every row dirty.
+    pub fn initial_approximation(&mut self, algo: crate::config::IaAlgorithm) {
+        let sources: Vec<VertexId> = self.dv.vertices().to_vec();
+        let rows: Vec<(VertexId, Vec<Weight>)> = sources
+            .par_iter()
+            .map(|&s| (s, self.local_sssp(s, algo)))
+            .collect();
+        for (s, row) in rows {
+            let dst = self.dv.row_mut(s);
+            dst.copy_from_slice(&row[..dst.len()]);
+            self.dirty.insert(s);
+        }
+    }
+
+    /// Stores a received external boundary row and relaxes the adjacent local
+    /// rows. Returns the local vertices whose rows improved (worklist seeds).
+    pub fn apply_external_row(&mut self, v: VertexId, row: Vec<Weight>) -> Vec<VertexId> {
+        let mut seeds = Vec::new();
+        // The sender's column count can momentarily trail ours mid-batch;
+        // pad defensively.
+        let mut row = row;
+        row.resize(self.adj.len(), INF);
+        for &(u, w) in self.adj[v as usize].clone().iter() {
+            if self.is_local[u as usize] && self.dv.relax_with_external(u, &row, w) {
+                seeds.push(u);
+                self.dirty.insert(u);
+            }
+        }
+        self.ext_rows.insert(v, row);
+        seeds
+    }
+
+    /// Label-correcting propagation over local edges from the given seeds
+    /// until the local fixed point. Marks improved rows dirty. Returns
+    /// whether anything changed.
+    pub fn propagate_worklist(&mut self, seeds: Vec<VertexId>) -> bool {
+        let mut changed = false;
+        let mut queue: VecDeque<VertexId> = seeds.into();
+        let mut queued: HashSet<VertexId> = queue.iter().copied().collect();
+        while let Some(v) = queue.pop_front() {
+            queued.remove(&v);
+            for &(u, w) in self.adj[v as usize].clone().iter() {
+                if !self.is_local[u as usize] {
+                    continue;
+                }
+                if self.dv.relax_rows(u, v, w) {
+                    changed = true;
+                    self.dirty.insert(u);
+                    if queued.insert(u) {
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// The papers' Floyd–Warshall refinement variant: one pass relaxing every
+    /// owned row through every local *boundary* pivot (`D[u][*] = min(D[u][*],
+    /// D[u][l] + D[l][*])`). Marks improved rows dirty. Returns whether
+    /// anything changed.
+    pub fn pivot_pass(&mut self) -> bool {
+        let pivots: Vec<VertexId> = self
+            .dv
+            .vertices()
+            .iter()
+            .copied()
+            .filter(|&l| self.is_boundary(l))
+            .collect();
+        let rows: Vec<VertexId> = self.dv.vertices().to_vec();
+        let mut changed = false;
+        for &l in &pivots {
+            for &u in &rows {
+                if u == l {
+                    continue;
+                }
+                let offset = self.dv.row(u)[l as usize];
+                if offset != INF && self.dv.relax_rows(u, l, offset) {
+                    changed = true;
+                    self.dirty.insert(u);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Re-relaxes local vertex `u` through all cached external rows of its
+    /// external neighbours (used after deletion invalidation). Returns
+    /// whether the row improved.
+    pub fn relax_from_cache(&mut self, u: VertexId) -> bool {
+        let mut changed = false;
+        for &(b, w) in self.adj[u as usize].clone().iter() {
+            if self.is_local[b as usize] {
+                continue;
+            }
+            if let Some(row) = self.ext_rows.get(&b) {
+                let row = row.clone();
+                if self.dv.relax_with_external(u, &row, w) {
+                    changed = true;
+                    self.dirty.insert(u);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Min-merges a freshly computed local-Dijkstra row into `u`'s stored row
+    /// (used when reseeding after invalidation). Marks dirty on change.
+    pub fn merge_row_min(&mut self, u: VertexId, fresh: &[Weight]) -> bool {
+        let dst = self.dv.row_mut(u);
+        let mut changed = false;
+        for (d, &f) in dst.iter_mut().zip(fresh) {
+            if f < *d {
+                *d = f;
+                changed = true;
+            }
+        }
+        if changed {
+            self.dirty.insert(u);
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_graph::generators;
+    use aa_partition::{Partitioner, RoundRobinPartitioner};
+
+    /// Path 0-1-2-3 split as {0,1} | {2,3}.
+    fn split_path() -> (Graph, Partition, ProcState, ProcState) {
+        let g = generators::path(4);
+        let mut part = Partition::unassigned(4, 2);
+        part.assign(0, 0);
+        part.assign(1, 0);
+        part.assign(2, 1);
+        part.assign(3, 1);
+        let mut p0 = ProcState::new(0, 4);
+        let mut p1 = ProcState::new(1, 4);
+        p0.rebuild_view(&g, &part);
+        p1.rebuild_view(&g, &part);
+        for v in [0u32, 1] {
+            p0.dv.add_row(v);
+        }
+        for v in [2u32, 3] {
+            p1.dv.add_row(v);
+        }
+        (g, part, p0, p1)
+    }
+
+    #[test]
+    fn view_contains_local_and_boundary_edges() {
+        let (_, _, p0, p1) = split_path();
+        assert!(p0.is_local[0] && p0.is_local[1]);
+        assert!(!p0.is_local[2]);
+        // p0 sees edge 1-2 from both sides, but nothing about 2-3.
+        assert_eq!(p0.adj[1], vec![(0, 1), (2, 1)]);
+        assert_eq!(p0.adj[2], vec![(1, 1)]);
+        assert!(p0.adj[3].is_empty());
+        assert!(p1.adj[0].is_empty());
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let (_, part, p0, _) = split_path();
+        assert!(!p0.is_boundary(0));
+        assert!(p0.is_boundary(1));
+        assert_eq!(p0.neighbor_ranks(1, &part), vec![1]);
+        assert!(p0.neighbor_ranks(0, &part).is_empty());
+    }
+
+    #[test]
+    fn local_dijkstra_stops_at_external_vertices() {
+        let (_, _, p0, _) = split_path();
+        let d = p0.local_dijkstra(0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 2, "external boundary vertex is reachable");
+        assert_eq!(d[3], INF, "but not expanded");
+    }
+
+    #[test]
+    fn initial_approximation_fills_rows_and_dirties() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        assert_eq!(p0.dv.row(0), &[0, 1, 2, INF]);
+        assert_eq!(p0.dv.row(1), &[1, 0, 1, INF]);
+        assert_eq!(p0.dirty.len(), 2);
+    }
+
+    #[test]
+    fn external_row_application_relaxes_neighbors() {
+        let (_, _, mut p0, mut p1) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p1.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        // p1 sends row of vertex 2 to p0.
+        let row2 = p1.dv.row(2).to_vec();
+        p0.dirty.clear();
+        let seeds = p0.apply_external_row(2, row2);
+        assert_eq!(seeds, vec![1]);
+        assert_eq!(p0.dv.row(1), &[1, 0, 1, 2]);
+        // Worklist propagation carries it to vertex 0.
+        p0.propagate_worklist(seeds);
+        assert_eq!(p0.dv.row(0), &[0, 1, 2, 3]);
+        assert!(p0.dirty.contains(&0) && p0.dirty.contains(&1));
+    }
+
+    #[test]
+    fn pivot_pass_spreads_boundary_knowledge() {
+        let (_, _, mut p0, mut p1) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p1.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        let row2 = p1.dv.row(2).to_vec();
+        p0.apply_external_row(2, row2);
+        // Row 1 now knows d(1,3)=2; a pivot pass through boundary vertex 1
+        // must teach row 0.
+        assert!(p0.pivot_pass());
+        assert_eq!(p0.dv.row(0)[3], 3);
+        assert!(!p0.pivot_pass(), "second pass is a fixed point");
+    }
+
+    #[test]
+    fn view_edge_updates() {
+        let (_, _, mut p0, _) = split_path();
+        p0.view_add_edge(0, 3, 5); // 3 is external: recorded from both sides
+        assert!(p0.adj[0].contains(&(3, 5)));
+        assert!(p0.adj[3].contains(&(0, 5)));
+        p0.view_remove_edge(0, 3);
+        assert!(!p0.adj[0].contains(&(3, 5)));
+        assert!(p0.adj[3].is_empty());
+        // Edge fully external to this proc: ignored.
+        p0.view_add_edge(2, 3, 1);
+        assert!(p0.adj[2].iter().all(|&(x, _)| x != 3));
+    }
+
+    #[test]
+    fn extend_capacity_grows_everything() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p0.ext_rows.insert(2, vec![2, 1, 0, 1]);
+        p0.extend_capacity(6);
+        assert_eq!(p0.adj.len(), 6);
+        assert_eq!(p0.dv.col_count(), 6);
+        assert_eq!(p0.dv.row(0)[5], INF);
+        assert_eq!(p0.ext_rows[&2].len(), 6);
+    }
+
+    #[test]
+    fn relax_from_cache_uses_stored_rows() {
+        let (_, _, mut p0, mut p1) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p1.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        let row2 = p1.dv.row(2).to_vec();
+        p0.apply_external_row(2, row2);
+        // Wipe row 1's knowledge of vertex 3 and recover it from the cache.
+        p0.dv.row_mut(1)[3] = INF;
+        p0.dirty.clear();
+        assert!(p0.relax_from_cache(1));
+        assert_eq!(p0.dv.row(1)[3], 2);
+        assert!(p0.dirty.contains(&1));
+    }
+
+    #[test]
+    fn merge_row_min_takes_pointwise_minimum() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p0.dv.row_mut(0)[1] = INF;
+        assert!(p0.merge_row_min(0, &[9, 1, 9, 9]));
+        assert_eq!(p0.dv.row(0), &[0, 1, 2, 9]);
+        assert!(!p0.merge_row_min(0, &[9, 9, 9, 9]));
+    }
+
+    #[test]
+    fn diff_rows_reports_decreases_and_new_columns() {
+        assert_eq!(diff_rows(&[5, 3, INF], &[5, 2, INF]), vec![(1, 2)]);
+        assert_eq!(diff_rows(&[5], &[5, 7]), vec![(1, 7)], "grown column counts as new");
+        assert!(diff_rows(&[5, 3], &[5, 3]).is_empty());
+    }
+
+    #[test]
+    fn row_update_bytes() {
+        assert_eq!(RowUpdate::Full(vec![1, 2, 3]).bytes(), 4 + 12);
+        assert_eq!(RowUpdate::Delta(vec![(0, 1), (5, 2)]).bytes(), 4 + 16);
+    }
+
+    #[test]
+    fn first_send_is_full_then_delta() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        let upd = p0.build_row_update(1, 1).unwrap();
+        assert!(matches!(upd, RowUpdate::Full(_)));
+        p0.record_sent(1, &[1]);
+        assert!(p0.build_row_update(1, 1).is_none(), "unchanged row sends nothing");
+        // Improve one entry: next update is a one-entry delta.
+        p0.dv.row_mut(1)[3] = 2;
+        match p0.build_row_update(1, 1).unwrap() {
+            RowUpdate::Delta(d) => assert_eq!(d, vec![(3, 2)]),
+            other => panic!("expected delta, got {other:?}"),
+        }
+        // A new destination still gets the full row.
+        assert!(matches!(p0.build_row_update(1, 0).unwrap(), RowUpdate::Full(_)));
+    }
+
+    #[test]
+    fn record_sent_drops_missed_destinations() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p0.record_sent(1, &[1, 0]);
+        p0.dv.row_mut(1)[3] = 2;
+        p0.record_sent(1, &[1]); // rank 0 missed this update
+        assert!(
+            matches!(p0.build_row_update(1, 0).unwrap(), RowUpdate::Full(_)),
+            "a rank that missed an update must get a full row"
+        );
+        assert!(p0.build_row_update(1, 1).is_none());
+    }
+
+    #[test]
+    fn apply_delta_patches_cache_and_relaxes() {
+        let (_, _, mut p0, mut p1) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p1.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        let row2 = p1.dv.row(2).to_vec();
+        p0.apply_external_row(2, row2);
+        // p1 learns d(2,0) = 2 and ships only the delta.
+        p1.dv.row_mut(2)[0] = 2;
+        let seeds = p0.apply_row_update(2, RowUpdate::Delta(vec![(0, 2)]));
+        assert_eq!(p0.ext_rows[&2][0], 2);
+        assert_eq!(seeds, Vec::<VertexId>::new(), "no local row improves from this");
+        // A useful delta: d(2,3) drops to 1 (already known) then d(2,3)=0 fake
+        // improvement must relax local vertex 1.
+        let seeds = p0.apply_row_update(2, RowUpdate::Delta(vec![(3, 0)]));
+        assert_eq!(seeds, vec![1]);
+        assert_eq!(p0.dv.row(1)[3], 1);
+    }
+
+    #[test]
+    fn apply_delta_without_cache_starts_from_inf() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        let seeds = p0.apply_row_update(2, RowUpdate::Delta(vec![(3, 1)]));
+        assert_eq!(p0.ext_rows[&2][3], 1);
+        assert_eq!(p0.ext_rows[&2][0], INF);
+        assert_eq!(seeds, vec![1], "local 1 learns d(1,3) = 2");
+        assert_eq!(p0.dv.row(1)[3], 2);
+    }
+
+    #[test]
+    fn reset_send_state_forces_full_rows() {
+        let (_, _, mut p0, _) = split_path();
+        p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
+        p0.record_sent(1, &[1]);
+        p0.reset_send_state();
+        assert!(matches!(p0.build_row_update(1, 1).unwrap(), RowUpdate::Full(_)));
+    }
+
+    #[test]
+    fn rebuild_view_with_real_partitioner() {
+        let g = generators::barabasi_albert(60, 2, 1, 3);
+        let part = RoundRobinPartitioner.partition(&g, 4);
+        for rank in 0..4 {
+            let mut ps = ProcState::new(rank, g.capacity());
+            ps.rebuild_view(&g, &part);
+            // Every local vertex has its full world adjacency.
+            for v in g.vertices() {
+                if part.part_of(v) == Some(rank) {
+                    assert_eq!(ps.adj[v as usize].len(), g.degree(v));
+                }
+            }
+        }
+    }
+}

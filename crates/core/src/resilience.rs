@@ -1,0 +1,208 @@
+//! Processor-failure injection and anytime recovery — the papers' second
+//! named future-work item ("investigate anytime anywhere methodologies to
+//! handle issues such as fault tolerance in the cloud").
+//!
+//! The failure model is a cloud-style node replacement: one virtual
+//! processor loses its entire state (distance vectors, caches, delta
+//! baselines) and is replaced by a blank node with the same rank and the same
+//! sub-graph assignment. Recovery leans on the anytime property instead of a
+//! global restart:
+//!
+//! 1. the replacement rebuilds its sub-graph view and reseeds its rows from
+//!    local SSSP (the initial-approximation step, but only for one rank);
+//! 2. every *surviving* processor forgets the failed rank in its delta
+//!    baselines (the replacement's caches are gone, so deltas would
+//!    under-inform it) and marks its rows that border the failed rank dirty,
+//!    forcing full boundary rows to flow back in;
+//! 3. ordinary recombination steps reconverge — surviving partial results are
+//!    reused untouched.
+
+use crate::engine::AnytimeEngine;
+use aa_logp::Phase;
+use std::time::Instant;
+
+/// What a failure+recovery cost, for comparisons against a full restart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Rows the replacement node reseeded from local SSSP.
+    pub reseeded_rows: usize,
+    /// Surviving boundary rows re-marked dirty for full resend.
+    pub resent_rows: usize,
+}
+
+impl AnytimeEngine {
+    /// Kills processor `rank` and immediately brings up a blank replacement
+    /// with the same rank and vertex assignment, then runs the anytime
+    /// recovery protocol described in the module docs. The engine is left
+    /// unconverged; subsequent recombination steps restore exactness.
+    pub fn fail_and_recover_processor(&mut self, rank: usize) -> RecoveryReport {
+        assert!(self.initialized, "call initialize() first");
+        assert!(rank < self.config.num_procs, "rank {rank} out of range");
+
+        // --- the crash: all of `rank`'s state is lost ---------------------
+        let owned: Vec<_> = self.partition.members()[rank].clone();
+        let cap = self.world.capacity();
+        let mut fresh = crate::proc_state::ProcState::new(rank, cap);
+        fresh.rebuild_view(&self.world, &self.partition);
+        for &v in &owned {
+            fresh.dv.add_row(v);
+        }
+        self.procs[rank] = fresh;
+
+        // --- replacement node: local re-approximation of its own rows -----
+        let t = Instant::now();
+        self.procs[rank].initial_approximation(self.config.ia);
+        self.cluster
+            .compute_measured(rank, Phase::InitialApproximation, t.elapsed());
+
+        // --- survivors: downgrade the failed rank to full-row sends and
+        //     re-dirty everything it borders -------------------------------
+        let mut resent = 0usize;
+        for survivor in 0..self.config.num_procs {
+            if survivor == rank {
+                continue;
+            }
+            let t = Instant::now();
+            let ps = &mut self.procs[survivor];
+            for u in ps.dv.vertices().to_vec() {
+                let borders_failed = ps.adj[u as usize]
+                    .iter()
+                    .any(|&(v, _)| self.partition.part_of(v) == Some(rank));
+                if borders_failed {
+                    ps.dirty.insert(u);
+                    resent += 1;
+                }
+                if let Some(s) = ps.sent_to.get_mut(&u) {
+                    s.remove(&rank);
+                }
+            }
+            // Cached rows owned by the failed rank are stale only in the
+            // harmless direction (they reflect pre-crash values, which were
+            // valid upper bounds of an unchanged graph) — they stay.
+            self.cluster
+                .compute_measured(survivor, Phase::DynamicUpdate, t.elapsed());
+        }
+        self.cluster.barrier();
+        self.converged = false;
+        RecoveryReport {
+            reseeded_rows: owned.len(),
+            resent_rows: resent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::strategy::AdditionStrategy;
+    use crate::dynamic::{Endpoint, VertexBatch};
+    use aa_graph::{algo, generators};
+
+    fn engine(n: usize, p: usize, seed: u64) -> AnytimeEngine {
+        let g = generators::barabasi_albert(n, 2, 2, seed);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: p,
+                seed,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e
+    }
+
+    fn assert_oracle(e: &AnytimeEngine) {
+        let dense = e.distances_dense();
+        let oracle = algo::apsp_dijkstra(e.graph());
+        for v in e.graph().vertices() {
+            assert_eq!(dense[v as usize], oracle[v as usize], "row {v}");
+        }
+    }
+
+    #[test]
+    fn recovery_restores_exactness() {
+        let mut e = engine(80, 4, 3);
+        e.run_to_convergence(64);
+        let report = e.fail_and_recover_processor(2);
+        assert!(report.reseeded_rows > 0);
+        assert!(!e.is_converged());
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recovery_mid_run_still_converges() {
+        let mut e = engine(70, 4, 5);
+        e.rc_step(); // crash before the static analysis finished
+        e.fail_and_recover_processor(0);
+        e.run_to_convergence(64);
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn cascading_failures_survive() {
+        let mut e = engine(60, 4, 7);
+        e.run_to_convergence(64);
+        for rank in [0usize, 1, 2, 3, 1] {
+            e.fail_and_recover_processor(rank);
+            e.rc_step();
+        }
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn failure_interleaved_with_dynamic_updates() {
+        let mut e = engine(60, 4, 9);
+        e.run_to_convergence(64);
+        let mut batch = VertexBatch::new(3);
+        batch.connect(0, Endpoint::Existing(5), 1);
+        batch.connect(1, Endpoint::New(0), 1);
+        batch.connect(2, Endpoint::Existing(10), 2);
+        e.add_vertices(&batch, AdditionStrategy::CutEdgePs);
+        e.rc_step();
+        e.fail_and_recover_processor(3);
+        e.rc_step();
+        e.add_edge(0, 40, 1);
+        e.run_to_convergence(96);
+        assert!(e.is_converged());
+        assert_oracle(&e);
+        e.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recovery_is_cheaper_than_restart() {
+        // Compare recombination bytes after a crash: anytime recovery only
+        // re-floods the failed neighbourhood; a restart re-floods everything.
+        let mut recovered = engine(100, 4, 11);
+        recovered.run_to_convergence(64);
+        let before = recovered.cluster().ledger().totals().bytes;
+        recovered.fail_and_recover_processor(1);
+        recovered.run_to_convergence(64);
+        let recovery_bytes = recovered.cluster().ledger().totals().bytes - before;
+
+        let mut restarted = engine(100, 4, 11);
+        restarted.run_to_convergence(64);
+        let before = restarted.cluster().ledger().totals().bytes;
+        restarted.add_vertices(&VertexBatch::new(0), AdditionStrategy::BaselineRestart);
+        restarted.run_to_convergence(64);
+        let restart_bytes = restarted.cluster().ledger().totals().bytes - before;
+
+        assert!(
+            recovery_bytes < restart_bytes,
+            "recovery ({recovery_bytes} B) must move fewer bytes than a restart ({restart_bytes} B)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_rank_rejected() {
+        let mut e = engine(20, 2, 13);
+        e.fail_and_recover_processor(5);
+    }
+}

@@ -1,0 +1,306 @@
+//! Random and deterministic graph generators.
+//!
+//! The papers evaluate on undirected *scale-free* graphs generated with Pajek
+//! and extract community-structured batches of new vertices with Louvain. The
+//! generators here reproduce those statistical families from scratch:
+//! Barabási–Albert preferential attachment (scale-free), planted-partition
+//! (explicit community structure), Erdős–Rényi and Watts–Strogatz for
+//! contrast, and small deterministic fixtures for tests.
+//!
+//! All generators take an explicit seed and are deterministic for a given
+//! (seed, parameters) pair, which the test suite relies on.
+
+use crate::graph::{Graph, VertexId, Weight};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Draws a weight in `1..=max_weight` (uniform). `max_weight == 1` yields an
+/// unweighted graph, matching the papers' experiments.
+fn draw_weight<R: Rng>(r: &mut R, max_weight: Weight) -> Weight {
+    if max_weight <= 1 {
+        1
+    } else {
+        r.gen_range(1..=max_weight)
+    }
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m` existing vertices chosen with probability
+/// proportional to degree. Produces the scale-free degree distribution the
+/// papers assume (`max cut-edges per boundary vertex ≈ O(log n)`).
+///
+/// ```
+/// let g = aa_graph::generators::barabasi_albert(500, 2, 1, 42);
+/// assert_eq!(g.vertex_count(), 500);
+/// assert_eq!(g.edge_count(), 3 + 497 * 2); // seed clique + m per newcomer
+/// ```
+///
+/// # Panics
+/// Panics if `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, max_weight: Weight, seed: u64) -> Graph {
+    assert!(m >= 1, "barabasi_albert: m must be >= 1");
+    assert!(n > m, "barabasi_albert: need n > m");
+    let mut r = rng(seed);
+    let mut g = Graph::with_vertices(n);
+    // Repeated-endpoints list: vertex v appears deg(v) times; sampling from it
+    // is sampling proportional to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on the first m+1 vertices.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            g.add_edge(u, v, draw_weight(&mut r, max_weight));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    for v in (m + 1)..n {
+        let v = v as VertexId;
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            g.add_edge(v, t, draw_weight(&mut r, max_weight));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct uniformly random edges.
+pub fn erdos_renyi_gnm(n: usize, m: usize, max_weight: Weight, seed: u64) -> Graph {
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "erdos_renyi_gnm: m exceeds n*(n-1)/2");
+    let mut r = rng(seed);
+    let mut g = Graph::with_vertices(n);
+    while g.edge_count() < m {
+        let u = r.gen_range(0..n) as VertexId;
+        let v = r.gen_range(0..n) as VertexId;
+        if u != v {
+            g.add_edge(u, v, draw_weight(&mut r, max_weight));
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world: ring lattice with `k` nearest neighbours per
+/// side, each edge rewired with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, max_weight: Weight, seed: u64) -> Graph {
+    assert!(k >= 1 && 2 * k < n, "watts_strogatz: need 1 <= k and 2k < n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut r = rng(seed);
+    let mut g = Graph::with_vertices(n);
+    for u in 0..n {
+        for d in 1..=k {
+            let v = (u + d) % n;
+            let (mut a, mut b) = (u as VertexId, v as VertexId);
+            if r.gen_bool(beta) {
+                // Rewire the far endpoint to a uniform random vertex.
+                let mut nv = r.gen_range(0..n) as VertexId;
+                let mut attempts = 0;
+                while (nv == a || g.has_edge(a, nv)) && attempts < 32 {
+                    nv = r.gen_range(0..n) as VertexId;
+                    attempts += 1;
+                }
+                b = nv;
+            }
+            if a != b {
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                g.add_edge(a, b, draw_weight(&mut r, max_weight));
+            }
+        }
+    }
+    g
+}
+
+/// Planted-partition ("community") graph: `communities` groups of
+/// `community_size` vertices; each intra-community pair is connected with
+/// probability `p_in`, each inter-community pair with probability `p_out`.
+/// With `p_in >> p_out` this produces the strong community structure the
+/// CutEdge-PS experiments depend on.
+pub fn planted_partition(
+    communities: usize,
+    community_size: usize,
+    p_in: f64,
+    p_out: f64,
+    max_weight: Weight,
+    seed: u64,
+) -> Graph {
+    assert!(communities >= 1 && community_size >= 1);
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let n = communities * community_size;
+    let mut r = rng(seed);
+    let mut g = Graph::with_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = u / community_size == v / community_size;
+            let p = if same { p_in } else { p_out };
+            if r.gen_bool(p) {
+                g.add_edge(u as VertexId, v as VertexId, draw_weight(&mut r, max_weight));
+            }
+        }
+    }
+    g
+}
+
+/// Ground-truth community of each vertex for [`planted_partition`] output.
+pub fn planted_partition_labels(communities: usize, community_size: usize) -> Vec<usize> {
+    (0..communities * community_size)
+        .map(|v| v / community_size)
+        .collect()
+}
+
+/// A path graph `0 - 1 - … - (n-1)` with unit weights.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_vertices(n);
+    for u in 1..n {
+        g.add_edge((u - 1) as VertexId, u as VertexId, 1);
+    }
+    g
+}
+
+/// A cycle graph with unit weights.
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n >= 3 {
+        g.add_edge(0, (n - 1) as VertexId, 1);
+    }
+    g
+}
+
+/// A star graph: vertex 0 connected to all others with unit weights.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::with_vertices(n);
+    for v in 1..n {
+        g.add_edge(0, v as VertexId, 1);
+    }
+    g
+}
+
+/// The complete graph `K_n` with unit weights.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_vertices(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u as VertexId, v as VertexId, 1);
+        }
+    }
+    g
+}
+
+/// A `rows x cols` grid with unit weights.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::with_vertices(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), 1);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::connected_components;
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(200, 3, 1, 42);
+        assert_eq!(g.vertex_count(), 200);
+        // Seed clique K4 has 6 edges; each of the remaining 196 vertices adds 3.
+        assert_eq!(g.edge_count(), 6 + 196 * 3);
+        g.check_invariants().unwrap();
+        assert_eq!(connected_components(&g).1, 1, "BA graphs are connected");
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic() {
+        let a = barabasi_albert(100, 2, 4, 7);
+        let b = barabasi_albert(100, 2, 4, 7);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn barabasi_albert_is_scale_free_ish() {
+        // Degree skew: max degree far exceeds the average.
+        let g = barabasi_albert(1000, 2, 1, 1);
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.edge_count() as f64 / g.vertex_count() as f64;
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "expected heavy-tailed degrees: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(50, 200, 3, 9);
+        assert_eq!(g.vertex_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn watts_strogatz_no_rewire_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1, 5);
+        assert_eq!(g.edge_count(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_still_valid() {
+        let g = watts_strogatz(100, 3, 0.3, 2, 11);
+        g.check_invariants().unwrap();
+        assert!(g.edge_count() <= 300);
+        assert!(g.edge_count() > 250, "only a few rewires may collide");
+    }
+
+    #[test]
+    fn planted_partition_structure() {
+        let g = planted_partition(4, 25, 0.5, 0.01, 1, 3);
+        g.check_invariants().unwrap();
+        let labels = planted_partition_labels(4, 25);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v, _) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter, "intra {intra} should dwarf inter {inter}");
+    }
+
+    #[test]
+    fn deterministic_fixtures() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(grid(3, 4).edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(cycle(2).edge_count(), 1, "cycle(2) degenerates to an edge");
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-processor virtual clocks under the LogP model.
+//!
+//! The simulated cluster advances one clock per processor plus a shared
+//! network clock. Compute is charged to a single processor; transfers occupy
+//! the sender, the (serialized) network, and the receiver per the LogP
+//! parameters. The *makespan* — the maximum clock — is the reproduction's
+//! "cluster time", the quantity the paper's figures plot in minutes.
+
+use crate::params::LogPParams;
+
+/// Virtual clocks for `P` processors and one serialized network.
+#[derive(Debug, Clone)]
+pub struct VirtualClocks {
+    proc_us: Vec<f64>,
+    network_us: f64,
+}
+
+impl VirtualClocks {
+    /// Creates clocks for `p` processors, all at time 0.
+    pub fn new(p: usize) -> Self {
+        VirtualClocks {
+            proc_us: vec![0.0; p],
+            network_us: 0.0,
+        }
+    }
+
+    /// Number of processors.
+    pub fn proc_count(&self) -> usize {
+        self.proc_us.len()
+    }
+
+    /// Current time of processor `p` (µs).
+    pub fn proc_time_us(&self, p: usize) -> f64 {
+        self.proc_us[p]
+    }
+
+    /// Charges `us` microseconds of local computation to processor `p`.
+    pub fn compute(&mut self, p: usize, us: f64) {
+        debug_assert!(us >= 0.0);
+        self.proc_us[p] += us;
+    }
+
+    /// Charges a `bytes`-byte transfer from `src` to `dst` over the
+    /// *serialized* network (the paper's schedule: one message in flight at a
+    /// time). The transfer starts when both the sender is free and the
+    /// network is idle.
+    pub fn transfer_serialized(&mut self, src: usize, dst: usize, bytes: usize, p: &LogPParams) {
+        let start = self.proc_us[src].max(self.network_us);
+        let sender_busy = p.sender_busy_us(bytes);
+        self.proc_us[src] = start + sender_busy;
+        // The network is occupied while bytes are in flight.
+        self.network_us = start + sender_busy + p.latency_us;
+        let arrival = start + sender_busy + p.latency_us + p.overhead_us;
+        self.proc_us[dst] = self.proc_us[dst].max(arrival);
+    }
+
+    /// Charges a transfer that does **not** contend on the shared network
+    /// (round-based schedules where each processor talks to one distinct
+    /// partner; links are independent).
+    pub fn transfer_concurrent(&mut self, src: usize, dst: usize, bytes: usize, p: &LogPParams) {
+        let start = self.proc_us[src];
+        let sender_busy = p.sender_busy_us(bytes);
+        self.proc_us[src] = start + sender_busy;
+        let arrival = start + sender_busy + p.latency_us + p.overhead_us;
+        self.proc_us[dst] = self.proc_us[dst].max(arrival);
+    }
+
+    /// Barrier: all processors (and the network) advance to the global max.
+    pub fn barrier(&mut self) {
+        let max = self.makespan_us();
+        for t in &mut self.proc_us {
+            *t = max;
+        }
+        self.network_us = self.network_us.max(max);
+    }
+
+    /// The cluster makespan: maximum processor clock (µs).
+    pub fn makespan_us(&self) -> f64 {
+        self.proc_us.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum of all processor clocks (µs): total busy+wait time, a resource-
+    /// usage metric.
+    pub fn total_us(&self) -> f64 {
+        self.proc_us.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LogPParams {
+        LogPParams {
+            latency_us: 10.0,
+            overhead_us: 1.0,
+            gap_us: 2.0,
+            gap_per_byte_us: 0.01,
+            max_msg_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn compute_advances_one_proc() {
+        let mut c = VirtualClocks::new(3);
+        c.compute(1, 5.0);
+        assert_eq!(c.proc_time_us(0), 0.0);
+        assert_eq!(c.proc_time_us(1), 5.0);
+        assert_eq!(c.makespan_us(), 5.0);
+        assert_eq!(c.total_us(), 5.0);
+    }
+
+    #[test]
+    fn serialized_transfers_contend_on_network() {
+        let p = params();
+        let mut c = VirtualClocks::new(4);
+        // Two transfers from different senders must serialize.
+        c.transfer_serialized(0, 1, 100, &p);
+        let net_after_first = c.proc_time_us(1);
+        c.transfer_serialized(2, 3, 100, &p);
+        // Second sender was free at t=0 but network was busy.
+        assert!(
+            c.proc_time_us(3) > net_after_first,
+            "second transfer must wait for the network"
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_do_not_contend() {
+        let p = params();
+        let mut c1 = VirtualClocks::new(4);
+        c1.transfer_concurrent(0, 1, 100, &p);
+        c1.transfer_concurrent(2, 3, 100, &p);
+        // Both receivers see the same arrival time.
+        assert_eq!(c1.proc_time_us(1), c1.proc_time_us(3));
+    }
+
+    #[test]
+    fn receiver_waits_for_arrival_not_before() {
+        let p = params();
+        let mut c = VirtualClocks::new(2);
+        c.compute(1, 1000.0); // receiver already busy past arrival
+        c.transfer_serialized(0, 1, 10, &p);
+        assert_eq!(c.proc_time_us(1), 1000.0, "arrival before busy end is free");
+    }
+
+    #[test]
+    fn barrier_levels_clocks() {
+        let mut c = VirtualClocks::new(3);
+        c.compute(0, 3.0);
+        c.compute(2, 9.0);
+        c.barrier();
+        for p in 0..3 {
+            assert_eq!(c.proc_time_us(p), 9.0);
+        }
+    }
+
+    #[test]
+    fn multi_message_transfer_charges_gaps() {
+        let p = params(); // 1000-byte messages
+        let mut c = VirtualClocks::new(2);
+        c.transfer_serialized(0, 1, 2500, &p); // 3 messages
+        let expected_sender = p.overhead_us + 2.0 * p.gap_us + 2500.0 * p.gap_per_byte_us;
+        assert!((c.proc_time_us(0) - expected_sender).abs() < 1e-9);
+        let expected_arrival = expected_sender + p.latency_us + p.overhead_us;
+        assert!((c.proc_time_us(1) - expected_arrival).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! Communication schedules.
+//!
+//! The papers use a *personalized all-to-all* schedule in which "only one
+//! message traverses the network at any given time … Although our
+//! communication schedule takes Θ(P²) steps for P processors, it mitigates
+//! network flooding." [`serialized_all_to_all`] reproduces that schedule.
+//! [`one_factorization`] is the classic P−1-round tournament alternative used
+//! in ablations, and [`tree_broadcast`] is the binomial-tree broadcast used to
+//! distribute distance-vector rows during edge additions.
+
+/// The paper's serialized personalized all-to-all: every ordered pair `(src,
+/// dst)` with `src != dst`, in an order that cycles senders so no processor
+/// monopolizes the network. Exactly `P·(P−1)` transfers; at most one in
+/// flight at a time.
+pub fn serialized_all_to_all(p: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(p.saturating_sub(1) * p);
+    for offset in 1..p {
+        for src in 0..p {
+            out.push((src, (src + offset) % p));
+        }
+    }
+    out
+}
+
+/// Round-based pairwise exchange via the circle method (round-robin
+/// tournament): `P−1` rounds for even `P`, `P` rounds (one bye each) for odd
+/// `P`. In each round every processor is in at most one pair, and over all
+/// rounds every unordered pair meets exactly once. Each pair performs a
+/// bidirectional exchange within its round.
+pub fn one_factorization(p: usize) -> Vec<Vec<(usize, usize)>> {
+    if p < 2 {
+        return Vec::new();
+    }
+    // Circle method on n = p (even) or p+1 (odd, extra index = bye).
+    let n = if p.is_multiple_of(2) { p } else { p + 1 };
+    let mut rounds = Vec::with_capacity(n - 1);
+    let mut ring: Vec<usize> = (1..n).collect(); // index 0 is fixed
+    for _ in 0..n - 1 {
+        let mut pairs = Vec::with_capacity(n / 2);
+        let a = 0usize;
+        let b = ring[n - 2];
+        if a < p && b < p {
+            pairs.push((a.min(b), a.max(b)));
+        }
+        for i in 0..(n / 2 - 1) {
+            let x = ring[i];
+            let y = ring[n - 3 - i];
+            if x < p && y < p {
+                pairs.push((x.min(y), x.max(y)));
+            }
+        }
+        rounds.push(pairs);
+        ring.rotate_right(1);
+    }
+    rounds
+}
+
+/// Binomial-tree broadcast from `root`: returns rounds of `(src, dst)`
+/// transfers; in round `r` every processor that already holds the data and
+/// has a partner `2^r` away (in root-relative rank space) forwards it.
+/// `ceil(log2 P)` rounds.
+pub fn tree_broadcast(p: usize, root: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(root < p, "root {root} out of range for {p} processors");
+    let mut rounds = Vec::new();
+    let mut span = 1usize;
+    while span < p {
+        let mut pairs = Vec::new();
+        for rank in 0..span.min(p) {
+            let dst_rank = rank + span;
+            if dst_rank < p {
+                pairs.push(((rank + root) % p, (dst_rank + root) % p));
+            }
+        }
+        rounds.push(pairs);
+        span *= 2;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn serialized_covers_all_ordered_pairs_once() {
+        for p in [2usize, 3, 4, 7, 16] {
+            let sched = serialized_all_to_all(p);
+            assert_eq!(sched.len(), p * (p - 1));
+            let set: HashSet<_> = sched.iter().copied().collect();
+            assert_eq!(set.len(), p * (p - 1), "duplicates for p={p}");
+            assert!(sched.iter().all(|&(s, d)| s != d && s < p && d < p));
+        }
+    }
+
+    #[test]
+    fn serialized_trivial_cases() {
+        assert!(serialized_all_to_all(0).is_empty());
+        assert!(serialized_all_to_all(1).is_empty());
+    }
+
+    #[test]
+    fn one_factorization_is_valid() {
+        for p in [2usize, 3, 4, 5, 8, 16, 17] {
+            let rounds = one_factorization(p);
+            let expected_rounds = if p % 2 == 0 { p - 1 } else { p };
+            assert_eq!(rounds.len(), expected_rounds, "p={p}");
+            let mut seen = HashSet::new();
+            for round in &rounds {
+                let mut used = HashSet::new();
+                for &(a, b) in round {
+                    assert!(a < b && b < p);
+                    assert!(used.insert(a), "p={p}: {a} busy twice in a round");
+                    assert!(used.insert(b), "p={p}: {b} busy twice in a round");
+                    assert!(seen.insert((a, b)), "p={p}: pair ({a},{b}) repeated");
+                }
+            }
+            assert_eq!(seen.len(), p * (p - 1) / 2, "p={p}: pairs missing");
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone() {
+        for p in [1usize, 2, 3, 8, 13, 16] {
+            for root in [0, p - 1] {
+                let rounds = tree_broadcast(p, root);
+                let mut have: HashSet<usize> = HashSet::from([root]);
+                for round in &rounds {
+                    let snapshot = have.clone();
+                    for &(s, d) in round {
+                        assert!(snapshot.contains(&s), "p={p}: {s} sends before it has data");
+                        assert!(!snapshot.contains(&d), "p={p}: {d} receives twice");
+                        have.insert(d);
+                    }
+                }
+                assert_eq!(have.len(), p, "p={p} root={root}: broadcast incomplete");
+                let log2 = (p as f64).log2().ceil() as usize;
+                assert_eq!(rounds.len(), log2, "p={p}: round count");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_parallelism() {
+        // In every round no processor appears in more than one pair.
+        let rounds = tree_broadcast(16, 5);
+        for round in rounds {
+            let mut used = HashSet::new();
+            for (s, d) in round {
+                assert!(used.insert(s));
+                assert!(used.insert(d));
+            }
+        }
+    }
+}

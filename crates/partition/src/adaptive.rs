@@ -1,0 +1,535 @@
+//! Adaptive (stability-aware) repartitioning — the ParMETIS adaptive-
+//! repartition substitute.
+//!
+//! The papers' Repartition-S strategy repartitions the grown graph and then
+//! migrates the partial results of every relocated vertex; the repartitioner
+//! they reuse (ParMETIS) minimizes *migration* as well as cut when invoked
+//! adaptively. [`AdaptiveRefine`] reproduces that contract: it starts from
+//! the current assignment, places unassigned (new) vertices by neighbour
+//! affinity under the balance constraint, and then runs bounded FM boundary
+//! refinement. Vertices move only when the refinement finds a cut gain, so
+//! migration volume stays proportional to how much the graph actually
+//! changed.
+
+use crate::multilevel::{build_base, contract, refine_pass};
+use crate::partition::Partition;
+use aa_graph::{Graph, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// ParMETIS-style adaptive multilevel repartitioning: coarsen the grown
+/// graph with heavy-edge matching, **project the current partition** onto the
+/// coarsest level (weighted majority per coarse vertex), then refine on the
+/// way back up. Produces multilevel-quality cuts while moving only the
+/// vertices the refinement actually wants to move — the scheme ParMETIS uses
+/// when invoked for repartitioning, which the papers' Repartition-S relies
+/// on.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMultilevel {
+    /// Allowed imbalance ε.
+    pub epsilon: f64,
+    /// Coarsening stops at `max(coarse_factor · k, 200)` vertices.
+    pub coarse_factor: usize,
+    /// FM refinement passes per level.
+    pub refine_passes: usize,
+    /// Seed for the randomized matching order.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveMultilevel {
+    fn default() -> Self {
+        AdaptiveMultilevel {
+            epsilon: 0.10,
+            coarse_factor: 30,
+            refine_passes: 4,
+            seed: 0xADA9,
+        }
+    }
+}
+
+impl AdaptiveMultilevel {
+    /// Repartitions `g` into `k` parts starting from `current`.
+    pub fn repartition(&self, g: &Graph, current: &Partition, k: usize) -> Partition {
+        assert!(k >= 1);
+        let mut out = Partition::unassigned(g.capacity(), k);
+        let n = g.vertex_count();
+        if n == 0 {
+            return out;
+        }
+        let max_weight = ((n as f64 / k as f64) * (1.0 + self.epsilon)).ceil().max(1.0) as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let (base, orig_of) = build_base(g);
+
+        // Seed assignment at the finest level from `current`; unassigned
+        // (new) vertices inherit by neighbour affinity during projection —
+        // here they start unlabelled and are fixed after coarsening.
+        let mut fine_part: Vec<usize> = orig_of
+            .iter()
+            .map(|&v| current.part_of(v).filter(|&p| p < k).unwrap_or(usize::MAX))
+            .collect();
+
+        // Coarsen with *label-constrained* heavy-edge matching (only
+        // same-label or unlabelled vertices merge, as ParMETIS does when
+        // repartitioning), so the current partition projects exactly onto
+        // every level of the hierarchy.
+        let stop_at = (self.coarse_factor * k).max(200);
+        let mut levels = vec![base];
+        let mut part = fine_part.clone();
+        while levels.last().unwrap().n() > stop_at {
+            let last = levels.last().unwrap();
+            let matched = labeled_matching(last, &part, &mut rng);
+            let next = contract(last, &matched);
+            if next.n() as f64 > 0.95 * last.n() as f64 {
+                break;
+            }
+            // Project labels exactly (label-pure coarse vertices).
+            let mut coarse_part = vec![usize::MAX; next.n()];
+            for (fine_v, &lbl) in part.iter().enumerate() {
+                let c = next.coarse_of[fine_v] as usize;
+                if lbl != usize::MAX {
+                    debug_assert!(coarse_part[c] == usize::MAX || coarse_part[c] == lbl);
+                    coarse_part[c] = lbl;
+                }
+            }
+            part = coarse_part;
+            levels.push(next);
+        }
+
+        // Fix unlabelled coarse vertices (all-new regions): lightest part.
+        {
+            let coarsest = levels.last().unwrap();
+            let mut weight = vec![0u64; k];
+            for (v, &lbl) in part.iter().enumerate() {
+                if lbl != usize::MAX {
+                    weight[lbl] += coarsest.vw[v];
+                }
+            }
+            for (v, lbl) in part.iter_mut().enumerate() {
+                if *lbl == usize::MAX {
+                    let p = (0..k).min_by_key(|&p| weight[p]).expect("k >= 1");
+                    *lbl = p;
+                    weight[p] += coarsest.vw[v];
+                }
+            }
+        }
+
+        // Repair any imbalance (growth may have landed unevenly), then refine
+        // on the way back up.
+        balance_pass(levels.last().unwrap(), &mut part, k, max_weight);
+        for _ in 0..self.refine_passes {
+            if !refine_pass(levels.last().unwrap(), &mut part, k, max_weight) {
+                break;
+            }
+        }
+        for li in (1..levels.len()).rev() {
+            let fine = &levels[li - 1];
+            let coarse_of = &levels[li].coarse_of;
+            let mut projected = vec![0usize; fine.n()];
+            for v in 0..fine.n() {
+                projected[v] = part[coarse_of[v] as usize];
+            }
+            balance_pass(fine, &mut projected, k, max_weight);
+            for _ in 0..self.refine_passes {
+                if !refine_pass(fine, &mut projected, k, max_weight) {
+                    break;
+                }
+            }
+            part = projected;
+        }
+        fine_part.copy_from_slice(&part);
+
+        for (d, &v) in orig_of.iter().enumerate() {
+            out.assign(v, fine_part[d]);
+        }
+        out
+    }
+}
+
+/// Heavy-edge matching restricted to same-label (or unlabelled) pairs, so
+/// coarse vertices never mix partitions.
+fn labeled_matching(
+    level: &crate::multilevel::Level,
+    part: &[usize],
+    rng: &mut ChaCha8Rng,
+) -> Vec<u32> {
+    use rand::seq::SliceRandom;
+    let n = level.n();
+    let mut matched = vec![u32::MAX; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    for &v in &order {
+        if matched[v as usize] != u32::MAX {
+            continue;
+        }
+        let lv = part[v as usize];
+        let mut best: Option<(u32, u64)> = None;
+        for &(u, w) in &level.adj[v as usize] {
+            if u == v || matched[u as usize] != u32::MAX {
+                continue;
+            }
+            let lu = part[u as usize];
+            if lv != usize::MAX && lu != usize::MAX && lv != lu {
+                continue; // would mix labels
+            }
+            if best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                matched[v as usize] = u;
+                matched[u as usize] = v;
+            }
+            None => matched[v as usize] = v,
+        }
+    }
+    matched
+}
+
+/// Moves vertices out of overweight parts (highest external connectivity
+/// first, crude greedy) until every part fits `max_weight` or no legal move
+/// remains.
+fn balance_pass(
+    level: &crate::multilevel::Level,
+    part: &mut [usize],
+    k: usize,
+    max_weight: u64,
+) {
+    let n = level.n();
+    let mut weight = vec![0u64; k];
+    for v in 0..n {
+        weight[part[v]] += level.vw[v];
+    }
+    let mut progress = true;
+    while progress && weight.iter().any(|&w| w > max_weight) {
+        progress = false;
+        for v in 0..n {
+            let cur = part[v];
+            if weight[cur] <= max_weight {
+                continue;
+            }
+            // Best destination: most connectivity, must have room.
+            let mut conn = vec![0u64; k];
+            for &(u, w) in &level.adj[v] {
+                conn[part[u as usize]] += w;
+            }
+            let dest = (0..k)
+                .filter(|&p| p != cur && weight[p] + level.vw[v] <= max_weight)
+                .max_by_key(|&p| (conn[p], std::cmp::Reverse(weight[p])));
+            if let Some(p) = dest {
+                weight[cur] -= level.vw[v];
+                weight[p] += level.vw[v];
+                part[v] = p;
+                progress = true;
+            }
+        }
+    }
+}
+
+/// Permutes the part labels of `new` to maximize agreement with `old`
+/// (greedy maximum-overlap matching). Fresh repartitioning runs produce
+/// structurally similar partitions under arbitrary label permutations; the
+/// remap keeps migration counts meaningful — only *structural* moves remain.
+pub fn remap_labels(old: &Partition, new: &Partition) -> Partition {
+    assert_eq!(old.num_parts, new.num_parts, "part counts must match");
+    let k = new.num_parts;
+    let mut overlap = vec![0usize; k * k]; // [new_label][old_label]
+    for (v, &np) in new.assignment.iter().enumerate() {
+        if np == crate::partition::UNASSIGNED {
+            continue;
+        }
+        if let Some(op) = old.part_of(v as VertexId) {
+            overlap[np * k + op] += 1;
+        }
+    }
+    let mut pairs: Vec<(usize, usize, usize)> = (0..k)
+        .flat_map(|np| (0..k).map(move |op| (np, op, 0)))
+        .map(|(np, op, _)| (np, op, overlap[np * k + op]))
+        .collect();
+    pairs.sort_by_key(|&(np, op, ov)| (std::cmp::Reverse(ov), np, op));
+    let mut label_map = vec![usize::MAX; k];
+    let mut used = vec![false; k];
+    for (np, op, _) in pairs {
+        if label_map[np] == usize::MAX && !used[op] {
+            label_map[np] = op;
+            used[op] = true;
+        }
+    }
+    // Any leftover labels (k small corner cases) take the free slots.
+    for slot in label_map.iter_mut() {
+        if *slot == usize::MAX {
+            let op = used.iter().position(|&u| !u).expect("a free label exists");
+            *slot = op;
+            used[op] = true;
+        }
+    }
+    let mut out = Partition::unassigned(new.assignment.len(), k);
+    for (v, &np) in new.assignment.iter().enumerate() {
+        if np != crate::partition::UNASSIGNED {
+            out.assignment[v] = label_map[np];
+        }
+    }
+    out
+}
+
+/// Stability-aware repartitioner: refine an existing assignment instead of
+/// partitioning from scratch.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRefine {
+    /// Allowed imbalance ε: part weight may reach `(1+ε)·total/k`.
+    pub epsilon: f64,
+    /// FM refinement passes.
+    pub refine_passes: usize,
+}
+
+impl Default for AdaptiveRefine {
+    fn default() -> Self {
+        AdaptiveRefine {
+            epsilon: 0.10,
+            refine_passes: 2,
+        }
+    }
+}
+
+impl AdaptiveRefine {
+    /// Produces a new `k`-way partition of `g`, starting from `current`.
+    /// Vertices with no assignment in `current` (e.g. newly added) are placed
+    /// first; existing assignments are preserved except where refinement
+    /// finds a cut improvement within the balance bound.
+    pub fn repartition(&self, g: &Graph, current: &Partition, k: usize) -> Partition {
+        assert!(k >= 1);
+        let mut out = Partition::unassigned(g.capacity(), k);
+        let n = g.vertex_count();
+        if n == 0 {
+            return out;
+        }
+        let total = n as u64;
+        let max_weight = ((total as f64 / k as f64) * (1.0 + self.epsilon))
+            .ceil()
+            .max(1.0) as u64;
+
+        let (base, orig_of) = build_base(g);
+        let dense_of = {
+            let mut m = vec![u32::MAX; g.capacity()];
+            for (d, &v) in orig_of.iter().enumerate() {
+                m[v as usize] = d as u32;
+            }
+            m
+        };
+
+        // Start from the current assignment.
+        let mut part = vec![usize::MAX; orig_of.len()];
+        let mut weight = vec![0u64; k];
+        for (d, &v) in orig_of.iter().enumerate() {
+            if let Some(p) = current.part_of(v) {
+                if p < k {
+                    part[d] = p;
+                    weight[p] += 1;
+                }
+            }
+        }
+
+        // Place unassigned vertices by neighbour affinity, respecting the
+        // balance bound; isolated or over-budget vertices go to the lightest
+        // part.
+        for d in 0..part.len() {
+            if part[d] != usize::MAX {
+                continue;
+            }
+            let mut affinity = vec![0u64; k];
+            for &(u, w) in &base.adj[d] {
+                if part[u as usize] != usize::MAX {
+                    affinity[part[u as usize]] += w;
+                }
+            }
+            let choice = (0..k)
+                .filter(|&p| weight[p] < max_weight)
+                .max_by_key(|&p| (affinity[p], std::cmp::Reverse(weight[p])))
+                .unwrap_or_else(|| {
+                    (0..k).min_by_key(|&p| weight[p]).expect("k >= 1")
+                });
+            part[d] = choice;
+            weight[choice] += 1;
+        }
+
+        for _ in 0..self.refine_passes {
+            if !refine_pass(&base, &mut part, k, max_weight) {
+                break;
+            }
+        }
+
+        for (d, &v) in orig_of.iter().enumerate() {
+            debug_assert!(dense_of[v as usize] as usize == d);
+            out.assign(v, part[d]);
+        }
+        out
+    }
+
+    /// Number of vertices whose assignment differs between two partitions
+    /// (the migration volume Repartition-S will pay).
+    pub fn migration_count(old: &Partition, new: &Partition) -> usize {
+        let slots = old.assignment.len().max(new.assignment.len());
+        (0..slots as VertexId)
+            .filter(|&v| {
+                let a = old.part_of(v);
+                let b = new.part_of(v);
+                a.is_some() && b.is_some() && a != b
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{balance, edge_cut};
+    use crate::{MultilevelKWay, Partitioner};
+    use aa_graph::generators;
+
+    #[test]
+    fn preserves_assignment_when_nothing_changed() {
+        let g = generators::planted_partition(4, 30, 0.4, 0.01, 1, 3);
+        let current = MultilevelKWay::default().partition(&g, 4);
+        let new = AdaptiveRefine::default().repartition(&g, &current, 4);
+        new.validate(&g).unwrap();
+        let moved = AdaptiveRefine::migration_count(&current, &new);
+        assert!(
+            moved <= g.vertex_count() / 10,
+            "a good partition should barely move: {moved} migrations"
+        );
+    }
+
+    #[test]
+    fn places_new_vertices_by_affinity() {
+        let mut g = generators::planted_partition(2, 20, 0.5, 0.02, 1, 5);
+        let current = MultilevelKWay::default().partition(&g, 2);
+        // New vertex strongly tied to community 0 (vertices 0..20).
+        let v = g.add_vertex();
+        for u in 0..5u32 {
+            g.add_edge(v, u, 1);
+        }
+        let new = AdaptiveRefine::default().repartition(&g, &current, 2);
+        new.validate(&g).unwrap();
+        assert_eq!(
+            new.part_of(v),
+            new.part_of(0),
+            "new vertex must join its neighbours' part"
+        );
+    }
+
+    #[test]
+    fn repairs_badly_skewed_input() {
+        let g = generators::barabasi_albert(120, 2, 1, 7);
+        // Everything in part 0: the refinement cannot fix balance (FM only
+        // moves boundary vertices toward gain), but new placements respect
+        // the bound and validation still holds.
+        let mut current = Partition::unassigned(g.capacity(), 3);
+        for v in g.vertices() {
+            current.assign(v, 0);
+        }
+        let new = AdaptiveRefine::default().repartition(&g, &current, 3);
+        new.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn handles_unassigned_start() {
+        let g = generators::barabasi_albert(100, 2, 1, 9);
+        let empty = Partition::unassigned(g.capacity(), 4);
+        let new = AdaptiveRefine::default().repartition(&g, &empty, 4);
+        new.validate(&g).unwrap();
+        assert!(balance(&new) <= 1.15, "balance {}", balance(&new));
+    }
+
+    #[test]
+    fn refinement_does_not_worsen_cut() {
+        let g = generators::planted_partition(4, 25, 0.4, 0.02, 1, 11);
+        let current = MultilevelKWay::default().partition(&g, 4);
+        let before = edge_cut(&g, &current);
+        let new = AdaptiveRefine::default().repartition(&g, &current, 4);
+        let after = edge_cut(&g, &new);
+        assert!(after <= before, "cut got worse: {before} -> {after}");
+    }
+
+    #[test]
+    fn remap_labels_undoes_a_permutation() {
+        let g = generators::planted_partition(3, 10, 0.6, 0.01, 1, 2);
+        let p = MultilevelKWay::default().partition(&g, 3);
+        // Permute labels 0->1->2->0.
+        let mut permuted = p.clone();
+        for a in permuted.assignment.iter_mut() {
+            if *a != usize::MAX {
+                *a = (*a + 1) % 3;
+            }
+        }
+        let remapped = remap_labels(&p, &permuted);
+        assert_eq!(remapped.assignment, p.assignment);
+        assert_eq!(AdaptiveRefine::migration_count(&p, &remapped), 0);
+    }
+
+    #[test]
+    fn remap_labels_reduces_migration_for_fresh_partitions() {
+        let g = generators::planted_partition(4, 25, 0.4, 0.01, 1, 21);
+        let a = MultilevelKWay { seed: 1, ..Default::default() }.partition(&g, 4);
+        let b = MultilevelKWay { seed: 2, ..Default::default() }.partition(&g, 4);
+        let raw = AdaptiveRefine::migration_count(&a, &b);
+        let remapped = remap_labels(&a, &b);
+        let after = AdaptiveRefine::migration_count(&a, &remapped);
+        assert!(after <= raw, "remap must not increase migration: {raw} -> {after}");
+        assert!(
+            after < g.vertex_count() / 2,
+            "structurally similar partitions should mostly agree after remap: {after}"
+        );
+        assert_eq!(edge_cut(&g, &b), edge_cut(&g, &remapped), "cut unchanged by relabel");
+    }
+
+    #[test]
+    fn adaptive_multilevel_valid_and_stable() {
+        let g = generators::barabasi_albert(600, 2, 1, 13);
+        let current = MultilevelKWay::default().partition(&g, 8);
+        let new = AdaptiveMultilevel::default().repartition(&g, &current, 8);
+        new.validate(&g).unwrap();
+        assert!(balance(&new) <= 1.20, "balance {}", balance(&new));
+        let moved = AdaptiveRefine::migration_count(&current, &new);
+        assert!(
+            moved < g.vertex_count() / 3,
+            "adaptive multilevel must be far more stable than a fresh run: moved {moved}"
+        );
+    }
+
+    #[test]
+    fn adaptive_multilevel_absorbs_growth() {
+        let mut g = generators::barabasi_albert(300, 2, 1, 15);
+        let current = MultilevelKWay::default().partition(&g, 4);
+        // Grow by 10%: a clique attached to vertex 0.
+        let base = g.capacity() as u32;
+        for _ in 0..30 {
+            g.add_vertex();
+        }
+        for i in 0..30u32 {
+            g.add_edge(base + i, if i == 0 { 0 } else { base + i - 1 }, 1);
+        }
+        let new = AdaptiveMultilevel::default().repartition(&g, &current, 4);
+        new.validate(&g).unwrap();
+        assert!(balance(&new) <= 1.25, "balance {}", balance(&new));
+    }
+
+    #[test]
+    fn adaptive_multilevel_from_empty_assignment() {
+        let g = generators::planted_partition(4, 30, 0.4, 0.01, 1, 17);
+        let empty = Partition::unassigned(g.capacity(), 4);
+        let new = AdaptiveMultilevel::default().repartition(&g, &empty, 4);
+        new.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn migration_count_counts_moves_only() {
+        let mut a = Partition::unassigned(4, 2);
+        let mut b = Partition::unassigned(4, 2);
+        a.assign(0, 0);
+        a.assign(1, 1);
+        b.assign(0, 1); // moved
+        b.assign(1, 1); // stayed
+        b.assign(2, 0); // new in b: not a migration
+        assert_eq!(AdaptiveRefine::migration_count(&a, &b), 1);
+    }
+}

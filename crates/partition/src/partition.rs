@@ -1,0 +1,143 @@
+//! The [`Partition`] type: a vertex → part assignment with validation helpers.
+
+use aa_graph::{Graph, VertexId};
+
+/// Marker for unassigned / tombstoned vertex slots.
+pub const UNASSIGNED: usize = usize::MAX;
+
+/// A k-way partition of a graph's live vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Part of each vertex id slot; [`UNASSIGNED`] for tombstones.
+    pub assignment: Vec<usize>,
+    /// Number of parts `k`.
+    pub num_parts: usize,
+}
+
+impl Partition {
+    /// Creates a partition with every slot unassigned.
+    pub fn unassigned(slots: usize, num_parts: usize) -> Self {
+        Partition {
+            assignment: vec![UNASSIGNED; slots],
+            num_parts,
+        }
+    }
+
+    /// Part of vertex `v`, if assigned.
+    pub fn part_of(&self, v: VertexId) -> Option<usize> {
+        match self.assignment.get(v as usize) {
+            Some(&p) if p != UNASSIGNED => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Assigns vertex `v` to `part`, growing the slot table if needed.
+    pub fn assign(&mut self, v: VertexId, part: usize) {
+        assert!(part < self.num_parts, "part {part} out of range");
+        if self.assignment.len() <= v as usize {
+            self.assignment.resize(v as usize + 1, UNASSIGNED);
+        }
+        self.assignment[v as usize] = part;
+    }
+
+    /// Vertex lists per part.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.num_parts];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            if p != UNASSIGNED {
+                out[p].push(v as VertexId);
+            }
+        }
+        out
+    }
+
+    /// Number of vertices in each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &p in &self.assignment {
+            if p != UNASSIGNED {
+                sizes[p] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Checks that exactly the live vertices of `g` are assigned, to valid
+    /// parts. Used by tests and property checks.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.assignment.len() < g.capacity() {
+            return Err(format!(
+                "partition covers {} slots, graph has {}",
+                self.assignment.len(),
+                g.capacity()
+            ));
+        }
+        for v in 0..g.capacity() as VertexId {
+            let p = self.assignment[v as usize];
+            if g.is_alive(v) {
+                if p == UNASSIGNED {
+                    return Err(format!("live vertex {v} unassigned"));
+                }
+                if p >= self.num_parts {
+                    return Err(format!("vertex {v} assigned to invalid part {p}"));
+                }
+            } else if p != UNASSIGNED {
+                return Err(format!("tombstone {v} has an assignment"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_graph::generators;
+
+    #[test]
+    fn assign_and_query() {
+        let mut p = Partition::unassigned(3, 2);
+        p.assign(1, 1);
+        assert_eq!(p.part_of(1), Some(1));
+        assert_eq!(p.part_of(0), None);
+        assert_eq!(p.part_of(99), None);
+        assert_eq!(p.part_sizes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn assign_grows_slots() {
+        let mut p = Partition::unassigned(0, 3);
+        p.assign(5, 2);
+        assert_eq!(p.assignment.len(), 6);
+        assert_eq!(p.members()[2], vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assign_rejects_bad_part() {
+        let mut p = Partition::unassigned(1, 2);
+        p.assign(0, 2);
+    }
+
+    #[test]
+    fn validate_catches_unassigned_live_vertex() {
+        let g = generators::path(3);
+        let mut p = Partition::unassigned(3, 2);
+        p.assign(0, 0);
+        p.assign(1, 1);
+        assert!(p.validate(&g).unwrap_err().contains("unassigned"));
+        p.assign(2, 0);
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_assigned_tombstone() {
+        let mut g = generators::path(3);
+        g.remove_vertex(1);
+        let mut p = Partition::unassigned(3, 2);
+        p.assign(0, 0);
+        p.assign(1, 0);
+        p.assign(2, 1);
+        assert!(p.validate(&g).unwrap_err().contains("tombstone"));
+    }
+}

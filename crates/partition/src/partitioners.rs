@@ -1,0 +1,193 @@
+//! The [`Partitioner`] trait and cheap baseline partitioners.
+
+use crate::partition::Partition;
+use aa_graph::{Graph, VertexId};
+
+/// A k-way graph partitioner. Implementations must assign every live vertex
+/// of `g` to a part in `0..k` and leave tombstones unassigned.
+pub trait Partitioner {
+    /// Partitions the live vertices of `g` into `k` parts.
+    fn partition(&self, g: &Graph, k: usize) -> Partition;
+
+    /// Human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Assigns live vertices to parts cyclically in id order. Perfect vertex
+/// balance, oblivious to structure — the paper's simplest baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobinPartitioner;
+
+impl Partitioner for RoundRobinPartitioner {
+    fn partition(&self, g: &Graph, k: usize) -> Partition {
+        assert!(k >= 1);
+        let mut p = Partition::unassigned(g.capacity(), k);
+        for (i, v) in g.vertices().enumerate() {
+            p.assign(v, i % k);
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Assigns each vertex by a multiplicative hash of its id. Stateless and
+/// stable under vertex additions (an existing vertex never moves), which makes
+/// it a useful contrast in ablations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, g: &Graph, k: usize) -> Partition {
+        assert!(k >= 1);
+        let mut p = Partition::unassigned(g.capacity(), k);
+        for v in g.vertices() {
+            // Fibonacci hashing on the id.
+            let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            p.assign(v, (h % k as u64) as usize);
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Grows parts by breadth-first search from successive seeds until each part
+/// reaches `ceil(n/k)` vertices. Captures locality without the multilevel
+/// machinery; the classic "cheap but structure-aware" baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BfsGrowPartitioner;
+
+impl Partitioner for BfsGrowPartitioner {
+    fn partition(&self, g: &Graph, k: usize) -> Partition {
+        assert!(k >= 1);
+        let n = g.vertex_count();
+        let mut p = Partition::unassigned(g.capacity(), k);
+        if n == 0 {
+            return p;
+        }
+        let target = n.div_ceil(k);
+        let mut visited = vec![false; g.capacity()];
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        // Seed from high-degree vertices first: hubs anchor parts.
+        order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+        let mut part = 0usize;
+        let mut in_part = 0usize;
+        let mut queue = std::collections::VecDeque::new();
+        let mut seed_iter = order.into_iter();
+        loop {
+            let v = match queue.pop_front() {
+                Some(v) => v,
+                None => match seed_iter.find(|&s| !visited[s as usize]) {
+                    Some(s) => s,
+                    None => break,
+                },
+            };
+            if visited[v as usize] {
+                continue;
+            }
+            visited[v as usize] = true;
+            if in_part >= target && part + 1 < k {
+                part += 1;
+                in_part = 0;
+                queue.clear(); // start the next part from a fresh seed
+            }
+            p.assign(v, part);
+            in_part += 1;
+            for &(u, _) in g.neighbors(v) {
+                if !visited[u as usize] {
+                    queue.push_back(u);
+                }
+            }
+        }
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "bfs-grow"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{balance, edge_cut};
+    use aa_graph::generators;
+
+    fn check_valid(g: &Graph, p: &Partition, k: usize) {
+        p.validate(g).unwrap();
+        assert_eq!(p.num_parts, k);
+    }
+
+    #[test]
+    fn round_robin_balances_exactly() {
+        let g = generators::barabasi_albert(101, 2, 1, 1);
+        let p = RoundRobinPartitioner.partition(&g, 4);
+        check_valid(&g, &p, 4);
+        let sizes = p.part_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 101);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn round_robin_skips_tombstones() {
+        let mut g = generators::path(6);
+        g.remove_vertex(2);
+        let p = RoundRobinPartitioner.partition(&g, 2);
+        check_valid(&g, &p, 2);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn hash_is_stable_under_growth() {
+        let mut g = generators::path(50);
+        let p1 = HashPartitioner.partition(&g, 4);
+        for _ in 0..10 {
+            g.add_vertex();
+        }
+        let p2 = HashPartitioner.partition(&g, 4);
+        for v in 0..50u32 {
+            assert_eq!(p1.part_of(v), p2.part_of(v), "vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn bfs_grow_beats_round_robin_on_communities() {
+        let g = generators::planted_partition(4, 30, 0.4, 0.01, 1, 5);
+        let rr = RoundRobinPartitioner.partition(&g, 4);
+        let bfs = BfsGrowPartitioner.partition(&g, 4);
+        check_valid(&g, &bfs, 4);
+        assert!(balance(&bfs) <= 1.35, "balance {}", balance(&bfs));
+        assert!(
+            edge_cut(&g, &bfs) < edge_cut(&g, &rr),
+            "bfs cut {} should beat round-robin cut {}",
+            edge_cut(&g, &bfs),
+            edge_cut(&g, &rr)
+        );
+    }
+
+    #[test]
+    fn bfs_grow_handles_disconnected_graphs() {
+        let mut g = generators::path(10);
+        g.remove_edge(4, 5);
+        let p = BfsGrowPartitioner.partition(&g, 3);
+        check_valid(&g, &p, 3);
+    }
+
+    #[test]
+    fn single_part_assigns_everything_to_zero() {
+        let g = generators::cycle(7);
+        for pt in [
+            &RoundRobinPartitioner as &dyn Partitioner,
+            &HashPartitioner,
+            &BfsGrowPartitioner,
+        ] {
+            let p = pt.partition(&g, 1);
+            assert!(g.vertices().all(|v| p.part_of(v) == Some(0)), "{}", pt.name());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! A deterministic simulated message-passing cluster — the MPI substitute.
+//!
+//! The papers run on a 32-node MPI cluster. This runtime replaces it with a
+//! *simulated* distributed-memory machine: `P` virtual processors advance in
+//! supersteps; the algorithm layer keeps one state object per processor and
+//! moves data between them exclusively through [`SimCluster`], which charges
+//! every transfer to per-processor LogP virtual clocks and a cost ledger.
+//!
+//! Why simulation instead of threads + real sockets: the algorithms under
+//! study are defined entirely by *which bytes move when* and *what each
+//! processor may know*; a deterministic simulator preserves exactly those
+//! semantics, makes every run reproducible, and yields a hardware-independent
+//! "cluster time" (the LogP makespan) that the figure reproductions report —
+//! see DESIGN.md §2. Real shared-memory parallelism still happens *inside*
+//! each virtual processor (the paper's OpenMP level, rayon here).
+
+pub mod cluster;
+
+pub use cluster::{ExchangeMode, SimCluster, TraceEvent, TransferOut};

@@ -1,0 +1,96 @@
+//! A continuously growing citation network ("adding new publications to a
+//! citation network", per the papers' introduction): papers arrive in small
+//! batches at every recombination step, each citing a handful of existing
+//! papers by preferential attachment.
+//!
+//! The example runs the same arrival stream under all four incorporation
+//! methods and compares cumulative cluster time and final partition quality —
+//! a miniature of the papers' Figure 8 experiment.
+//!
+//! ```text
+//! cargo run --release --example citation_growth
+//! ```
+
+use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, Endpoint, VertexBatch};
+use aa_graph::{generators, Graph, VertexId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// New papers cite 2-3 existing papers, biased toward highly cited ones.
+fn paper_batch(count: usize, existing: &Graph, seed: u64) -> VertexBatch {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pool: Vec<VertexId> = {
+        let mut p = Vec::new();
+        for v in existing.vertices() {
+            for _ in 0..existing.degree(v).max(1) {
+                p.push(v);
+            }
+        }
+        p
+    };
+    let mut batch = VertexBatch::new(count);
+    for i in 0..count {
+        let cites = rng.gen_range(2..=3);
+        let mut cited = Vec::new();
+        while cited.len() < cites {
+            let target = pool[rng.gen_range(0..pool.len())];
+            if !cited.contains(&target) {
+                cited.push(target);
+                batch.connect(i, Endpoint::Existing(target), 1);
+            }
+        }
+        // Occasionally cite another brand-new paper (same proceedings).
+        if i > 0 && rng.gen_bool(0.3) {
+            batch.connect(i, Endpoint::New(rng.gen_range(0..i)), 1);
+        }
+    }
+    batch
+}
+
+fn main() {
+    const ROUNDS: usize = 8;
+    const PER_ROUND: usize = 8;
+
+    println!("citation network growth: {PER_ROUND} new papers per RC step, {ROUNDS} steps\n");
+    println!(
+        "{:<18} {:>14} {:>12} {:>12} {:>10}",
+        "method", "cluster ms", "RC steps", "cut edges", "balance"
+    );
+
+    for strategy in [
+        AdditionStrategy::RoundRobinPs,
+        AdditionStrategy::CutEdgePs,
+        AdditionStrategy::RepartitionS,
+        AdditionStrategy::BaselineRestart,
+    ] {
+        let graph = generators::barabasi_albert(300, 2, 1, 11);
+        let mut engine = AnytimeEngine::new(
+            graph,
+            EngineConfig {
+                num_procs: 8,
+                ..Default::default()
+            },
+        );
+        engine.initialize();
+        for round in 0..ROUNDS {
+            let batch = paper_batch(PER_ROUND, engine.graph(), 1000 + round as u64);
+            engine.add_vertices(&batch, strategy);
+            engine.rc_step(); // analysis continues while papers arrive
+        }
+        engine.run_to_convergence(96);
+        assert!(engine.is_converged());
+        println!(
+            "{:<18} {:>14.1} {:>12} {:>12} {:>10.3}",
+            strategy.to_string(),
+            engine.makespan_us() / 1000.0,
+            engine.rc_steps(),
+            aa_partition::quality::edge_cut(engine.graph(), engine.partition()),
+            aa_partition::quality::balance(engine.partition()),
+        );
+    }
+
+    println!(
+        "\nAll four methods converge to identical all-pairs distances; they \
+         differ only in how much cluster time the growth costs."
+    );
+}

@@ -1,0 +1,61 @@
+//! The shipped sample data must actually work: drives the CLI library against
+//! `data/collaboration.txt` and `data/updates.stream` exactly as the README
+//! suggests.
+
+use aa_cli::commands::{analyze, partition_report, AnalyzeOpts, Measure};
+use std::path::{Path, PathBuf};
+
+fn data(file: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("data").join(file)
+}
+
+#[test]
+fn sample_analyze_with_stream_and_measures() {
+    let report = analyze(&AnalyzeOpts {
+        input: data("collaboration.txt"),
+        procs: 8,
+        top: 5,
+        stream: Some(data("updates.stream")),
+        measures: vec![Measure::Pagerank, Measure::Degree],
+        ..Default::default()
+    })
+    .expect("sample analysis must succeed");
+    assert!(report.contains("120 vertices") || report.contains("121 vertices"));
+    assert!(report.contains("added vertex 120"), "stream adds researcher 120");
+    assert!(report.contains("processor 1 crashed and recovered"));
+    assert!(report.contains("rebalanced:"));
+    assert!(report.contains("top-5 pagerank"));
+    assert!(report.contains("top-5 degree centrality"));
+}
+
+#[test]
+fn sample_partition_report() {
+    let report = partition_report(&data("collaboration.txt"), None, 4).unwrap();
+    assert!(report.contains("120 vertices"));
+    // The sample has 4 planted communities: the multilevel partitioner must
+    // find a far better cut than round-robin.
+    let cut_of = |name: &str| -> usize {
+        report
+            .lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let ml = cut_of("multilevel-kway");
+    let rr = cut_of("round-robin");
+    assert!(
+        3 * ml < rr,
+        "multilevel ({ml}) should crush round-robin ({rr}) on community data"
+    );
+}
+
+#[test]
+fn sample_stream_parses_cleanly() {
+    let text = std::fs::read_to_string(data("updates.stream")).unwrap();
+    let cmds = aa_cli::stream::parse_stream(&text).unwrap();
+    assert!(cmds.len() >= 9, "stream exercises the full command set");
+}
