@@ -21,9 +21,7 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--n" => params.n = args.next().expect("--n N").parse().expect("invalid N"),
-            "--procs" => {
-                params.procs = args.next().expect("--procs P").parse().expect("invalid P")
-            }
+            "--procs" => params.procs = args.next().expect("--procs P").parse().expect("invalid P"),
             "--seed" => params.seed = args.next().expect("--seed S").parse().expect("invalid S"),
             "--compute-scale" => {
                 params.compute_scale = args
@@ -33,7 +31,9 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
                     .expect("invalid scale")
             }
             "all" => figs.extend(["fig4", "fig5", "fig6", "fig7", "fig8"].map(String::from)),
-            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime") => figs.push(f.to_string()),
+            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime") => {
+                figs.push(f.to_string())
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|all] [--n N] [--procs P] [--seed S] [--compute-scale X]");
@@ -43,7 +43,13 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
     }
     if figs.is_empty() {
         figs.push("all".into());
-        figs = vec!["fig4".into(), "fig5".into(), "fig6".into(), "fig7".into(), "fig8".into()];
+        figs = vec![
+            "fig4".into(),
+            "fig5".into(),
+            "fig6".into(),
+            "fig7".into(),
+            "fig8".into(),
+        ];
     }
     figs.dedup();
     (figs, params)
@@ -59,7 +65,10 @@ fn print_header(params: &ExperimentParams, title: &str) {
 }
 
 fn print_fig4(rows: &[Fig4Row]) {
-    println!("{:<10} {:>28} {:>18}", "inject at", "Anytime Anywhere (RR-PS)", "Baseline Restart");
+    println!(
+        "{:<10} {:>28} {:>18}",
+        "inject at", "Anytime Anywhere (RR-PS)", "Baseline Restart"
+    );
     for r in rows {
         println!(
             "RC{:<9} {:>24.3} min {:>14.3} min",
@@ -108,7 +117,10 @@ fn print_fig8(rows: &[Fig8Row]) {
 }
 
 fn print_anytime(rows: &[AnytimeRow]) {
-    println!("{:<8} {:>12} {:>18} {:>14}", "RC step", "minutes", "mean |error|", "top-25 overlap");
+    println!(
+        "{:<8} {:>12} {:>18} {:>14}",
+        "RC step", "minutes", "mean |error|", "top-25 overlap"
+    );
     for r in rows {
         println!(
             "{:<8} {:>12.4} {:>18.3e} {:>13.0}%",
@@ -121,7 +133,10 @@ fn print_anytime(rows: &[AnytimeRow]) {
 }
 
 fn print_scaling(rows: &[ScalingRow]) {
-    println!("{:<8} {:>14} {:>10} {:>14} {:>10}", "procs", "minutes", "RC steps", "bytes moved", "speedup");
+    println!(
+        "{:<8} {:>14} {:>10} {:>14} {:>10}",
+        "procs", "minutes", "RC steps", "bytes moved", "speedup"
+    );
     let base = rows[0].minutes;
     for r in rows {
         println!(
@@ -140,15 +155,24 @@ fn main() {
     for f in figs {
         match f.as_str() {
             "fig4" => {
-                print_header(&params, "Figure 4: anytime-anywhere vs baseline restart (512 paper-scale additions)");
+                print_header(
+                    &params,
+                    "Figure 4: anytime-anywhere vs baseline restart (512 paper-scale additions)",
+                );
                 print_fig4(&experiments::fig4(&params));
             }
             "fig5" => {
-                print_header(&params, "Figure 5: vertex additions at RC0 — time per strategy");
+                print_header(
+                    &params,
+                    "Figure 5: vertex additions at RC0 — time per strategy",
+                );
                 print_single_step(&experiments::fig5(&params), false);
             }
             "fig6" => {
-                print_header(&params, "Figure 6: vertex additions at RC8 — time per strategy");
+                print_header(
+                    &params,
+                    "Figure 6: vertex additions at RC8 — time per strategy",
+                );
                 print_single_step(&experiments::fig6(&params), false);
             }
             "fig7" => {
@@ -156,15 +180,24 @@ fn main() {
                 print_single_step(&experiments::fig7(&params), true);
             }
             "fig8" => {
-                print_header(&params, "Figure 8: incremental vertex additions over 10 RC steps");
+                print_header(
+                    &params,
+                    "Figure 8: incremental vertex additions over 10 RC steps",
+                );
                 print_fig8(&experiments::fig8(&params));
             }
             "anytime" => {
-                print_header(&params, "Anytime quality: closeness error per RC step (beyond-paper)");
+                print_header(
+                    &params,
+                    "Anytime quality: closeness error per RC step (beyond-paper)",
+                );
                 print_anytime(&experiments::anytime_quality(&params));
             }
             "scaling" => {
-                print_header(&params, "Strong scaling of the static analysis (beyond-paper ablation)");
+                print_header(
+                    &params,
+                    "Strong scaling of the static analysis (beyond-paper ablation)",
+                );
                 print_scaling(&experiments::scaling(&params));
             }
             _ => unreachable!(),

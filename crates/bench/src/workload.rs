@@ -52,7 +52,9 @@ impl ExperimentParams {
 /// Scales a batch size quoted for the papers' 50 000-vertex graphs to a graph
 /// of `n` vertices, preserving the fraction of |V| (minimum 1).
 pub fn scaled(paper_count: usize, n: usize) -> usize {
-    ((paper_count as f64) * (n as f64) / 50_000.0).round().max(1.0) as usize
+    ((paper_count as f64) * (n as f64) / 50_000.0)
+        .round()
+        .max(1.0) as usize
 }
 
 /// Builds a community-structured batch of `count` new vertices attached to
@@ -99,11 +101,8 @@ pub fn community_vertex_batch(existing: &Graph, count: usize, seed: u64) -> Vert
         }
         next += 1;
     }
-    let index_of: std::collections::HashMap<VertexId, usize> = selected
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let index_of: std::collections::HashMap<VertexId, usize> =
+        selected.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     let mut batch = VertexBatch::new(count);
     for (u, v, w) in donor.edges() {
@@ -159,7 +158,10 @@ mod tests {
             .iter()
             .filter(|(_, e, _)| matches!(e, Endpoint::Existing(_)))
             .count();
-        assert!(intra > 30, "community batches are internally dense: {intra}");
+        assert!(
+            intra > 30,
+            "community batches are internally dense: {intra}"
+        );
         assert_eq!(anchors, 30, "one anchor per new vertex");
     }
 

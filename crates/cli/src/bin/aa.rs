@@ -19,6 +19,7 @@ usage:
               [--strategy roundrobin|cutedge|repartition|restart]
               [--stream FILE] [--save-checkpoint FILE] [--resume FILE]
               [--measure degree|eigenvector|pagerank|cliques]... [--trace CSV]
+              [--drop-rate P]   (inject lossy links: drop each transfer w.p. P)
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -77,9 +78,7 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
         };
         match a.as_str() {
             "--format" => opts.format = Some(Format::parse(&value("--format"))?),
-            "--procs" => {
-                opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?
-            }
+            "--procs" => opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?,
             "--top" => opts.top = value("--top").parse().map_err(|_| "invalid --top")?,
             "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
             "--stream" => opts.stream = Some(PathBuf::from(value("--stream"))),
@@ -89,6 +88,11 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume"))),
             "--measure" => opts.measures.push(Measure::parse(&value("--measure"))?),
             "--trace" => opts.trace = Some(PathBuf::from(value("--trace"))),
+            "--drop-rate" => {
+                opts.drop_rate = value("--drop-rate")
+                    .parse()
+                    .map_err(|_| "invalid --drop-rate")?
+            }
             other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),
         }

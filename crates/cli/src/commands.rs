@@ -1,7 +1,7 @@
 //! Subcommand implementations for the `aa` binary.
 
 use crate::{load_graph, save_graph, Format};
-use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig};
+use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, FaultConfig};
 use aa_partition::{
     quality, BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner,
     RoundRobinPartitioner,
@@ -31,6 +31,8 @@ pub struct AnalyzeOpts {
     pub measures: Vec<Measure>,
     /// Optional CSV file to dump the communication trace to.
     pub trace: Option<PathBuf>,
+    /// Probability of dropping each recombination transfer (lossy links).
+    pub drop_rate: f64,
 }
 
 /// Additional measures the `analyze` subcommand can report.
@@ -74,6 +76,7 @@ impl Default for AnalyzeOpts {
             resume: None,
             measures: Vec::new(),
             trace: None,
+            drop_rate: 0.0,
         }
     }
 }
@@ -82,8 +85,19 @@ impl Default for AnalyzeOpts {
 /// update stream, print the ranking and cost ledger. Returns the printed
 /// report (also printed to stdout by the binary).
 pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
+    if !(0.0..1.0).contains(&opts.drop_rate) {
+        return Err(format!(
+            "drop rate {} must lie in [0, 1) — a network that drops everything can never converge",
+            opts.drop_rate
+        ));
+    }
+    let fault = (opts.drop_rate > 0.0).then(|| FaultConfig {
+        p_drop: opts.drop_rate,
+        ..Default::default()
+    });
     let config = EngineConfig {
         num_procs: opts.procs,
+        fault,
         ..Default::default()
     };
     let mut engine = if let Some(ckpt) = &opts.resume {
@@ -114,8 +128,10 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             .map_err(|e| format!("cannot read stream {}: {e}", stream_path.display()))?;
         let cmds = crate::stream::parse_stream(&text)?;
         out.push_str(&format!("applying {} stream commands…\n", cmds.len()));
-        for cmd in &cmds {
-            for line in crate::stream::apply(&mut engine, cmd, opts.strategy) {
+        for (lineno, cmd) in &cmds {
+            let lines = crate::stream::apply(&mut engine, cmd, opts.strategy)
+                .map_err(|e| format!("stream line {lineno}: {e}"))?;
+            for line in lines {
                 out.push_str(&line);
                 out.push('\n');
             }
@@ -141,7 +157,11 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             }
             Measure::Eigenvector => {
                 out.push_str(&format!("\ntop-{} eigenvector centrality:\n", opts.top));
-                push_top(&mut out, &engine.eigenvector_centrality(300, 1e-10), opts.top);
+                push_top(
+                    &mut out,
+                    &engine.eigenvector_centrality(300, 1e-10),
+                    opts.top,
+                );
             }
             Measure::Pagerank => {
                 out.push_str(&format!("\ntop-{} pagerank:\n", opts.top));
@@ -158,6 +178,13 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
         }
     }
     out.push_str(&format!("\n{}", engine.cluster().ledger().report()));
+    let totals = engine.cluster().ledger().totals();
+    if totals.dropped_messages > 0 || totals.dup_messages > 0 {
+        out.push_str(&format!(
+            "lossy links: {} transfers dropped ({} B), {} duplicated ({} B); all rows acknowledged\n",
+            totals.dropped_messages, totals.dropped_bytes, totals.dup_messages, totals.dup_bytes
+        ));
+    }
 
     if let Some(path) = &opts.trace {
         use std::io::Write;
@@ -166,13 +193,13 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             std::fs::File::create(path)
                 .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
         );
-        writeln!(file, "src,dst,bytes,phase,makespan_us")
+        writeln!(file, "src,dst,bytes,phase,makespan_us,kind")
             .map_err(|e| format!("trace write failed: {e}"))?;
         for ev in &events {
             writeln!(
                 file,
-                "{},{},{},{},{:.3}",
-                ev.src, ev.dst, ev.bytes, ev.phase, ev.makespan_us
+                "{},{},{},{},{:.3},{}",
+                ev.src, ev.dst, ev.bytes, ev.phase, ev.makespan_us, ev.kind
             )
             .map_err(|e| format!("trace write failed: {e}"))?;
         }
@@ -223,7 +250,8 @@ pub fn partition_report(path: &Path, format: Option<Format>, k: usize) -> Result
     ];
     for p in partitioners {
         let part = p.partition(&g, k);
-        part.validate(&g).map_err(|e| format!("{}: {e}", p.name()))?;
+        part.validate(&g)
+            .map_err(|e| format!("{}: {e}", p.name()))?;
         out.push_str(&format!(
             "{:<18} {:>9} {:>9.3} {:>10}\n",
             p.name(),
@@ -333,9 +361,45 @@ mod tests {
         .unwrap();
         assert!(report.contains("communication trace"));
         let csv = std::fs::read_to_string(&trace).unwrap();
-        assert!(csv.starts_with("src,dst,bytes,phase,makespan_us"));
+        assert!(csv.starts_with("src,dst,bytes,phase,makespan_us,kind"));
         assert!(csv.lines().count() > 10, "trace should have many events");
+        assert!(csv.contains("delivered"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_with_lossy_links_reports_drops_and_stays_exact() {
+        let dir = temp_dir("chaos");
+        let input = write_test_graph(&dir);
+        let trace = dir.join("chaos_trace.csv");
+        let report = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            drop_rate: 0.3,
+            trace: Some(trace.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("converged"));
+        assert!(
+            report.contains("lossy links:") && report.contains("dropped"),
+            "fault summary missing from:\n{report}"
+        );
+        assert!(report.contains("dropped_b"), "ledger fault column missing");
+        let csv = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            csv.contains(",dropped"),
+            "dropped events missing from trace"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        let err = analyze(&AnalyzeOpts {
+            input: PathBuf::from("/nope.txt"),
+            drop_rate: 1.0,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("[0, 1)"));
     }
 
     #[test]

@@ -24,13 +24,29 @@ pub enum Command {
     Rebalance,
     /// `fail r` — crash and recover processor `r`.
     Fail(usize),
+    /// `chaos p_drop p_dup` — set lossy-link fault injection rates
+    /// (both zero disables chaos).
+    Chaos(f64, f64),
     /// `snapshot k` — print the top-k closeness ranking.
     Snapshot(usize),
 }
 
-/// Parses a stream file's contents. Returns commands or a message naming the
-/// offending line.
-pub fn parse_stream(text: &str) -> Result<Vec<Command>, String> {
+/// Parses one numeric token of a stream line.
+fn num_arg<T: std::str::FromStr>(
+    toks: &mut std::str::SplitWhitespace,
+    lineno: usize,
+    what: &str,
+) -> Result<T, String> {
+    toks.next()
+        .ok_or_else(|| format!("line {lineno}: missing {what}"))?
+        .parse()
+        .map_err(|_| format!("line {lineno}: invalid {what}"))
+}
+
+/// Parses a stream file's contents. Returns `(line number, command)` pairs —
+/// the line numbers let [`apply`] failures point back at the offending
+/// source line — or a message naming the line that failed to parse.
+pub fn parse_stream(text: &str) -> Result<Vec<(usize, Command)>, String> {
     let mut out = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -40,17 +56,22 @@ pub fn parse_stream(text: &str) -> Result<Vec<Command>, String> {
         }
         let mut toks = line.split_whitespace();
         let op = toks.next().unwrap();
-        let mut arg = |what: &str| -> Result<u32, String> {
-            toks.next()
-                .ok_or_else(|| format!("line {lineno}: missing {what}"))?
-                .parse()
-                .map_err(|_| format!("line {lineno}: invalid {what}"))
-        };
         let cmd = match op {
-            "ae" => Command::AddEdge(arg("u")?, arg("v")?, arg("w")?),
-            "de" => Command::DeleteEdge(arg("u")?, arg("v")?),
-            "cw" => Command::ChangeWeight(arg("u")?, arg("v")?, arg("w")?),
-            "dv" => Command::DeleteVertex(arg("v")?),
+            "ae" => Command::AddEdge(
+                num_arg(&mut toks, lineno, "u")?,
+                num_arg(&mut toks, lineno, "v")?,
+                num_arg(&mut toks, lineno, "w")?,
+            ),
+            "de" => Command::DeleteEdge(
+                num_arg(&mut toks, lineno, "u")?,
+                num_arg(&mut toks, lineno, "v")?,
+            ),
+            "cw" => Command::ChangeWeight(
+                num_arg(&mut toks, lineno, "u")?,
+                num_arg(&mut toks, lineno, "v")?,
+                num_arg(&mut toks, lineno, "w")?,
+            ),
+            "dv" => Command::DeleteVertex(num_arg(&mut toks, lineno, "v")?),
             "av" => {
                 let anchors_tok = toks
                     .next()
@@ -64,23 +85,63 @@ pub fn parse_stream(text: &str) -> Result<Vec<Command>, String> {
             "step" => Command::Step,
             "converge" => Command::Converge,
             "rebalance" => Command::Rebalance,
-            "fail" => Command::Fail(arg("rank")? as usize),
-            "snapshot" => Command::Snapshot(arg("k")? as usize),
+            "fail" => Command::Fail(num_arg::<u32>(&mut toks, lineno, "rank")? as usize),
+            "chaos" => {
+                let p_drop: f64 = num_arg(&mut toks, lineno, "p_drop")?;
+                let p_dup: f64 = num_arg(&mut toks, lineno, "p_dup")?;
+                if !(0.0..=1.0).contains(&p_drop) || !(0.0..=1.0).contains(&p_dup) {
+                    return Err(format!(
+                        "line {lineno}: chaos probabilities must lie in [0, 1]"
+                    ));
+                }
+                if p_drop >= 1.0 {
+                    return Err(format!(
+                        "line {lineno}: p_drop must be below 1 (a network that drops everything can never converge)"
+                    ));
+                }
+                Command::Chaos(p_drop, p_dup)
+            }
+            "snapshot" => Command::Snapshot(num_arg::<u32>(&mut toks, lineno, "k")? as usize),
             other => return Err(format!("line {lineno}: unknown command {other:?}")),
         };
         if toks.next().is_some() {
             return Err(format!("line {lineno}: trailing tokens"));
         }
-        out.push(cmd);
+        out.push((lineno, cmd));
     }
     Ok(out)
 }
 
+/// Rejects vertex ids that are out of range or deleted before they reach
+/// graph-layer operations that would panic on them.
+fn check_vertex(engine: &AnytimeEngine, v: VertexId) -> Result<(), String> {
+    if engine.graph().is_alive(v) {
+        Ok(())
+    } else {
+        Err(format!("vertex {v} is out of range or not alive"))
+    }
+}
+
 /// Applies one command to a running engine. Returns lines to print (empty
-/// for silent commands).
-pub fn apply(engine: &mut AnytimeEngine, cmd: &Command, strategy: AdditionStrategy) -> Vec<String> {
-    match cmd {
+/// for silent commands), or an error for commands whose arguments are
+/// invalid for the current engine state — bad ranks, dead endpoints, zero
+/// weights. Harmless no-ops (deleting a missing edge, re-adding an existing
+/// one) stay warnings, not errors.
+pub fn apply(
+    engine: &mut AnytimeEngine,
+    cmd: &Command,
+    strategy: AdditionStrategy,
+) -> Result<Vec<String>, String> {
+    let out = match cmd {
         Command::AddEdge(u, v, w) => {
+            check_vertex(engine, *u)?;
+            check_vertex(engine, *v)?;
+            if u == v {
+                return Err(format!("self-loop ({u},{u}) is not a valid edge"));
+            }
+            if *w == 0 {
+                return Err(format!("edge ({u},{v}) weight must be at least 1"));
+            }
             let added = engine.add_edge(*u, *v, *w);
             if added {
                 vec![]
@@ -89,6 +150,8 @@ pub fn apply(engine: &mut AnytimeEngine, cmd: &Command, strategy: AdditionStrate
             }
         }
         Command::DeleteEdge(u, v) => {
+            check_vertex(engine, *u)?;
+            check_vertex(engine, *v)?;
             if engine.delete_edge(*u, *v) {
                 vec![]
             } else {
@@ -96,6 +159,11 @@ pub fn apply(engine: &mut AnytimeEngine, cmd: &Command, strategy: AdditionStrate
             }
         }
         Command::ChangeWeight(u, v, w) => {
+            check_vertex(engine, *u)?;
+            check_vertex(engine, *v)?;
+            if *w == 0 {
+                return Err(format!("edge ({u},{v}) weight must be at least 1"));
+            }
             if engine.change_edge_weight(*u, *v, *w) {
                 vec![]
             } else {
@@ -140,11 +208,27 @@ pub fn apply(engine: &mut AnytimeEngine, cmd: &Command, strategy: AdditionStrate
             vec![format!("rebalanced: {moved} vertices migrated")]
         }
         Command::Fail(rank) => {
+            let procs = engine.config().num_procs;
+            if *rank >= procs {
+                return Err(format!(
+                    "rank {rank} out of range (cluster has processors 0..{procs})"
+                ));
+            }
             let report = engine.fail_and_recover_processor(*rank);
             vec![format!(
                 "processor {rank} crashed and recovered: {} rows reseeded, {} rows resent",
                 report.reseeded_rows, report.resent_rows
             )]
+        }
+        Command::Chaos(p_drop, p_dup) => {
+            engine.set_chaos(*p_drop, *p_dup);
+            if *p_drop == 0.0 && *p_dup == 0.0 {
+                vec!["chaos disabled: links are reliable again".to_string()]
+            } else {
+                vec![format!(
+                    "chaos enabled: p_drop {p_drop}, p_dup {p_dup} on recombination links"
+                )]
+            }
         }
         Command::Snapshot(k) => {
             let snap = engine.snapshot();
@@ -158,7 +242,8 @@ pub fn apply(engine: &mut AnytimeEngine, cmd: &Command, strategy: AdditionStrate
             }
             out
         }
-    }
+    };
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -180,13 +265,15 @@ step
 converge
 rebalance
 fail 2
+chaos 0.25 0.1
 snapshot 10
 ";
         let cmds = parse_stream(text).unwrap();
-        assert_eq!(cmds.len(), 10);
-        assert_eq!(cmds[0], Command::AddEdge(0, 5, 2));
-        assert_eq!(cmds[4], Command::AddVertex(vec![1, 2, 3]));
-        assert_eq!(cmds[8], Command::Fail(2));
+        assert_eq!(cmds.len(), 11);
+        assert_eq!(cmds[0], (2, Command::AddEdge(0, 5, 2)));
+        assert_eq!(cmds[4], (6, Command::AddVertex(vec![1, 2, 3])));
+        assert_eq!(cmds[8], (10, Command::Fail(2)));
+        assert_eq!(cmds[9], (11, Command::Chaos(0.25, 0.1)));
     }
 
     #[test]
@@ -195,6 +282,12 @@ snapshot 10
         assert!(parse_stream("\nxx 1").unwrap_err().contains("line 2"));
         assert!(parse_stream("ae 0 1 2 3").unwrap_err().contains("trailing"));
         assert!(parse_stream("av one,two").unwrap_err().contains("anchor"));
+        assert!(parse_stream("chaos 0.5").unwrap_err().contains("p_dup"));
+        assert!(parse_stream("chaos -0.1 0").unwrap_err().contains("[0, 1]"));
+        assert!(parse_stream("chaos 0.1 1.5")
+            .unwrap_err()
+            .contains("[0, 1]"));
+        assert!(parse_stream("chaos 1.0 0").unwrap_err().contains("below 1"));
     }
 
     #[test]
@@ -208,11 +301,12 @@ snapshot 10
             },
         );
         e.initialize();
-        let cmds = parse_stream("converge\nae 0 20 1\nav 5,6\nstep\nde 0 1\nconverge\nsnapshot 3\n")
-            .unwrap();
+        let cmds =
+            parse_stream("converge\nae 0 20 1\nav 5,6\nstep\nde 0 1\nconverge\nsnapshot 3\n")
+                .unwrap();
         let mut printed = Vec::new();
-        for cmd in &cmds {
-            printed.extend(apply(&mut e, cmd, AdditionStrategy::RoundRobinPs));
+        for (_, cmd) in &cmds {
+            printed.extend(apply(&mut e, cmd, AdditionStrategy::RoundRobinPs).unwrap());
         }
         assert!(e.is_converged());
         assert!(printed.iter().any(|l| l.contains("added vertex 40")));
@@ -236,9 +330,75 @@ snapshot 10
             },
         );
         e.initialize();
-        let warn = apply(&mut e, &Command::DeleteEdge(0, 4), AdditionStrategy::RoundRobinPs);
+        let warn = apply(
+            &mut e,
+            &Command::DeleteEdge(0, 4),
+            AdditionStrategy::RoundRobinPs,
+        )
+        .unwrap();
         assert!(warn[0].contains("not found"));
-        let warn = apply(&mut e, &Command::DeleteVertex(99), AdditionStrategy::RoundRobinPs);
+        let warn = apply(
+            &mut e,
+            &Command::DeleteVertex(99),
+            AdditionStrategy::RoundRobinPs,
+        )
+        .unwrap();
         assert!(warn[0].contains("not alive"));
+    }
+
+    #[test]
+    fn apply_rejects_invalid_commands_without_panicking() {
+        let g = generators::path(6);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 2,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        let s = AdditionStrategy::RoundRobinPs;
+        // Out-of-range crash target used to panic deep inside resilience.rs.
+        let err = apply(&mut e, &Command::Fail(999_999), s).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        // Edge commands touching dead or out-of-range vertices.
+        assert!(apply(&mut e, &Command::AddEdge(0, 500, 1), s).is_err());
+        assert!(apply(&mut e, &Command::DeleteEdge(700, 0), s).is_err());
+        assert!(apply(&mut e, &Command::ChangeWeight(0, 99, 3), s).is_err());
+        // Zero weights and self-loops are rejected before the graph asserts.
+        assert!(apply(&mut e, &Command::AddEdge(0, 3, 0), s).is_err());
+        assert!(apply(&mut e, &Command::ChangeWeight(0, 1, 0), s).is_err());
+        assert!(apply(&mut e, &Command::AddEdge(2, 2, 1), s).is_err());
+        // The engine is still usable afterwards.
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+    }
+
+    #[test]
+    fn apply_chaos_toggles_fault_injection() {
+        let g = generators::barabasi_albert(30, 2, 1, 5);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 3,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        let s = AdditionStrategy::RoundRobinPs;
+        let msg = apply(&mut e, &Command::Chaos(0.3, 0.1), s).unwrap();
+        assert!(msg[0].contains("chaos enabled"));
+        apply(&mut e, &Command::Converge, s).unwrap();
+        assert!(e.is_converged());
+        let totals = e.cluster().ledger().totals();
+        assert!(totals.dropped_messages > 0, "chaos should drop something");
+        let msg = apply(&mut e, &Command::Chaos(0.0, 0.0), s).unwrap();
+        assert!(msg[0].contains("chaos disabled"));
+        // Exactness survives the lossy phase.
+        let dense = e.distances_dense();
+        let oracle = aa_graph::algo::apsp_dijkstra(e.graph());
+        for v in e.graph().vertices() {
+            assert_eq!(dense[v as usize], oracle[v as usize]);
+        }
     }
 }

@@ -6,9 +6,15 @@
 //! names. The format is a small self-contained little-endian binary layout
 //! (magic + version header) holding the world graph, the partition and every
 //! distance-vector row. Volatile state (boundary caches, delta baselines,
-//! dirty sets) is intentionally *not* saved: restore marks every row dirty
-//! and downgrades all sends to full rows, which is always safe and costs one
-//! re-exchange.
+//! dirty sets, pending retransmits) is intentionally *not* saved: restore
+//! marks every row dirty and downgrades all sends to full rows, which is
+//! always safe and costs one re-exchange.
+//!
+//! Integrity: the byte stream ends in a CRC32 (IEEE) footer over the body
+//! (everything between the version field and the footer). Truncated,
+//! bit-flipped or otherwise corrupted checkpoints are rejected with an
+//! [`io::ErrorKind::InvalidData`] error instead of restoring a silently
+//! wrong analysis state.
 
 use crate::config::EngineConfig;
 use crate::engine::AnytimeEngine;
@@ -20,7 +26,37 @@ use aa_runtime::SimCluster;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"AACP";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// CRC32 (IEEE 802.3, reflected polynomial) lookup table.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Standard CRC32 (the zlib/PNG/Ethernet checksum).
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -47,46 +83,60 @@ fn bad(msg: &str) -> io::Error {
 }
 
 impl AnytimeEngine {
-    /// Writes a checkpoint of the current analysis state.
+    /// Writes a checkpoint of the current analysis state, terminated by a
+    /// CRC32 integrity footer.
     pub fn save_checkpoint<W: Write>(&self, w: &mut W) -> io::Result<()> {
         assert!(self.initialized, "call initialize() first");
-        w.write_all(MAGIC)?;
-        write_u32(w, VERSION)?;
-        write_u64(w, self.rc_steps_done as u64)?;
-        write_u32(w, self.config.num_procs as u32)?;
-        write_u32(w, u32::from(self.converged))?;
-        write_u64(w, self.rr_cursor as u64)?;
+        // Buffer the body so the CRC32 footer can be computed over it.
+        let mut body = Vec::new();
+        let b = &mut body;
+        write_u64(b, self.rc_steps_done as u64)?;
+        write_u32(b, self.config.num_procs as u32)?;
+        write_u32(b, u32::from(self.converged))?;
+        write_u64(b, self.rr_cursor as u64)?;
 
         // World graph: capacity, alive flags, edges.
         let cap = self.world.capacity();
-        write_u64(w, cap as u64)?;
+        write_u64(b, cap as u64)?;
         for v in 0..cap as VertexId {
-            w.write_all(&[u8::from(self.world.is_alive(v))])?;
+            b.push(u8::from(self.world.is_alive(v)));
         }
-        write_u64(w, self.world.edge_count() as u64)?;
+        write_u64(b, self.world.edge_count() as u64)?;
         for (u, v, weight) in self.world.edges() {
-            write_u32(w, u)?;
-            write_u32(w, v)?;
-            write_u32(w, weight)?;
+            write_u32(b, u)?;
+            write_u32(b, v)?;
+            write_u32(b, weight)?;
         }
 
         // Partition assignment (u32::MAX sentinel for unassigned).
         for slot in &self.partition.assignment {
-            write_u32(w, if *slot == UNASSIGNED { u32::MAX } else { *slot as u32 })?;
+            write_u32(
+                b,
+                if *slot == UNASSIGNED {
+                    u32::MAX
+                } else {
+                    *slot as u32
+                },
+            )?;
         }
 
         // Distance-vector rows, per processor.
         for ps in &self.procs {
-            write_u64(w, ps.dv.row_count() as u64)?;
+            write_u64(b, ps.dv.row_count() as u64)?;
             for &v in ps.dv.vertices() {
-                write_u32(w, v)?;
+                write_u32(b, v)?;
                 let row = ps.dv.row(v);
-                write_u64(w, row.len() as u64)?;
+                write_u64(b, row.len() as u64)?;
                 for &d in row {
-                    write_u32(w, d)?;
+                    write_u32(b, d)?;
                 }
             }
         }
+
+        w.write_all(MAGIC)?;
+        write_u32(w, VERSION)?;
+        w.write_all(&body)?;
+        write_u32(w, crc32(&body))?;
         Ok(())
     }
 
@@ -103,6 +153,20 @@ impl AnytimeEngine {
         if read_u32(r)? != VERSION {
             return Err(bad("unsupported checkpoint version"));
         }
+        // Verify the CRC32 footer over the whole body before trusting any
+        // of it: truncation and bit flips both surface here as clean
+        // InvalidData errors.
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest)?;
+        if rest.len() < 4 {
+            return Err(bad("checkpoint truncated before the integrity footer"));
+        }
+        let (body, footer) = rest.split_at(rest.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(bad("checkpoint integrity checksum mismatch"));
+        }
+        let r = &mut &body[..];
         let rc_steps = read_u64(r)? as usize;
         let procs = read_u32(r)? as usize;
         if procs != config.num_procs {
@@ -140,7 +204,11 @@ impl AnytimeEngine {
         let mut partition = Partition::unassigned(cap, procs);
         for slot in partition.assignment.iter_mut() {
             let raw = read_u32(r)?;
-            *slot = if raw == u32::MAX { UNASSIGNED } else { raw as usize };
+            *slot = if raw == u32::MAX {
+                UNASSIGNED
+            } else {
+                raw as usize
+            };
         }
         partition
             .validate(&world)
@@ -170,10 +238,16 @@ impl AnytimeEngine {
             }
             states.push(ps);
         }
+        if !r.is_empty() {
+            return Err(bad("checkpoint has trailing bytes"));
+        }
 
         let p = config.num_procs;
         let mut cluster = SimCluster::new(p, config.logp, config.exchange);
         cluster.set_compute_scale(config.compute_scale);
+        if let Some(fc) = &config.fault {
+            cluster.set_fault_plan(Some(fc.build_plan()));
+        }
         let engine = AnytimeEngine {
             world,
             partition,
@@ -220,17 +294,11 @@ mod tests {
         e.run_to_convergence(64);
         let mut buf = Vec::new();
         e.save_checkpoint(&mut buf).unwrap();
-        let restored = AnytimeEngine::restore_checkpoint(
-            &mut buf.as_slice(),
-            e.config().clone(),
-        )
-        .unwrap();
+        let restored =
+            AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), e.config().clone()).unwrap();
         assert_eq!(restored.distances_dense(), e.distances_dense());
         assert_eq!(restored.rc_steps(), e.rc_steps());
-        assert_eq!(
-            restored.partition().assignment,
-            e.partition().assignment
-        );
+        assert_eq!(restored.partition().assignment, e.partition().assignment);
     }
 
     #[test]
@@ -309,10 +377,77 @@ mod tests {
         assert!(AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), bad_config).is_err());
         // Truncated stream.
         let truncated = &buf[..buf.len() / 2];
-        assert!(AnytimeEngine::restore_checkpoint(
-            &mut &truncated[..],
-            e.config().clone()
-        )
-        .is_err());
+        assert!(
+            AnytimeEngine::restore_checkpoint(&mut &truncated[..], e.config().clone()).is_err()
+        );
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard check value for CRC32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn corruption_is_rejected_with_invalid_data() {
+        let e = {
+            let mut e = engine(30, 3, 13);
+            e.run_to_convergence(32);
+            e
+        };
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+
+        // A bit flip anywhere in the body trips the checksum.
+        for pos in [9, buf.len() / 2, buf.len() - 5] {
+            let mut bad_buf = buf.clone();
+            bad_buf[pos] ^= 0x40;
+            let err =
+                AnytimeEngine::restore_checkpoint(&mut bad_buf.as_slice(), e.config().clone())
+                    .map(|_| ())
+                    .unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "flip at {pos}: {err}"
+            );
+            assert!(err.to_string().contains("checksum"), "flip at {pos}: {err}");
+        }
+        // A corrupted footer is itself caught.
+        let mut bad_footer = buf.clone();
+        *bad_footer.last_mut().unwrap() ^= 0x01;
+        let err = AnytimeEngine::restore_checkpoint(&mut bad_footer.as_slice(), e.config().clone())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+        // Wrong version (byte 4 is the low byte of the version field).
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        let err =
+            AnytimeEngine::restore_checkpoint(&mut bad_version.as_slice(), e.config().clone())
+                .map(|_| ())
+                .unwrap_err();
+        assert!(err.to_string().contains("version"));
+        // Truncations at every kind of boundary give clean errors, never
+        // panics or silent acceptance.
+        for keep in [0, 3, 4, 7, 8, 11, buf.len() / 3, buf.len() - 1] {
+            let err = AnytimeEngine::restore_checkpoint(&mut &buf[..keep], e.config().clone())
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                err.kind() == io::ErrorKind::InvalidData
+                    || err.kind() == io::ErrorKind::UnexpectedEof,
+                "truncation at {keep}: {err}"
+            );
+        }
+        // Trailing garbage lands in the CRC window and is rejected too.
+        let mut padded = buf.clone();
+        padded.extend_from_slice(b"garbage");
+        assert!(
+            AnytimeEngine::restore_checkpoint(&mut padded.as_slice(), e.config().clone()).is_err()
+        );
+        // The pristine buffer still restores.
+        assert!(AnytimeEngine::restore_checkpoint(&mut buf.as_slice(), e.config().clone()).is_ok());
     }
 }

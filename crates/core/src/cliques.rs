@@ -45,8 +45,7 @@ impl AnytimeEngine {
                 if dsts.is_empty() {
                     continue;
                 }
-                let nbrs: Vec<VertexId> =
-                    ps.adj[u as usize].iter().map(|&(x, _)| x).collect();
+                let nbrs: Vec<VertexId> = ps.adj[u as usize].iter().map(|&(x, _)| x).collect();
                 for dst in dsts {
                     per_dst[dst].push((u, nbrs.clone()));
                 }
@@ -118,8 +117,8 @@ impl AnytimeEngine {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
-    use crate::strategy::AdditionStrategy;
     use crate::dynamic::{Endpoint, VertexBatch};
+    use crate::strategy::AdditionStrategy;
     use aa_graph::generators;
 
     fn engine(g: Graph, p: usize) -> AnytimeEngine {

@@ -4,7 +4,7 @@ use aa_logp::LogPParams;
 use aa_partition::{
     BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RoundRobinPartitioner,
 };
-use aa_runtime::ExchangeMode;
+use aa_runtime::{ExchangeMode, FaultPlan};
 
 /// Which partitioner drives domain decomposition (and repartitioning).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +82,43 @@ pub enum RepartitionMode {
     Adaptive,
 }
 
+/// Lossy-interconnect fault injection (see `aa_runtime::fault`): every
+/// recombination transfer is independently dropped with probability
+/// `p_drop` and, when delivered, duplicated with probability `p_dup`;
+/// receiver inboxes may additionally be reordered. The ack-based send
+/// protocol retransmits dropped rows, so the engine still converges to the
+/// exact APSP for any `p_drop < 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-transfer drop probability in `[0, 1]`.
+    pub p_drop: f64,
+    /// Per-delivered-transfer duplication probability in `[0, 1]`.
+    pub p_dup: f64,
+    /// Whether receiver inboxes are deterministically reordered.
+    pub reorder: bool,
+    /// Seed of the fault schedule, independent of the engine seed so the
+    /// same chaos replays across algorithm configurations.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            p_drop: 0.0,
+            p_dup: 0.0,
+            reorder: true,
+            seed: 0xFA_017,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Builds the runtime fault plan this configuration describes.
+    pub fn build_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed, self.p_drop, self.p_dup).with_reorder(self.reorder)
+    }
+}
+
 /// Configuration of an [`crate::AnytimeEngine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -105,6 +142,9 @@ pub struct EngineConfig {
     pub compute_scale: f64,
     /// Seed for all randomized components.
     pub seed: u64,
+    /// Network fault injection on the recombination data plane
+    /// (`None` = perfect network).
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +159,7 @@ impl Default for EngineConfig {
             repartition: RepartitionMode::AdaptiveMultilevel,
             compute_scale: 1.0,
             seed: 0xA17A,
+            fault: None,
         }
     }
 }

@@ -152,7 +152,11 @@ impl DistanceMatrix {
             return false;
         }
         let (di, si) = (di as usize, si as usize);
-        let (lo, hi, dst_is_lo) = if di < si { (di, si, true) } else { (si, di, false) };
+        let (lo, hi, dst_is_lo) = if di < si {
+            (di, si, true)
+        } else {
+            (si, di, false)
+        };
         let (a, b) = self.rows.split_at_mut(hi);
         let (dst_row, src_row) = if dst_is_lo {
             (&mut a[lo], &b[0] as &[Weight])
@@ -163,7 +167,12 @@ impl DistanceMatrix {
     }
 
     /// Relaxes the row of `dst` against an external row slice.
-    pub fn relax_with_external(&mut self, dst: VertexId, src_row: &[Weight], offset: Weight) -> bool {
+    pub fn relax_with_external(
+        &mut self,
+        dst: VertexId,
+        src_row: &[Weight],
+        offset: Weight,
+    ) -> bool {
         relax_row(self.row_mut(dst), src_row, offset)
     }
 }

@@ -2,12 +2,13 @@
 //! the recombination loop, orchestrated over the simulated cluster.
 
 use crate::closeness::Snapshot;
-use crate::config::{EngineConfig, Refinement};
-use crate::proc_state::{ProcState, RowUpdate};
+use crate::config::{EngineConfig, FaultConfig, Refinement};
+use crate::proc_state::{retry_backoff, Outstanding, ProcState, RowUpdate};
 use aa_graph::{Graph, VertexId, Weight, INF};
 use aa_logp::Phase;
 use aa_partition::Partition;
 use aa_runtime::{SimCluster, TransferOut};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// The distributed anytime-anywhere closeness-centrality engine.
@@ -41,6 +42,9 @@ impl AnytimeEngine {
         let p = config.num_procs;
         let mut cluster = SimCluster::new(p, config.logp, config.exchange);
         cluster.set_compute_scale(config.compute_scale);
+        if let Some(fc) = &config.fault {
+            cluster.set_fault_plan(Some(fc.build_plan()));
+        }
         AnytimeEngine {
             partition: Partition::unassigned(graph.capacity(), p),
             world: graph,
@@ -83,10 +87,7 @@ impl AnytimeEngine {
             if rank == 0 {
                 continue;
             }
-            let bytes: usize = verts
-                .iter()
-                .map(|&v| 4 + 8 * self.world.degree(v))
-                .sum();
+            let bytes: usize = verts.iter().map(|&v| 4 + 8 * self.world.degree(v)).sum();
             outbox[0].push(TransferOut {
                 dst: rank,
                 bytes,
@@ -126,25 +127,45 @@ impl AnytimeEngine {
     /// vertices updated since the last step, relax, refine, and agree on
     /// termination. Returns `true` when no processor has pending updates
     /// (the solution is the exact APSP of the current graph).
+    ///
+    /// Sends are ack-based: a destination is marked as holding a row only
+    /// when the exchange's delivery receipt confirms it, and dropped sends
+    /// are queued for retransmission with capped exponential backoff. A
+    /// processor keeps voting "more updates pending" while any of its sends
+    /// is unacknowledged, so [`Self::is_converged`] can never report `true`
+    /// with data still in flight — this is what makes convergence loss-safe
+    /// under the injected network faults (see `FaultConfig`).
     pub fn rc_step(&mut self) -> bool {
         assert!(self.initialized, "call initialize() first");
         let p = self.config.num_procs;
         self.rc_steps_done += 1;
+        let now = self.rc_steps_done as u64;
 
-        // 1. Assemble boundary-row sends from dirty rows: full rows on first
-        // contact, only the changed entries afterwards (the papers' "send
-        // only the updated values of the boundary DVs").
+        // 1. Assemble boundary-row sends: full rows on first contact, only
+        // the changed entries afterwards (the papers' "send only the updated
+        // values of the boundary DVs"), plus due retransmits of previously
+        // dropped rows. `descs[rank][i]` describes `outbox[rank][i]`:
+        // (row, destination, is_retransmit).
         let mut outbox: Vec<Vec<TransferOut<(VertexId, RowUpdate)>>> =
             (0..p).map(|_| Vec::new()).collect();
+        let mut descs: Vec<Vec<(VertexId, usize, bool)>> = (0..p).map(|_| Vec::new()).collect();
+        // Per dirty row: destinations that were already up to date (no bytes
+        // needed — trivially delivered).
+        let mut dirty_meta: Vec<Vec<(VertexId, Vec<usize>)>> = (0..p).map(|_| Vec::new()).collect();
         for rank in 0..p {
             let t = Instant::now();
             let mut dirty: Vec<VertexId> = self.procs[rank].dirty.drain().collect();
             dirty.sort_unstable(); // deterministic order
             for u in dirty {
+                // A fresh send supersedes any pending retransmit of the same
+                // row: destinations still neighbouring get the new data
+                // below, the rest no longer need the row at all.
+                self.procs[rank].outstanding.retain(|&(v, _), _| v != u);
                 let ranks = self.procs[rank].neighbor_ranks(u, &self.partition);
                 if ranks.is_empty() {
                     continue; // interior vertex: no neighbour processor needs it
                 }
+                let mut trivial = Vec::new();
                 for &dst in &ranks {
                     if let Some(update) = self.procs[rank].build_row_update(u, dst) {
                         outbox[rank].push(TransferOut {
@@ -152,18 +173,116 @@ impl AnytimeEngine {
                             bytes: update.bytes(),
                             payload: (u, update),
                         });
+                        descs[rank].push((u, dst, false));
+                    } else {
+                        trivial.push(dst);
                     }
                 }
-                self.procs[rank].record_sent(u, &ranks);
+                dirty_meta[rank].push((u, trivial));
+            }
+            // Due retransmits. The destination was removed from `sent_to`
+            // when its receipt came back negative, so these are always full
+            // rows.
+            let mut due: Vec<(VertexId, usize)> = self.procs[rank]
+                .outstanding
+                .iter()
+                .filter(|(_, o)| o.next_step <= now)
+                .map(|(&key, _)| key)
+                .collect();
+            due.sort_unstable();
+            for (u, dst) in due {
+                match self.procs[rank].build_row_update(u, dst) {
+                    Some(update) => {
+                        outbox[rank].push(TransferOut {
+                            dst,
+                            bytes: update.bytes(),
+                            payload: (u, update),
+                        });
+                        descs[rank].push((u, dst, true));
+                    }
+                    None => {
+                        // dst already holds the current row (it was acked
+                        // through another path); nothing left to deliver.
+                        self.procs[rank].outstanding.remove(&(u, dst));
+                    }
+                }
             }
             self.cluster
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
         }
 
-        // 2. Personalized all-to-all exchange.
-        let inbox = self.cluster.exchange(Phase::Recombination, outbox);
+        // 2. Personalized all-to-all exchange, through the (possibly faulty)
+        // network, with per-sender delivery receipts.
+        let (inbox, receipts) = self
+            .cluster
+            .exchange_with_receipts(Phase::Recombination, outbox);
 
-        // 3. Apply received rows and refine locally.
+        // 3a. Settle receipts *before* applying received rows: each row
+        // still equals its value at send time, so an all-acked row's delta
+        // baseline can be refreshed to exactly what every receiver now
+        // holds.
+        for rank in 0..p {
+            let t = Instant::now();
+            let ps = &mut self.procs[rank];
+            let mut acked: HashMap<VertexId, Vec<usize>> = HashMap::new();
+            let mut failed: HashMap<VertexId, Vec<usize>> = HashMap::new();
+            debug_assert_eq!(descs[rank].len(), receipts[rank].len());
+            for (&(u, dst, is_retry), &ok) in descs[rank].iter().zip(&receipts[rank]) {
+                if is_retry {
+                    if ok {
+                        // The receiver now caches the row as it was at send
+                        // time, which is ≤ the (older) baseline snapshot, so
+                        // future deltas against that snapshot stay a
+                        // superset of what the receiver needs. Deliberately
+                        // no baseline refresh: other members may still be on
+                        // the older snapshot.
+                        ps.sent_to.entry(u).or_default().insert(dst);
+                        ps.outstanding.remove(&(u, dst));
+                    } else {
+                        let o = ps
+                            .outstanding
+                            .get_mut(&(u, dst))
+                            .expect("retransmit has an outstanding entry");
+                        o.attempts += 1;
+                        o.next_step = now + retry_backoff(o.attempts);
+                    }
+                } else if ok {
+                    acked.entry(u).or_default().push(dst);
+                } else {
+                    failed.entry(u).or_default().push(dst);
+                }
+            }
+            for (u, trivial) in dirty_meta[rank].drain(..) {
+                let mut delivered: HashSet<usize> = trivial.into_iter().collect();
+                delivered.extend(acked.remove(&u).unwrap_or_default());
+                let failures = failed.remove(&u).unwrap_or_default();
+                // Destinations that missed this send (dropped, or their cut
+                // edges to `u` came and went) are out of the up-to-date set:
+                // they get a full row on next contact.
+                ps.sent_to.insert(u, delivered);
+                // Refresh the delta baseline only when every destination got
+                // this send; otherwise keep the old baseline (an upper bound
+                // of every member's cache) so deltas remain supersets of
+                // what each member still needs. First sends always refresh —
+                // there is no older member to protect.
+                if failures.is_empty() || !ps.sent_snapshot.contains_key(&u) {
+                    ps.sent_snapshot.insert(u, ps.dv.row(u).to_vec());
+                }
+                for dst in failures {
+                    ps.outstanding.insert(
+                        (u, dst),
+                        Outstanding {
+                            attempts: 1,
+                            next_step: now + 1,
+                        },
+                    );
+                }
+            }
+            self.cluster
+                .compute_measured(rank, Phase::Recombination, t.elapsed());
+        }
+
+        // 3b. Apply received rows and refine locally.
         let mut flags = vec![false; p];
         for (rank, received) in inbox.into_iter().enumerate() {
             let t = Instant::now();
@@ -181,7 +300,10 @@ impl AnytimeEngine {
                     }
                 }
             }
-            flags[rank] = !self.procs[rank].dirty.is_empty() || self.pivot_pending[rank];
+            // Loss-safety: unacknowledged rows count as pending work.
+            flags[rank] = !self.procs[rank].dirty.is_empty()
+                || self.pivot_pending[rank]
+                || !self.procs[rank].outstanding.is_empty();
             self.cluster
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
         }
@@ -239,6 +361,33 @@ impl AnytimeEngine {
     /// Whether the last recombination step reported convergence.
     pub fn is_converged(&self) -> bool {
         self.converged
+    }
+
+    /// Row sends that are currently unacknowledged (dropped by the network
+    /// and awaiting retransmission), totalled across processors. While this
+    /// is non-zero the convergence test cannot report convergence.
+    pub fn outstanding_rows(&self) -> usize {
+        self.procs.iter().map(|ps| ps.outstanding.len()).sum()
+    }
+
+    /// Enables lossy-link chaos injection on the recombination data plane
+    /// (drop rate `p_drop`, duplication rate `p_dup`); both zero disables
+    /// it. Reordering and the fault seed keep their configured (or default)
+    /// values. Takes effect from the next exchange; outstanding
+    /// retransmissions keep running either way.
+    pub fn set_chaos(&mut self, p_drop: f64, p_dup: f64) {
+        if p_drop == 0.0 && p_dup == 0.0 {
+            self.config.fault = None;
+            self.cluster.set_fault_plan(None);
+        } else {
+            let fc = FaultConfig {
+                p_drop,
+                p_dup,
+                ..self.config.fault.unwrap_or_default()
+            };
+            self.config.fault = Some(fc);
+            self.cluster.set_fault_plan(Some(fc.build_plan()));
+        }
     }
 
     /// The engine configuration.
@@ -365,7 +514,10 @@ mod tests {
         // Steps are bounded by the maximum number of cut-edge crossings on
         // any shortest path (the papers bound this by P−1 for processor
         // chains); small-world graphs stay in the single digits.
-        assert!(steps <= 10, "static convergence took too long: {steps} steps");
+        assert!(
+            steps <= 10,
+            "static convergence took too long: {steps} steps"
+        );
         assert_matches_oracle(&e);
     }
 

@@ -58,7 +58,9 @@ pub mod resilience;
 pub mod strategy;
 
 pub use closeness::Snapshot;
-pub use config::{EngineConfig, IaAlgorithm, PartitionerKind, Refinement, RepartitionMode};
+pub use config::{
+    EngineConfig, FaultConfig, IaAlgorithm, PartitionerKind, Refinement, RepartitionMode,
+};
 pub use dynamic::{Endpoint, VertexBatch};
 pub use engine::AnytimeEngine;
 pub use rebalance::ImbalanceReport;

@@ -172,9 +172,9 @@ impl AnytimeEngine {
                     }
                 }
             }
-            let dangling_total = self
-                .cluster
-                .all_reduce_f64(Phase::Recombination, &dangling, |a, b| a + b);
+            let dangling_total =
+                self.cluster
+                    .all_reduce_f64(Phase::Recombination, &dangling, |a, b| a + b);
             let teleport = (1.0 - damping) / n as f64 + damping * dangling_total / n as f64;
             let mut deltas = vec![0.0f64; p];
             for (rank, ps) in self.procs.iter().enumerate() {

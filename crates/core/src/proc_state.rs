@@ -48,6 +48,28 @@ pub fn diff_rows(snapshot: &[Weight], current: &[Weight]) -> Vec<(u32, Weight)> 
         .collect()
 }
 
+/// A boundary-row send whose delivery receipt came back negative: the
+/// network dropped it and it awaits retransmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outstanding {
+    /// Failed delivery attempts so far (≥ 1).
+    pub attempts: u32,
+    /// Earliest recombination step at which the next retransmit may go out.
+    pub next_step: u64,
+}
+
+/// Longest backoff between retransmits of the same row, in rc steps.
+pub const RETRY_BACKOFF_CAP: u64 = 8;
+
+/// Backoff delay before the next retransmit after `attempts` failed
+/// deliveries: 1, 2, 4, then capped at [`RETRY_BACKOFF_CAP`] steps. The
+/// retry count itself is unbounded — min-merge delivery is idempotent, so
+/// retrying forever is safe, and capping the *interval* keeps the expected
+/// time-to-convergence finite for any drop rate below 1.
+pub fn retry_backoff(attempts: u32) -> u64 {
+    1u64 << (attempts.saturating_sub(1)).min(3)
+}
+
 /// State of one virtual processor.
 #[derive(Debug, Clone)]
 pub struct ProcState {
@@ -67,8 +89,15 @@ pub struct ProcState {
     /// Per boundary row: copy of the row as last sent (delta baseline).
     pub sent_snapshot: HashMap<VertexId, Vec<Weight>>,
     /// Per boundary row: processors that already hold a copy (and can
-    /// therefore accept deltas).
+    /// therefore accept deltas). Under the ack-based protocol a destination
+    /// joins this set only once a delivery receipt confirms it actually
+    /// received the row.
     pub sent_to: HashMap<VertexId, HashSet<usize>>,
+    /// Sends that were dropped by the (faulty) network and must be
+    /// retransmitted, keyed by `(row, destination rank)`. Always empty on a
+    /// fault-free cluster. A processor may not vote "no more updates" while
+    /// this is non-empty — undelivered rows count as in-flight work.
+    pub outstanding: HashMap<(VertexId, usize), Outstanding>,
 }
 
 impl ProcState {
@@ -83,14 +112,35 @@ impl ProcState {
             dirty: HashSet::new(),
             sent_snapshot: HashMap::new(),
             sent_to: HashMap::new(),
+            outstanding: HashMap::new(),
         }
     }
 
     /// Forgets all delta baselines (used when ownership changes under the
     /// receivers, e.g. repartitioning): the next send of every row is full.
+    /// Pending retransmits are dropped too — callers re-dirty every affected
+    /// row, so the data goes out again as full rows.
     pub fn reset_send_state(&mut self) {
         self.sent_snapshot.clear();
         self.sent_to.clear();
+        self.outstanding.clear();
+    }
+
+    /// Re-aligns every delta baseline with the current row values. Only
+    /// sound at quiescence (no dirty rows, no outstanding retransmits),
+    /// where every receiver's cached copy equals the current row. Retransmit
+    /// acks deliberately leave the baseline at an older (pointwise larger)
+    /// snapshot; the deletion barrier calls this before invalidation so both
+    /// sides of the baseline see identical values. A no-op on fault-free
+    /// runs.
+    pub fn sync_snapshots_to_rows(&mut self) {
+        debug_assert!(self.outstanding.is_empty() && self.dirty.is_empty());
+        let rows: Vec<VertexId> = self.sent_snapshot.keys().copied().collect();
+        for u in rows {
+            if self.dv.has_row(u) {
+                self.sent_snapshot.insert(u, self.dv.row(u).to_vec());
+            }
+        }
     }
 
     /// Builds the update message for row `u` towards processor `dst`, or
@@ -99,7 +149,10 @@ impl ProcState {
     pub fn build_row_update(&self, u: VertexId, dst: usize) -> Option<RowUpdate> {
         let row = self.dv.row(u);
         if self.sent_to.get(&u).is_some_and(|s| s.contains(&dst)) {
-            let snapshot = self.sent_snapshot.get(&u).expect("snapshot exists for sent row");
+            let snapshot = self
+                .sent_snapshot
+                .get(&u)
+                .expect("snapshot exists for sent row");
             let delta = diff_rows(snapshot, row);
             if delta.is_empty() {
                 return None;
@@ -218,10 +271,7 @@ impl ProcState {
             RowUpdate::Full(row) => self.apply_external_row(v, row),
             RowUpdate::Delta(delta) => {
                 let cap = self.adj.len();
-                let row = self
-                    .ext_rows
-                    .entry(v)
-                    .or_insert_with(|| vec![INF; cap]);
+                let row = self.ext_rows.entry(v).or_insert_with(|| vec![INF; cap]);
                 row.resize(cap, INF);
                 for &(col, val) in &delta {
                     if val < row[col as usize] {
@@ -616,7 +666,11 @@ mod tests {
     #[test]
     fn diff_rows_reports_decreases_and_new_columns() {
         assert_eq!(diff_rows(&[5, 3, INF], &[5, 2, INF]), vec![(1, 2)]);
-        assert_eq!(diff_rows(&[5], &[5, 7]), vec![(1, 7)], "grown column counts as new");
+        assert_eq!(
+            diff_rows(&[5], &[5, 7]),
+            vec![(1, 7)],
+            "grown column counts as new"
+        );
         assert!(diff_rows(&[5, 3], &[5, 3]).is_empty());
     }
 
@@ -633,7 +687,10 @@ mod tests {
         let upd = p0.build_row_update(1, 1).unwrap();
         assert!(matches!(upd, RowUpdate::Full(_)));
         p0.record_sent(1, &[1]);
-        assert!(p0.build_row_update(1, 1).is_none(), "unchanged row sends nothing");
+        assert!(
+            p0.build_row_update(1, 1).is_none(),
+            "unchanged row sends nothing"
+        );
         // Improve one entry: next update is a one-entry delta.
         p0.dv.row_mut(1)[3] = 2;
         match p0.build_row_update(1, 1).unwrap() {
@@ -641,7 +698,10 @@ mod tests {
             other => panic!("expected delta, got {other:?}"),
         }
         // A new destination still gets the full row.
-        assert!(matches!(p0.build_row_update(1, 0).unwrap(), RowUpdate::Full(_)));
+        assert!(matches!(
+            p0.build_row_update(1, 0).unwrap(),
+            RowUpdate::Full(_)
+        ));
     }
 
     #[test]
@@ -669,7 +729,11 @@ mod tests {
         p1.dv.row_mut(2)[0] = 2;
         let seeds = p0.apply_row_update(2, RowUpdate::Delta(vec![(0, 2)]));
         assert_eq!(p0.ext_rows[&2][0], 2);
-        assert_eq!(seeds, Vec::<VertexId>::new(), "no local row improves from this");
+        assert_eq!(
+            seeds,
+            Vec::<VertexId>::new(),
+            "no local row improves from this"
+        );
         // A useful delta: d(2,3) drops to 1 (already known) then d(2,3)=0 fake
         // improvement must relax local vertex 1.
         let seeds = p0.apply_row_update(2, RowUpdate::Delta(vec![(3, 0)]));
@@ -694,7 +758,10 @@ mod tests {
         p0.initial_approximation(crate::config::IaAlgorithm::Dijkstra);
         p0.record_sent(1, &[1]);
         p0.reset_send_state();
-        assert!(matches!(p0.build_row_update(1, 1).unwrap(), RowUpdate::Full(_)));
+        assert!(matches!(
+            p0.build_row_update(1, 1).unwrap(),
+            RowUpdate::Full(_)
+        ));
     }
 
     #[test]

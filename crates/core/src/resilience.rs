@@ -76,6 +76,10 @@ impl AnytimeEngine {
                     s.remove(&rank);
                 }
             }
+            // Retransmits addressed to the crashed processor are moot: its
+            // replacement state is rebuilt from scratch, and every bordering
+            // row was re-marked dirty above, so it receives full rows again.
+            ps.outstanding.retain(|&(_, dst), _| dst != rank);
             // Cached rows owned by the failed rank are stale only in the
             // harmless direction (they reflect pre-crash values, which were
             // valid upper bounds of an unchanged graph) — they stay.
@@ -95,8 +99,8 @@ impl AnytimeEngine {
 mod tests {
     use super::*;
     use crate::config::EngineConfig;
-    use crate::strategy::AdditionStrategy;
     use crate::dynamic::{Endpoint, VertexBatch};
+    use crate::strategy::AdditionStrategy;
     use aa_graph::{algo, generators};
 
     fn engine(n: usize, p: usize, seed: u64) -> AnytimeEngine {

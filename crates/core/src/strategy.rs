@@ -56,7 +56,11 @@ impl AnytimeEngine {
     /// Adds a batch of vertices (and their edges) during the analysis using
     /// the given strategy. Returns the ids assigned to the new vertices, in
     /// batch order. Subsequent recombination steps propagate the changes.
-    pub fn add_vertices(&mut self, batch: &VertexBatch, strategy: AdditionStrategy) -> Vec<VertexId> {
+    pub fn add_vertices(
+        &mut self,
+        batch: &VertexBatch,
+        strategy: AdditionStrategy,
+    ) -> Vec<VertexId> {
         assert!(self.initialized, "call initialize() first");
         batch
             .validate(self.world.capacity())
@@ -257,7 +261,10 @@ impl AnytimeEngine {
         edges: &[(VertexId, Weight)],
         seeds: &mut [Vec<VertexId>],
     ) {
-        let ov = self.partition.part_of(v).expect("new vertex already assigned");
+        let ov = self
+            .partition
+            .part_of(v)
+            .expect("new vertex already assigned");
         let mut attached: Vec<(VertexId, Weight)> = Vec::with_capacity(edges.len());
         for &(u, w) in edges {
             if !self.world.add_edge(v, u, w) {
@@ -286,7 +293,11 @@ impl AnytimeEngine {
         for &(u, w) in &attached {
             let ou = self.partition.part_of(u).expect("endpoint assigned");
             if ou != ov {
-                gather[ou].push(TransferOut { dst: ov, bytes: row_bytes, payload: () });
+                gather[ou].push(TransferOut {
+                    dst: ov,
+                    bytes: row_bytes,
+                    payload: (),
+                });
             }
             let row_u = self.procs[ou].dv.row(u).to_vec();
             self.procs[ov].dv.relax_with_external(v, &row_u, w);
@@ -299,7 +310,8 @@ impl AnytimeEngine {
 
         // Broadcast v's row; every processor folds v into its own rows.
         let row_v = self.procs[ov].dv.row(v).to_vec();
-        self.cluster.broadcast_cost(Phase::DynamicUpdate, ov, row_bytes);
+        self.cluster
+            .broadcast_cost(Phase::DynamicUpdate, ov, row_bytes);
         for rank in 0..self.procs.len() {
             let t = Instant::now();
             let ps = &mut self.procs[rank];
@@ -364,8 +376,9 @@ impl AnytimeEngine {
                     .partition(&self.world, p);
                 aa_partition::adaptive::remap_labels(&self.partition, &fresh)
             }
-            crate::config::RepartitionMode::Adaptive => aa_partition::AdaptiveRefine::default()
-                .repartition(&self.world, &self.partition, p),
+            crate::config::RepartitionMode::Adaptive => {
+                aa_partition::AdaptiveRefine::default().repartition(&self.world, &self.partition, p)
+            }
         };
         let elapsed = t.elapsed();
         for rank in 0..p {
@@ -430,6 +443,10 @@ impl AnytimeEngine {
                         .map(|s| s.into_iter().collect())
                         .unwrap_or_default();
                     ps.dirty.remove(&v);
+                    // Pending retransmits of the migrated row die with the
+                    // old ownership: every row is re-marked dirty below, so
+                    // the new owner resends to all current neighbourhoods.
+                    ps.outstanding.retain(|&(u, _), _| u != v);
                     let bytes = 4
                         + 4 * row.len()
                         + snapshot.as_ref().map_or(0, |s| 4 * s.len())
@@ -485,7 +502,8 @@ impl AnytimeEngine {
             };
             self.world.add_edge(u, v, w);
         }
-        self.partition = aa_partition::Partition::unassigned(self.world.capacity(), self.config.num_procs);
+        self.partition =
+            aa_partition::Partition::unassigned(self.world.capacity(), self.config.num_procs);
         self.procs = Vec::new();
         self.initialize();
         ids
@@ -614,13 +632,11 @@ mod tests {
         let mut rr = engine(60, 4, 7);
         rr.run_to_convergence(32);
         let ids_rr = rr.add_vertices(&batch, AdditionStrategy::RoundRobinPs);
-        let cut_rr =
-            aa_partition::quality::new_cut_edges(rr.graph(), rr.partition(), &ids_rr);
+        let cut_rr = aa_partition::quality::new_cut_edges(rr.graph(), rr.partition(), &ids_rr);
         let mut ce = engine(60, 4, 7);
         ce.run_to_convergence(32);
         let ids_ce = ce.add_vertices(&batch, AdditionStrategy::CutEdgePs);
-        let cut_ce =
-            aa_partition::quality::new_cut_edges(ce.graph(), ce.partition(), &ids_ce);
+        let cut_ce = aa_partition::quality::new_cut_edges(ce.graph(), ce.partition(), &ids_ce);
         assert!(
             cut_ce < cut_rr,
             "CutEdge-PS new cut {cut_ce} must beat RoundRobin-PS {cut_rr}"
@@ -650,7 +666,10 @@ mod tests {
         e.run_to_convergence(64);
         assert!(e.is_converged());
         assert_oracle(&e);
-        assert!(e.makespan_us() > makespan_before, "restart cost accumulates");
+        assert!(
+            e.makespan_us() > makespan_before,
+            "restart cost accumulates"
+        );
     }
 
     #[test]

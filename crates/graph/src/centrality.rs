@@ -304,7 +304,10 @@ mod tests {
         let g = generators::path(5);
         let bc = betweenness_unweighted(&g);
         assert!((bc[0] - 0.0).abs() < 1e-12);
-        assert!((bc[2] - 4.0).abs() < 1e-12, "center: pairs (0,3),(0,4),(1,3),(1,4)");
+        assert!(
+            (bc[2] - 4.0).abs() < 1e-12,
+            "center: pairs (0,3),(0,4),(1,3),(1,4)"
+        );
         assert!((bc[1] - 3.0).abs() < 1e-12, "pairs (0,2),(0,3),(0,4)");
     }
 
@@ -364,7 +367,10 @@ mod tests {
         let mut g = generators::path(3);
         let isolated = g.add_vertex();
         let pr = pagerank(&g, 0.85, 100, 1e-12);
-        assert!(pr[isolated as usize] > 0.0, "teleport reaches isolated vertices");
+        assert!(
+            pr[isolated as usize] > 0.0,
+            "teleport reaches isolated vertices"
+        );
         assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
     }
 

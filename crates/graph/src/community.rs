@@ -271,7 +271,11 @@ mod tests {
         let g = generators::planted_partition(4, 20, 0.6, 0.01, 1, 77);
         let truth = generators::planted_partition_labels(4, 20);
         let c = louvain(&g);
-        assert!(c.count >= 3 && c.count <= 6, "found {} communities", c.count);
+        assert!(
+            c.count >= 3 && c.count <= 6,
+            "found {} communities",
+            c.count
+        );
         // Check strong agreement: most intra-truth pairs share a Louvain label.
         let mut agree = 0usize;
         let mut total = 0usize;

@@ -96,7 +96,10 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, max_weight: Weight, seed: u64) -> Gra
 /// Watts–Strogatz small-world: ring lattice with `k` nearest neighbours per
 /// side, each edge rewired with probability `beta`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, max_weight: Weight, seed: u64) -> Graph {
-    assert!(k >= 1 && 2 * k < n, "watts_strogatz: need 1 <= k and 2k < n");
+    assert!(
+        k >= 1 && 2 * k < n,
+        "watts_strogatz: need 1 <= k and 2k < n"
+    );
     assert!((0.0..=1.0).contains(&beta));
     let mut r = rng(seed);
     let mut g = Graph::with_vertices(n);
@@ -148,7 +151,11 @@ pub fn planted_partition(
             let same = u / community_size == v / community_size;
             let p = if same { p_in } else { p_out };
             if r.gen_bool(p) {
-                g.add_edge(u as VertexId, v as VertexId, draw_weight(&mut r, max_weight));
+                g.add_edge(
+                    u as VertexId,
+                    v as VertexId,
+                    draw_weight(&mut r, max_weight),
+                );
             }
         }
     }
@@ -291,7 +298,10 @@ mod tests {
                 inter += 1;
             }
         }
-        assert!(intra > 4 * inter, "intra {intra} should dwarf inter {inter}");
+        assert!(
+            intra > 4 * inter,
+            "intra {intra} should dwarf inter {inter}"
+        );
     }
 
     #[test]

@@ -120,7 +120,11 @@ impl Graph {
 
     /// Removes the undirected edge `(u, v)`. Returns the removed weight.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Option<Weight> {
-        let pos = self.adj.get(u as usize)?.iter().position(|&(x, _)| x == v)?;
+        let pos = self
+            .adj
+            .get(u as usize)?
+            .iter()
+            .position(|&(x, _)| x == v)?;
         let (_, w) = self.adj[u as usize].swap_remove(pos);
         let pos_v = self.adj[v as usize]
             .iter()
@@ -161,7 +165,11 @@ impl Graph {
 
     /// Whether the undirected edge `(u, v)` exists.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        let (u, v) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (u, v) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[u as usize].iter().any(|&(x, _)| x == v)
     }
 
@@ -273,7 +281,11 @@ mod tests {
         let mut g = Graph::with_vertices(2);
         assert!(g.add_edge(0, 1, 1));
         assert!(!g.add_edge(1, 0, 9), "duplicate must be rejected");
-        assert_eq!(g.edge_weight(0, 1), Some(1), "weight unchanged on duplicate");
+        assert_eq!(
+            g.edge_weight(0, 1),
+            Some(1),
+            "weight unchanged on duplicate"
+        );
         assert!(!g.add_edge(0, 0, 1), "self-loop must be rejected");
         assert_eq!(g.edge_count(), 1);
     }

@@ -174,10 +174,14 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Graph, IoError> {
             header_seen = true;
             let mut toks = content.split_whitespace();
             let n: usize = parse(toks.next().unwrap(), lineno, "vertex count")?;
-            expected_edges = parse(toks.next().ok_or(IoError::Parse {
-                line: lineno,
-                msg: "missing edge count".into(),
-            })?, lineno, "edge count")?;
+            expected_edges = parse(
+                toks.next().ok_or(IoError::Parse {
+                    line: lineno,
+                    msg: "missing edge count".into(),
+                })?,
+                lineno,
+                "edge count",
+            )?;
             if let Some(fmt) = toks.next() {
                 if fmt.len() >= 2 && &fmt[..fmt.len() - 1] != "0" && fmt.starts_with('1') {
                     return Err(IoError::Parse {

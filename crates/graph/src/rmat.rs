@@ -96,7 +96,11 @@ mod tests {
     fn rmat_basic_shape() {
         let g = rmat(8, 1000, RmatParams::default(), 1, 5);
         assert_eq!(g.capacity(), 256);
-        assert!(g.edge_count() > 800, "only {} edges materialized", g.edge_count());
+        assert!(
+            g.edge_count() > 800,
+            "only {} edges materialized",
+            g.edge_count()
+        );
         g.check_invariants().unwrap();
     }
 
@@ -142,6 +146,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "quadrant probabilities")]
     fn invalid_probabilities_rejected() {
-        rmat(5, 10, RmatParams { a: 0.8, b: 0.2, c: 0.2, noise: 0.0 }, 1, 1);
+        rmat(
+            5,
+            10,
+            RmatParams {
+                a: 0.8,
+                b: 0.2,
+                c: 0.2,
+                noise: 0.0,
+            },
+            1,
+            1,
+        );
     }
 }

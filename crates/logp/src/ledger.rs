@@ -43,6 +43,11 @@ impl fmt::Display for Phase {
 }
 
 /// Accumulated costs for one phase.
+///
+/// `messages`/`bytes` count *all* network traffic, including transfers the
+/// fault-injection layer dropped or duplicated (the network was occupied
+/// either way); the `dropped_*`/`dup_*` counters additionally single out the
+/// faulted subset, so they are always ≤ the corresponding totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseStats {
     /// Number of model messages sent.
@@ -51,10 +56,18 @@ pub struct PhaseStats {
     pub bytes: u64,
     /// Virtual compute time charged (µs, summed over processors).
     pub compute_us: f64,
+    /// Model messages lost to injected network faults.
+    pub dropped_messages: u64,
+    /// Payload bytes lost to injected network faults.
+    pub dropped_bytes: u64,
+    /// Model messages injected as duplicates.
+    pub dup_messages: u64,
+    /// Payload bytes injected as duplicates.
+    pub dup_bytes: u64,
 }
 
 /// Ledger of communication and computation per phase.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CostLedger {
     stats: [PhaseStats; Phase::ALL.len()],
 }
@@ -81,6 +94,25 @@ impl CostLedger {
         self.stats[Self::idx(phase)].compute_us += us;
     }
 
+    /// Records a transfer lost to injected network faults. Only the fault
+    /// counters are touched: the lost transfer's share of `messages`/`bytes`
+    /// is charged by the normal [`CostLedger::record_transfer`] path, since
+    /// a dropped message still occupies the network.
+    pub fn record_drop(&mut self, phase: Phase, messages: u64, bytes: u64) {
+        let s = &mut self.stats[Self::idx(phase)];
+        s.dropped_messages += messages;
+        s.dropped_bytes += bytes;
+    }
+
+    /// Records an injected duplicate copy of a transfer (fault counters
+    /// only; the copy's traffic is charged via
+    /// [`CostLedger::record_transfer`] like any other transfer).
+    pub fn record_duplicate(&mut self, phase: Phase, messages: u64, bytes: u64) {
+        let s = &mut self.stats[Self::idx(phase)];
+        s.dup_messages += messages;
+        s.dup_bytes += bytes;
+    }
+
     /// Stats for one phase.
     pub fn phase(&self, phase: Phase) -> PhaseStats {
         self.stats[Self::idx(phase)]
@@ -93,6 +125,10 @@ impl CostLedger {
             t.messages += s.messages;
             t.bytes += s.bytes;
             t.compute_us += s.compute_us;
+            t.dropped_messages += s.dropped_messages;
+            t.dropped_bytes += s.dropped_bytes;
+            t.dup_messages += s.dup_messages;
+            t.dup_bytes += s.dup_bytes;
         }
         t
     }
@@ -103,31 +139,35 @@ impl CostLedger {
             self.stats[i].messages += s.messages;
             self.stats[i].bytes += s.bytes;
             self.stats[i].compute_us += s.compute_us;
+            self.stats[i].dropped_messages += s.dropped_messages;
+            self.stats[i].dropped_bytes += s.dropped_bytes;
+            self.stats[i].dup_messages += s.dup_messages;
+            self.stats[i].dup_bytes += s.dup_bytes;
         }
     }
 
-    /// A human-readable multi-line report.
+    /// A human-readable multi-line report. The fault columns (`dropped_b`,
+    /// `dup_b`) stay all-zero unless network fault injection is active.
     pub fn report(&self) -> String {
         let mut out = String::new();
-        out.push_str("phase                      messages        bytes   compute_ms\n");
-        for &p in &Phase::ALL {
-            let s = self.phase(p);
+        out.push_str(
+            "phase                      messages        bytes   compute_ms    dropped_b        dup_b\n",
+        );
+        let mut row = |name: &str, s: PhaseStats| {
             out.push_str(&format!(
-                "{:<24} {:>10} {:>12} {:>12.2}\n",
-                p.to_string(),
+                "{:<24} {:>10} {:>12} {:>12.2} {:>12} {:>12}\n",
+                name,
                 s.messages,
                 s.bytes,
-                s.compute_us / 1000.0
+                s.compute_us / 1000.0,
+                s.dropped_bytes,
+                s.dup_bytes
             ));
+        };
+        for &p in &Phase::ALL {
+            row(&p.to_string(), self.phase(p));
         }
-        let t = self.totals();
-        out.push_str(&format!(
-            "{:<24} {:>10} {:>12} {:>12.2}\n",
-            "total",
-            t.messages,
-            t.bytes,
-            t.compute_us / 1000.0
-        ));
+        row("total", self.totals());
         out
     }
 }
@@ -182,5 +222,25 @@ mod tests {
             assert!(r.contains(&p.to_string()), "missing {p}");
         }
         assert!(r.contains("total"));
+        assert!(r.contains("dropped_b") && r.contains("dup_b"));
+    }
+
+    #[test]
+    fn fault_counters_accumulate_merge_and_total() {
+        let mut a = CostLedger::new();
+        a.record_transfer(Phase::Recombination, 4, 400);
+        a.record_drop(Phase::Recombination, 1, 100);
+        a.record_duplicate(Phase::Recombination, 2, 50);
+        let s = a.phase(Phase::Recombination);
+        assert_eq!((s.dropped_messages, s.dropped_bytes), (1, 100));
+        assert_eq!((s.dup_messages, s.dup_bytes), (2, 50));
+        // record_drop/record_duplicate never touch the traffic totals.
+        assert_eq!((s.messages, s.bytes), (4, 400));
+        let mut b = CostLedger::new();
+        b.record_drop(Phase::DynamicUpdate, 3, 30);
+        a.merge(&b);
+        let t = a.totals();
+        assert_eq!((t.dropped_messages, t.dropped_bytes), (4, 130));
+        assert_eq!((t.dup_messages, t.dup_bytes), (2, 50));
     }
 }

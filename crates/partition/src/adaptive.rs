@@ -56,7 +56,9 @@ impl AdaptiveMultilevel {
         if n == 0 {
             return out;
         }
-        let max_weight = ((n as f64 / k as f64) * (1.0 + self.epsilon)).ceil().max(1.0) as u64;
+        let max_weight = ((n as f64 / k as f64) * (1.0 + self.epsilon))
+            .ceil()
+            .max(1.0) as u64;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let (base, orig_of) = build_base(g);
 
@@ -189,12 +191,7 @@ fn labeled_matching(
 /// Moves vertices out of overweight parts (highest external connectivity
 /// first, crude greedy) until every part fits `max_weight` or no legal move
 /// remains.
-fn balance_pass(
-    level: &crate::multilevel::Level,
-    part: &mut [usize],
-    k: usize,
-    max_weight: u64,
-) {
+fn balance_pass(level: &crate::multilevel::Level, part: &mut [usize], k: usize, max_weight: u64) {
     let n = level.n();
     let mut weight = vec![0u64; k];
     for v in 0..n {
@@ -345,9 +342,7 @@ impl AdaptiveRefine {
             let choice = (0..k)
                 .filter(|&p| weight[p] < max_weight)
                 .max_by_key(|&p| (affinity[p], std::cmp::Reverse(weight[p])))
-                .unwrap_or_else(|| {
-                    (0..k).min_by_key(|&p| weight[p]).expect("k >= 1")
-                });
+                .unwrap_or_else(|| (0..k).min_by_key(|&p| weight[p]).expect("k >= 1"));
             part[d] = choice;
             weight[choice] += 1;
         }
@@ -469,17 +464,32 @@ mod tests {
     #[test]
     fn remap_labels_reduces_migration_for_fresh_partitions() {
         let g = generators::planted_partition(4, 25, 0.4, 0.01, 1, 21);
-        let a = MultilevelKWay { seed: 1, ..Default::default() }.partition(&g, 4);
-        let b = MultilevelKWay { seed: 2, ..Default::default() }.partition(&g, 4);
+        let a = MultilevelKWay {
+            seed: 1,
+            ..Default::default()
+        }
+        .partition(&g, 4);
+        let b = MultilevelKWay {
+            seed: 2,
+            ..Default::default()
+        }
+        .partition(&g, 4);
         let raw = AdaptiveRefine::migration_count(&a, &b);
         let remapped = remap_labels(&a, &b);
         let after = AdaptiveRefine::migration_count(&a, &remapped);
-        assert!(after <= raw, "remap must not increase migration: {raw} -> {after}");
+        assert!(
+            after <= raw,
+            "remap must not increase migration: {raw} -> {after}"
+        );
         assert!(
             after < g.vertex_count() / 2,
             "structurally similar partitions should mostly agree after remap: {after}"
         );
-        assert_eq!(edge_cut(&g, &b), edge_cut(&g, &remapped), "cut unchanged by relabel");
+        assert_eq!(
+            edge_cut(&g, &b),
+            edge_cut(&g, &remapped),
+            "cut unchanged by relabel"
+        );
     }
 
     #[test]

@@ -182,11 +182,7 @@ pub(crate) fn contract(level: &Level, matched: &[u32]) -> Level {
             scratch[cu as usize] = 0;
         }
     }
-    Level {
-        adj,
-        vw,
-        coarse_of,
-    }
+    Level { adj, vw, coarse_of }
 }
 
 /// Greedy graph growing initial partition of the coarsest level.
@@ -332,8 +328,9 @@ impl Partitioner for MultilevelKWay {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let (base, orig_of) = build_base(g);
         let total: u64 = base.vw.iter().sum();
-        let max_weight =
-            ((total as f64 / k as f64) * (1.0 + self.epsilon)).ceil().max(1.0) as u64;
+        let max_weight = ((total as f64 / k as f64) * (1.0 + self.epsilon))
+            .ceil()
+            .max(1.0) as u64;
 
         // Coarsen.
         let stop_at = (self.coarse_factor * k).max(200);

@@ -187,7 +187,11 @@ mod tests {
             &BfsGrowPartitioner,
         ] {
             let p = pt.partition(&g, 1);
-            assert!(g.vertices().all(|v| p.part_of(v) == Some(0)), "{}", pt.name());
+            assert!(
+                g.vertices().all(|v| p.part_of(v) == Some(0)),
+                "{}",
+                pt.name()
+            );
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The [`SimCluster`]: byte-accounted collectives over LogP virtual clocks.
 
+use crate::fault::{Delivery, FaultPlan};
 use aa_logp::{schedule, CostLedger, LogPParams, Phase, VirtualClocks};
 use std::time::Duration;
 
@@ -24,6 +25,32 @@ pub struct TransferOut<T> {
     pub payload: T,
 }
 
+/// Result of [`SimCluster::exchange_with_receipts`]: per-receiver inboxes of
+/// `(src, payload)`, plus per-*sender* delivery receipts in the order that
+/// sender's outbox listed its transfers (`true` = delivered at least once).
+pub type ExchangeReceipts<T> = (Vec<Vec<(usize, T)>>, Vec<Vec<bool>>);
+
+/// What the network did with a traced transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// Delivered intact (the only kind on a fault-free cluster).
+    Delivered,
+    /// Lost by the injected fault plan; the bytes were still charged.
+    Dropped,
+    /// An injected second copy of a delivered transfer.
+    Duplicate,
+}
+
+impl std::fmt::Display for DeliveryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DeliveryKind::Delivered => "delivered",
+            DeliveryKind::Dropped => "dropped",
+            DeliveryKind::Duplicate => "duplicate",
+        })
+    }
+}
+
 /// One recorded communication event (tracing enabled via
 /// [`SimCluster::enable_trace`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +65,8 @@ pub struct TraceEvent {
     pub phase: Phase,
     /// Cluster makespan (µs) right after the transfer was charged.
     pub makespan_us: f64,
+    /// Delivery outcome under the active fault plan.
+    pub kind: DeliveryKind,
 }
 
 /// A simulated cluster of `P` virtual processors.
@@ -65,6 +94,7 @@ pub struct SimCluster {
     mode: ExchangeMode,
     trace: Option<Vec<TraceEvent>>,
     compute_scale: f64,
+    fault: Option<FaultPlan>,
 }
 
 impl SimCluster {
@@ -78,7 +108,20 @@ impl SimCluster {
             mode,
             trace: None,
             compute_scale: 1.0,
+            fault: None,
         }
+    }
+
+    /// Installs (or with `None`, removes) a network fault plan. Faults apply
+    /// only to [`SimCluster::exchange_with_receipts`]; the plain collectives
+    /// model reliable transport.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Sets the compute calibration factor: measured wall microseconds are
@@ -151,7 +194,83 @@ impl SimCluster {
                 inbox[t.dst].push((src, t.payload));
             }
         }
-        // Charge clocks along the schedule.
+        self.charge_pairs(phase, &per_pair_bytes);
+        inbox
+    }
+
+    /// Like [`SimCluster::exchange`], but subject to the installed
+    /// [`FaultPlan`] and returning per-sender delivery receipts: for each
+    /// processor, one `bool` per submitted transfer *in submission order*
+    /// (`true` = delivered at least once, `false` = dropped). Dropped
+    /// transfers still occupy the network — their bytes are charged to the
+    /// clocks and the ledger exactly as if delivered — and are additionally
+    /// counted in the ledger's drop counters and the event trace. Duplicated
+    /// transfers arrive twice (and are charged twice); their receipt is
+    /// `true`. With reordering enabled, each receiver's inbox is
+    /// deterministically shuffled. Without a fault plan this is byte- and
+    /// clock-identical to [`SimCluster::exchange`], with all receipts `true`.
+    pub fn exchange_with_receipts<T: Clone>(
+        &mut self,
+        phase: Phase,
+        outbox: Vec<Vec<TransferOut<T>>>,
+    ) -> ExchangeReceipts<T> {
+        let p = self.proc_count();
+        assert_eq!(outbox.len(), p, "outbox must have one slot per processor");
+        let mut per_pair_bytes = vec![0usize; p * p];
+        let mut inbox: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut receipts: Vec<Vec<bool>> = (0..p).map(|_| Vec::new()).collect();
+        // Faulted transfers are traced after the charge loop (at the final
+        // makespan), keeping the trace ordered by time.
+        let mut faulted: Vec<(usize, usize, usize, DeliveryKind)> = Vec::new();
+        for (src, transfers) in outbox.into_iter().enumerate() {
+            for t in transfers {
+                assert!(t.dst < p, "destination {} out of range", t.dst);
+                assert_ne!(t.dst, src, "self-send from processor {src}");
+                per_pair_bytes[src * p + t.dst] += t.bytes;
+                let verdict = match &mut self.fault {
+                    Some(plan) => plan.decide(src, t.dst),
+                    None => Delivery::Delivered { duplicated: false },
+                };
+                match verdict {
+                    Delivery::Dropped => {
+                        receipts[src].push(false);
+                        let msgs = self.params.message_count(t.bytes) as u64;
+                        self.ledger.record_drop(phase, msgs, t.bytes as u64);
+                        faulted.push((src, t.dst, t.bytes, DeliveryKind::Dropped));
+                    }
+                    Delivery::Delivered { duplicated } => {
+                        receipts[src].push(true);
+                        if duplicated {
+                            // The second copy also rides the network.
+                            per_pair_bytes[src * p + t.dst] += t.bytes;
+                            let msgs = self.params.message_count(t.bytes) as u64;
+                            self.ledger.record_duplicate(phase, msgs, t.bytes as u64);
+                            faulted.push((src, t.dst, t.bytes, DeliveryKind::Duplicate));
+                            inbox[t.dst].push((src, t.payload.clone()));
+                        }
+                        inbox[t.dst].push((src, t.payload));
+                    }
+                }
+            }
+        }
+        self.charge_pairs(phase, &per_pair_bytes);
+        for (src, dst, bytes, kind) in faulted {
+            self.trace_event(src, dst, bytes, phase, kind);
+        }
+        if let Some(plan) = &mut self.fault {
+            if plan.reorder() {
+                for (dst, ib) in inbox.iter_mut().enumerate() {
+                    plan.shuffle_inbox(dst, ib);
+                }
+            }
+        }
+        (inbox, receipts)
+    }
+
+    /// Charges aggregated per-(src, dst) byte counts to the clocks and
+    /// ledger along the configured schedule, tracing each model transfer.
+    fn charge_pairs(&mut self, phase: Phase, per_pair_bytes: &[usize]) {
+        let p = self.proc_count();
         match self.mode {
             ExchangeMode::Serialized => {
                 for (src, dst) in schedule::serialized_all_to_all(p) {
@@ -181,7 +300,6 @@ impl SimCluster {
                 }
             }
         }
-        inbox
     }
 
     /// Binomial-tree broadcast of a `bytes`-byte payload from `root`.
@@ -261,6 +379,17 @@ impl SimCluster {
     }
 
     fn trace_transfer(&mut self, src: usize, dst: usize, bytes: usize, phase: Phase) {
+        self.trace_event(src, dst, bytes, phase, DeliveryKind::Delivered);
+    }
+
+    fn trace_event(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        phase: Phase,
+        kind: DeliveryKind,
+    ) {
         if let Some(trace) = &mut self.trace {
             let makespan_us = self.clocks.makespan_us();
             trace.push(TraceEvent {
@@ -269,6 +398,7 @@ impl SimCluster {
                 bytes,
                 phase,
                 makespan_us,
+                kind,
             });
         }
     }
@@ -302,11 +432,27 @@ mod tests {
     fn exchange_delivers_payloads() {
         let mut c = cluster(3, ExchangeMode::Serialized);
         let outbox = vec![
-            vec![TransferOut { dst: 1, bytes: 10, payload: "a" }],
-            vec![TransferOut { dst: 2, bytes: 20, payload: "b" }],
+            vec![TransferOut {
+                dst: 1,
+                bytes: 10,
+                payload: "a",
+            }],
+            vec![TransferOut {
+                dst: 2,
+                bytes: 20,
+                payload: "b",
+            }],
             vec![
-                TransferOut { dst: 0, bytes: 30, payload: "c" },
-                TransferOut { dst: 1, bytes: 5, payload: "d" },
+                TransferOut {
+                    dst: 0,
+                    bytes: 30,
+                    payload: "c",
+                },
+                TransferOut {
+                    dst: 1,
+                    bytes: 5,
+                    payload: "d",
+                },
             ],
         ];
         let inbox = c.exchange(Phase::Recombination, outbox);
@@ -323,9 +469,17 @@ mod tests {
         for mode in [ExchangeMode::Serialized, ExchangeMode::RoundBased] {
             let mut c = cluster(4, mode);
             let outbox = vec![
-                vec![TransferOut { dst: 3, bytes: 8, payload: 1u32 }],
+                vec![TransferOut {
+                    dst: 3,
+                    bytes: 8,
+                    payload: 1u32,
+                }],
                 vec![],
-                vec![TransferOut { dst: 3, bytes: 8, payload: 2u32 }],
+                vec![TransferOut {
+                    dst: 3,
+                    bytes: 8,
+                    payload: 2u32,
+                }],
                 vec![],
             ];
             let inbox = c.exchange(Phase::Recombination, outbox);
@@ -342,7 +496,11 @@ mod tests {
                 .map(|src| {
                     (0..p)
                         .filter(|&d| d != src)
-                        .map(|dst| TransferOut { dst, bytes: 100_000, payload: () })
+                        .map(|dst| TransferOut {
+                            dst,
+                            bytes: 100_000,
+                            payload: (),
+                        })
                         .collect()
                 })
                 .collect()
@@ -365,7 +523,14 @@ mod tests {
         let mut c = cluster(2, ExchangeMode::Serialized);
         c.exchange(
             Phase::Recombination,
-            vec![vec![TransferOut { dst: 0, bytes: 1, payload: () }], vec![]],
+            vec![
+                vec![TransferOut {
+                    dst: 0,
+                    bytes: 1,
+                    payload: (),
+                }],
+                vec![],
+            ],
         );
     }
 
@@ -390,7 +555,10 @@ mod tests {
         let mut c = cluster(2, ExchangeMode::Serialized);
         c.compute_modeled(1, Phase::InitialApproximation, 250.0);
         assert_eq!(c.makespan_us(), 250.0);
-        assert_eq!(c.ledger().phase(Phase::InitialApproximation).compute_us, 250.0);
+        assert_eq!(
+            c.ledger().phase(Phase::InitialApproximation).compute_us,
+            250.0
+        );
         c.compute_measured(0, Phase::InitialApproximation, Duration::from_micros(100));
         assert!((c.ledger().phase(Phase::InitialApproximation).compute_us - 350.0).abs() < 1e-6);
     }
@@ -411,14 +579,26 @@ mod tests {
         c.exchange(
             Phase::Recombination,
             vec![
-                vec![TransferOut { dst: 1, bytes: 100, payload: () }],
-                vec![TransferOut { dst: 2, bytes: 200, payload: () }],
+                vec![TransferOut {
+                    dst: 1,
+                    bytes: 100,
+                    payload: (),
+                }],
+                vec![TransferOut {
+                    dst: 2,
+                    bytes: 200,
+                    payload: (),
+                }],
                 vec![],
             ],
         );
         c.broadcast_cost(Phase::DynamicUpdate, 0, 50);
         let trace = c.take_trace();
-        assert_eq!(trace.len(), 2 + 2, "two exchange transfers + two tree edges");
+        assert_eq!(
+            trace.len(),
+            2 + 2,
+            "two exchange transfers + two tree edges"
+        );
         for pair in trace.windows(2) {
             assert!(pair[1].makespan_us >= pair[0].makespan_us);
         }
@@ -426,6 +606,141 @@ mod tests {
         // Taking the trace disables recording.
         c.broadcast_cost(Phase::DynamicUpdate, 0, 50);
         assert!(c.take_trace().is_empty());
+    }
+
+    #[test]
+    fn receipts_without_fault_plan_match_plain_exchange() {
+        let outbox = || {
+            vec![
+                vec![TransferOut {
+                    dst: 1,
+                    bytes: 10,
+                    payload: "a",
+                }],
+                vec![TransferOut {
+                    dst: 2,
+                    bytes: 20,
+                    payload: "b",
+                }],
+                vec![
+                    TransferOut {
+                        dst: 0,
+                        bytes: 30,
+                        payload: "c",
+                    },
+                    TransferOut {
+                        dst: 1,
+                        bytes: 5,
+                        payload: "d",
+                    },
+                ],
+            ]
+        };
+        let mut plain = cluster(3, ExchangeMode::Serialized);
+        let expect = plain.exchange(Phase::Recombination, outbox());
+        let mut faulty = cluster(3, ExchangeMode::Serialized);
+        let (inbox, receipts) = faulty.exchange_with_receipts(Phase::Recombination, outbox());
+        assert_eq!(inbox, expect);
+        assert_eq!(receipts, vec![vec![true], vec![true], vec![true, true]]);
+        assert_eq!(plain.ledger(), faulty.ledger());
+        assert_eq!(plain.makespan_us(), faulty.makespan_us());
+    }
+
+    #[test]
+    fn dropped_transfer_still_charged_and_counted() {
+        let mut c = cluster(2, ExchangeMode::Serialized);
+        let mut plan = crate::FaultPlan::new(5, 0.0, 0.0);
+        plan.set_link(0, 1, crate::LinkFaults::new(1.0, 0.0));
+        c.set_fault_plan(Some(plan));
+        c.enable_trace();
+        let (inbox, receipts) = c.exchange_with_receipts(
+            Phase::Recombination,
+            vec![
+                vec![TransferOut {
+                    dst: 1,
+                    bytes: 40,
+                    payload: 7u32,
+                }],
+                vec![TransferOut {
+                    dst: 0,
+                    bytes: 24,
+                    payload: 9u32,
+                }],
+            ],
+        );
+        assert!(inbox[1].is_empty(), "dropped payload must not arrive");
+        assert_eq!(inbox[0], vec![(1, 9u32)]);
+        assert_eq!(receipts, vec![vec![false], vec![true]]);
+        let s = c.ledger().phase(Phase::Recombination);
+        assert_eq!(s.bytes, 64, "dropped bytes still occupy the network");
+        assert_eq!(s.dropped_bytes, 40);
+        assert!(s.dropped_messages >= 1);
+        assert_eq!(s.dup_bytes, 0);
+        let trace = c.take_trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.kind == DeliveryKind::Dropped && e.src == 0 && e.bytes == 40));
+        for pair in trace.windows(2) {
+            assert!(pair[1].makespan_us >= pair[0].makespan_us);
+        }
+    }
+
+    #[test]
+    fn duplicated_transfer_arrives_twice_and_charges_twice() {
+        let mut c = cluster(2, ExchangeMode::Serialized);
+        let plan = crate::FaultPlan::new(5, 0.0, 1.0).with_reorder(false);
+        c.set_fault_plan(Some(plan));
+        c.enable_trace();
+        let (inbox, receipts) = c.exchange_with_receipts(
+            Phase::Recombination,
+            vec![
+                vec![TransferOut {
+                    dst: 1,
+                    bytes: 16,
+                    payload: "x",
+                }],
+                vec![],
+            ],
+        );
+        assert_eq!(inbox[1], vec![(0, "x"), (0, "x")]);
+        assert_eq!(receipts[0], vec![true]);
+        let s = c.ledger().phase(Phase::Recombination);
+        assert_eq!(s.bytes, 32, "both copies ride the network");
+        assert_eq!(s.dup_bytes, 16);
+        assert!(c
+            .take_trace()
+            .iter()
+            .any(|e| e.kind == DeliveryKind::Duplicate));
+    }
+
+    #[test]
+    fn faulted_exchange_replays_deterministically() {
+        let run = |seed: u64| {
+            let mut c = cluster(4, ExchangeMode::Serialized);
+            c.set_fault_plan(Some(crate::FaultPlan::new(seed, 0.4, 0.2)));
+            let mut all_receipts = Vec::new();
+            let mut all_inboxes = Vec::new();
+            for step in 0..20u32 {
+                let outbox: Vec<Vec<TransferOut<u32>>> = (0..4)
+                    .map(|src| {
+                        (0..4)
+                            .filter(|&d| d != src)
+                            .map(|dst| TransferOut {
+                                dst,
+                                bytes: 8,
+                                payload: step,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let (inbox, receipts) = c.exchange_with_receipts(Phase::Recombination, outbox);
+                all_inboxes.push(inbox);
+                all_receipts.push(receipts);
+            }
+            (all_inboxes, all_receipts, c.makespan_us())
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77).1, run(78).1, "different seeds fault differently");
     }
 
     #[test]

@@ -15,5 +15,7 @@
 //! each virtual processor (the paper's OpenMP level, rayon here).
 
 pub mod cluster;
+pub mod fault;
 
-pub use cluster::{ExchangeMode, SimCluster, TraceEvent, TransferOut};
+pub use cluster::{DeliveryKind, ExchangeMode, SimCluster, TraceEvent, TransferOut};
+pub use fault::{Delivery, FaultPlan, LinkFaults};

@@ -11,7 +11,7 @@
 //! cargo run --release --example citation_growth
 //! ```
 
-use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, Endpoint, VertexBatch};
+use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, VertexBatch};
 use aa_graph::{generators, Graph, VertexId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;

@@ -10,7 +10,7 @@
 //! cargo run --release --example dynamic_social_network
 //! ```
 
-use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, Endpoint, VertexBatch};
+use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, VertexBatch};
 use aa_graph::{generators, VertexId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;

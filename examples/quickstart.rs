@@ -62,6 +62,9 @@ fn main() {
     }
     let err = snapshot.mean_abs_error(&exact);
     assert!(err < 1e-15, "converged result must equal the oracle: {err}");
-    println!("\nconverged in {} RC steps — exact APSP reached.", engine.rc_steps());
+    println!(
+        "\nconverged in {} RC steps — exact APSP reached.",
+        engine.rc_steps()
+    );
     println!("\ncost ledger:\n{}", engine.cluster().ledger().report());
 }

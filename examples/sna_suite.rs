@@ -54,7 +54,11 @@ fn main() {
     println!(
         "{:<28} {:?}",
         "closeness (distributed)",
-        closeness.top_k(3).iter().map(|&(v, _)| v).collect::<Vec<_>>()
+        closeness
+            .top_k(3)
+            .iter()
+            .map(|&(v, _)| v)
+            .collect::<Vec<_>>()
     );
     println!(
         "{:<28} {:?}",

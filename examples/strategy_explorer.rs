@@ -7,11 +7,9 @@
 //! cargo run --release --example strategy_explorer -- --n 800 --procs 8 --batch 40 --inject 4
 //! ```
 
-use aa_core::{
-    AdditionStrategy, AnytimeEngine, EngineConfig, PartitionerKind, Refinement,
-};
-use aa_graph::{generators, Graph, VertexId};
+use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, PartitionerKind, Refinement};
 use aa_core::{Endpoint, VertexBatch};
+use aa_graph::{generators, Graph, VertexId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -109,11 +107,8 @@ fn main() {
                 let ids = engine.add_vertices(&batch, strategy);
                 engine.run_to_convergence(16 * o.procs + 64);
                 assert!(engine.is_converged(), "failed to converge");
-                let new_cut = aa_partition::quality::new_cut_edges(
-                    engine.graph(),
-                    engine.partition(),
-                    &ids,
-                );
+                let new_cut =
+                    aa_partition::quality::new_cut_edges(engine.graph(), engine.partition(), &ids);
                 println!(
                     "{:<14} {:<16} {:<14} {:>12.1} {:>10} {:>9.3} {:>8}",
                     format!("{partitioner:?}"),

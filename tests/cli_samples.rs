@@ -6,7 +6,9 @@ use aa_cli::commands::{analyze, partition_report, AnalyzeOpts, Measure};
 use std::path::{Path, PathBuf};
 
 fn data(file: &str) -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("data").join(file)
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("data")
+        .join(file)
 }
 
 #[test]
@@ -21,7 +23,10 @@ fn sample_analyze_with_stream_and_measures() {
     })
     .expect("sample analysis must succeed");
     assert!(report.contains("120 vertices") || report.contains("121 vertices"));
-    assert!(report.contains("added vertex 120"), "stream adds researcher 120");
+    assert!(
+        report.contains("added vertex 120"),
+        "stream adds researcher 120"
+    );
     assert!(report.contains("processor 1 crashed and recovered"));
     assert!(report.contains("rebalanced:"));
     assert!(report.contains("top-5 pagerank"));
@@ -58,4 +63,65 @@ fn sample_stream_parses_cleanly() {
     let text = std::fs::read_to_string(data("updates.stream")).unwrap();
     let cmds = aa_cli::stream::parse_stream(&text).unwrap();
     assert!(cmds.len() >= 9, "stream exercises the full command set");
+}
+
+/// Fuzz-style robustness table: malformed and boundary-condition stream files
+/// must come back as clean `Err`s — never a panic, never silent acceptance.
+#[test]
+fn malformed_streams_fail_cleanly() {
+    // (stream text, substring the error must contain)
+    let parse_rejects: &[(&str, &str)] = &[
+        ("ae", "missing"),                          // no arguments at all
+        ("ae 0 1", "missing"),                      // missing weight
+        ("ae 0 1 -3", "invalid"),                   // negative weight
+        ("ae 0 1 99999999999999999999", "invalid"), // weight overflows u32
+        ("fail 99999999999999999999", "invalid"),   // rank overflows u32
+        ("fail -1", "invalid"),                     // negative rank
+        ("av ", "missing anchor"),                  // empty anchor list
+        ("av 1,,2", "invalid anchor"),              // hole in anchor list
+        ("av 1;2", "invalid anchor"),               // wrong separator
+        ("snapshot five", "invalid"),               // non-numeric k
+        ("chaos 0.2", "missing p_dup"),             // chaos needs two rates
+        ("chaos 2.0 0.0", "[0, 1]"),                // rate out of range
+        ("chaos 1.0 0.0", "below 1"),               // certain loss never converges
+        ("explode 3", "unknown command"),           // unknown opcode
+        ("ae 0 1 2 trailing garbage", "trailing"),  // trailing garbage
+        ("step\nstep\nae 0 1", "line 3"),           // errors name their line
+    ];
+    for (text, needle) in parse_rejects {
+        let err =
+            aa_cli::stream::parse_stream(text).expect_err(&format!("parse must reject {text:?}"));
+        assert!(
+            err.contains(needle),
+            "error for {text:?} should mention {needle:?}, got: {err}"
+        );
+    }
+
+    // Streams that parse but must fail at apply time — exercised through the
+    // full `analyze` entry point so the error path is the one users hit.
+    let apply_rejects: &[(&str, &str)] = &[
+        ("fail 999999", "out of range"), // huge rank
+        ("ae 0 999999 1", "not alive"),  // out-of-range endpoint
+        ("ae 0 1 0", "at least 1"),      // zero-weight edge
+        ("cw 0 1 0", "at least 1"),      // zero-weight reweight
+        ("de 424242 0", "not alive"),    // out-of-range delete
+    ];
+    let dir = std::env::temp_dir().join("aa_cli_fuzz_streams");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, (text, needle)) in apply_rejects.iter().enumerate() {
+        let stream = dir.join(format!("bad_{i}.stream"));
+        std::fs::write(&stream, text).unwrap();
+        let err = analyze(&AnalyzeOpts {
+            input: data("collaboration.txt"),
+            procs: 4,
+            stream: Some(stream),
+            ..Default::default()
+        })
+        .expect_err(&format!("analyze must reject stream {text:?}"));
+        assert!(
+            err.contains(needle) && err.contains("stream line 1"),
+            "error for {text:?} should mention {needle:?} and the line, got: {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -3,7 +3,7 @@
 //! to exactly the oracle APSP of the final graph.
 
 use aa_core::{
-    AdditionStrategy, AnytimeEngine, EngineConfig, Endpoint, RepartitionMode, VertexBatch,
+    AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, RepartitionMode, VertexBatch,
 };
 use aa_graph::{algo, generators, VertexId};
 use rand::prelude::*;
@@ -88,7 +88,11 @@ fn long_mixed_update_sequence_matches_oracle() {
                 // Change a random edge weight (up or down).
                 let edges: Vec<_> = e.graph().edges().collect();
                 let (u, v, w) = edges[rng.gen_range(0..edges.len())];
-                let new_w = if rng.gen_bool(0.5) { w + 2 } else { (w - 1).max(1) };
+                let new_w = if rng.gen_bool(0.5) {
+                    w + 2
+                } else {
+                    (w - 1).max(1)
+                };
                 e.change_edge_weight(u, v, new_w);
             }
         }

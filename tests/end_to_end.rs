@@ -22,7 +22,10 @@ fn run(graph: Graph, config: EngineConfig) -> AnytimeEngine {
     engine.initialize();
     let limit = 8 * engine.config().num_procs + 64;
     engine.run_to_convergence(limit);
-    assert!(engine.is_converged(), "did not converge within {limit} steps");
+    assert!(
+        engine.is_converged(),
+        "did not converge within {limit} steps"
+    );
     engine
 }
 
@@ -31,8 +34,14 @@ fn every_graph_family_times_every_proc_count() {
     let families: Vec<(&str, Graph)> = vec![
         ("barabasi_albert", generators::barabasi_albert(120, 2, 3, 1)),
         ("erdos_renyi", generators::erdos_renyi_gnm(100, 300, 5, 2)),
-        ("watts_strogatz", generators::watts_strogatz(100, 3, 0.2, 2, 3)),
-        ("planted_partition", generators::planted_partition(4, 25, 0.3, 0.02, 1, 4)),
+        (
+            "watts_strogatz",
+            generators::watts_strogatz(100, 3, 0.2, 2, 3),
+        ),
+        (
+            "planted_partition",
+            generators::planted_partition(4, 25, 0.3, 0.02, 1, 4),
+        ),
         ("path", generators::path(60)),
         ("star", generators::star(80)),
         ("grid", generators::grid(8, 10)),

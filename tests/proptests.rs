@@ -10,7 +10,7 @@
 //!   content.
 
 use aa_core::dv::DistanceMatrix;
-use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, Endpoint, VertexBatch};
+use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, VertexBatch};
 use aa_graph::{algo, Graph, VertexId, INF};
 use aa_logp::schedule;
 use aa_partition::{
@@ -23,10 +23,7 @@ use std::collections::HashSet;
 /// vertices given as an edge list.
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (2..=max_n).prop_flat_map(move |n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u32..8),
-            1..(3 * n),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..8), 1..(3 * n));
         edges.prop_map(move |edges| {
             let mut g = Graph::with_vertices(n);
             // A spine keeps most of the graph connected, so distances are

@@ -3,9 +3,7 @@
 //! checkpoint round-trip — with oracle verification at multiple points. This
 //! is the "leave it running for a week" scenario compressed.
 
-use aa_core::{
-    AdditionStrategy, AnytimeEngine, EngineConfig, Endpoint, Refinement, VertexBatch,
-};
+use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, Refinement, VertexBatch};
 use aa_graph::{algo, generators, VertexId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -148,7 +146,10 @@ fn pivot_pass_refinement_survives_dynamic_updates() {
     batch.connect(1, Endpoint::New(0), 1);
     e.add_vertices(&batch, AdditionStrategy::CutEdgePs);
     e.run_to_convergence(300);
-    assert!(e.is_converged(), "pivot-pass + dynamic updates must converge");
+    assert!(
+        e.is_converged(),
+        "pivot-pass + dynamic updates must converge"
+    );
     assert_oracle(&e);
 }
 

@@ -1,0 +1,171 @@
+//! Offline stand-in for `rand_chacha` 0.3. Implements a genuine ChaCha8
+//! keystream generator (the same core permutation as upstream, 8 rounds)
+//! behind the vendored [`rand`] traits. Seeded replay is bit-exact across
+//! runs and platforms, which is all the workspace's fault-injection and
+//! generator code relies on.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// ChaCha stream cipher core with a compile-time round count.
+#[derive(Debug, Clone)]
+struct ChaChaCore<const ROUNDS: usize> {
+    /// Key + constant + counter + nonce state, in RFC 7539 word layout.
+    state: [u32; BLOCK_WORDS],
+    /// Current output block.
+    buf: [u32; BLOCK_WORDS],
+    /// Next unread word index in `buf`; `BLOCK_WORDS` means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Words 12..16 are the 64-bit block counter + 64-bit nonce (zero).
+        ChaChaCore {
+            state,
+            buf: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, w) in working.iter().enumerate().take(BLOCK_WORDS) {
+            self.buf[i] = w.wrapping_add(self.state[i]);
+        }
+        // Increment the 64-bit block counter.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: ChaChaCore<$rounds>,
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name {
+                    core: ChaChaCore::from_seed(seed),
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds: fast, seeded, replayable."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (RFC 7539 core).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_matches_rfc7539_first_block() {
+        // RFC 7539 §2.3.2 test vector: key 00 01 .. 1f, but with zero
+        // nonce/counter (our construction) the keystream differs — instead
+        // verify the raw permutation through a fixed zero-key first word,
+        // which is a well-known published value for ChaCha20 with zero
+        // key/nonce/counter: 76 b8 e0 ad ...
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        assert_eq!(first.to_le_bytes(), [0x76, 0xb8, 0xe0, 0xad]);
+    }
+
+    #[test]
+    fn seeded_replay_is_exact() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xFEED);
+        let mut b = ChaCha8Rng::seed_from_u64(0xFEED);
+        for _ in 0..500 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_bool_via_rng_trait() {
+        let mut r = ChaCha8Rng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses
+//! (`par_iter().map(..).collect()`, `par_iter().flat_map_iter(..).collect()`).
+//! Everything executes sequentially on the calling thread: the workspace
+//! treats rayon purely as a drop-in data-parallelism accelerator, so a
+//! sequential fallback is semantically identical (results are collected in
+//! input order either way) and keeps the offline build self-contained.
+
+pub mod prelude {
+    pub use super::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub mod iter {
+    /// Sequential mirror of rayon's `ParallelIterator`.
+    pub struct ParIter<I> {
+        inner: I,
+    }
+
+    /// Mirror of rayon's `ParallelIterator` combinators over [`ParIter`].
+    pub trait ParallelIterator: Sized {
+        type Inner: Iterator;
+
+        fn into_inner(self) -> Self::Inner;
+
+        fn map<F, T>(self, f: F) -> ParIter<core::iter::Map<Self::Inner, F>>
+        where
+            F: FnMut(<Self::Inner as Iterator>::Item) -> T,
+        {
+            ParIter {
+                inner: self.into_inner().map(f),
+            }
+        }
+
+        fn flat_map_iter<F, U>(self, f: F) -> ParIter<core::iter::FlatMap<Self::Inner, U, F>>
+        where
+            F: FnMut(<Self::Inner as Iterator>::Item) -> U,
+            U: IntoIterator,
+        {
+            ParIter {
+                inner: self.into_inner().flat_map(f),
+            }
+        }
+
+        fn filter<F>(self, f: F) -> ParIter<core::iter::Filter<Self::Inner, F>>
+        where
+            F: FnMut(&<Self::Inner as Iterator>::Item) -> bool,
+        {
+            ParIter {
+                inner: self.into_inner().filter(f),
+            }
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: FnMut(<Self::Inner as Iterator>::Item),
+        {
+            self.into_inner().for_each(f)
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<<Self::Inner as Iterator>::Item>,
+        {
+            self.into_inner().collect()
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for ParIter<I> {
+        type Inner = I;
+
+        fn into_inner(self) -> I {
+            self.inner
+        }
+    }
+
+    /// `.par_iter()` on collections (by reference).
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: ParallelIterator;
+
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator<Item = &'a T>,
+    {
+        type Iter = ParIter<<&'a C as IntoIterator>::IntoIter>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        type Iter: ParallelIterator;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Iter = ParIter<C::IntoIter>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v = vec![1, 2, 3, 4];
+        let out: Vec<i32> = v.par_iter().map(|x| x * 10).collect();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v = vec![1u32, 3];
+        let out: Vec<u32> = v.par_iter().flat_map_iter(|&x| 0..x).collect();
+        assert_eq!(out, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let out: Vec<usize> = (0..5).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+}
