@@ -20,6 +20,10 @@ usage:
               [--stream FILE] [--save-checkpoint FILE] [--resume FILE]
               [--measure degree|eigenvector|pagerank|cliques]... [--trace CSV]
               [--drop-rate P]   (inject lossy links: drop each transfer w.p. P)
+              [--crash-at STEP:RANK]...   (fail-stop RANK at RC step STEP)
+              [--straggler RANK:SCALE]... (RANK's compute runs SCALE x slower)
+              [--detector-timeout N]      (RC steps of silence before suspicion)
+              [--checkpoint-interval N]   (per-rank checkpoint every N RC steps)
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -28,6 +32,13 @@ fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("{USAGE}");
     exit(2)
+}
+
+/// Parses a `"A:B"` pair where both halves parse via `FromStr`
+/// (e.g. `--crash-at 12:3`, `--straggler 2:50.0`).
+fn parse_pair<A: std::str::FromStr, B: std::str::FromStr>(s: &str) -> Option<(A, B)> {
+    let (a, b) = s.split_once(':')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
 }
 
 fn parse_strategy(s: &str) -> AdditionStrategy {
@@ -92,6 +103,32 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
                 opts.drop_rate = value("--drop-rate")
                     .parse()
                     .map_err(|_| "invalid --drop-rate")?
+            }
+            "--crash-at" => {
+                let v = value("--crash-at");
+                let (step, rank) = parse_pair(&v)
+                    .ok_or_else(|| format!("invalid --crash-at {v:?} (expected STEP:RANK)"))?;
+                opts.crash_at.push((step, rank));
+            }
+            "--straggler" => {
+                let v = value("--straggler");
+                let (rank, scale) = parse_pair(&v)
+                    .ok_or_else(|| format!("invalid --straggler {v:?} (expected RANK:SCALE)"))?;
+                opts.stragglers.push((rank, scale));
+            }
+            "--detector-timeout" => {
+                opts.detector_timeout = Some(
+                    value("--detector-timeout")
+                        .parse()
+                        .map_err(|_| "invalid --detector-timeout")?,
+                )
+            }
+            "--checkpoint-interval" => {
+                opts.checkpoint_interval = Some(
+                    value("--checkpoint-interval")
+                        .parse()
+                        .map_err(|_| "invalid --checkpoint-interval")?,
+                )
             }
             other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),

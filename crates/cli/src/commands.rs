@@ -1,7 +1,9 @@
 //! Subcommand implementations for the `aa` binary.
 
 use crate::{load_graph, save_graph, Format};
-use aa_core::{AdditionStrategy, AnytimeEngine, EngineConfig, FaultConfig};
+use aa_core::{
+    AdditionStrategy, AnytimeEngine, EngineConfig, FaultConfig, ProcFaultConfig, SupervisorConfig,
+};
 use aa_partition::{
     quality, BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner,
     RoundRobinPartitioner,
@@ -33,6 +35,14 @@ pub struct AnalyzeOpts {
     pub trace: Option<PathBuf>,
     /// Probability of dropping each recombination transfer (lossy links).
     pub drop_rate: f64,
+    /// Scheduled fail-stop crashes: `(step, rank)` pairs.
+    pub crash_at: Vec<(u64, usize)>,
+    /// Injected stragglers: `(rank, scale)` pairs (compute runs `scale`× slower).
+    pub stragglers: Vec<(usize, f64)>,
+    /// Override the heartbeat failure-detector timeout (RC steps of silence).
+    pub detector_timeout: Option<u64>,
+    /// Take per-rank checkpoints every N RC steps (0 disables them).
+    pub checkpoint_interval: Option<usize>,
 }
 
 /// Additional measures the `analyze` subcommand can report.
@@ -77,6 +87,10 @@ impl Default for AnalyzeOpts {
             measures: Vec::new(),
             trace: None,
             drop_rate: 0.0,
+            crash_at: Vec::new(),
+            stragglers: Vec::new(),
+            detector_timeout: None,
+            checkpoint_interval: None,
         }
     }
 }
@@ -91,13 +105,53 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             opts.drop_rate
         ));
     }
+    for &(step, rank) in &opts.crash_at {
+        if rank >= opts.procs {
+            return Err(format!(
+                "--crash-at {step}:{rank}: rank {rank} out of range (cluster has {} processors)",
+                opts.procs
+            ));
+        }
+    }
+    for &(rank, scale) in &opts.stragglers {
+        if rank >= opts.procs {
+            return Err(format!(
+                "--straggler {rank}:{scale}: rank {rank} out of range (cluster has {} processors)",
+                opts.procs
+            ));
+        }
+        if scale <= 0.0 || scale.is_nan() {
+            return Err(format!(
+                "--straggler {rank}:{scale}: scale must be positive"
+            ));
+        }
+    }
     let fault = (opts.drop_rate > 0.0).then(|| FaultConfig {
         p_drop: opts.drop_rate,
         ..Default::default()
     });
+    let proc_fault =
+        (!opts.crash_at.is_empty() || !opts.stragglers.is_empty()).then(|| ProcFaultConfig {
+            crashes: opts.crash_at.clone(),
+            stragglers: opts.stragglers.clone(),
+        });
+    if opts.detector_timeout == Some(0) {
+        return Err("--detector-timeout must be at least 1 RC step".to_string());
+    }
+    let supervision = SupervisorConfig {
+        detector_timeout: opts
+            .detector_timeout
+            .unwrap_or(SupervisorConfig::default().detector_timeout),
+        checkpoint_interval: opts
+            .checkpoint_interval
+            .unwrap_or(SupervisorConfig::default().checkpoint_interval),
+        ..Default::default()
+    };
     let config = EngineConfig {
         num_procs: opts.procs,
         fault,
+        proc_fault,
+        supervision,
         ..Default::default()
     };
     let mut engine = if let Some(ckpt) = &opts.resume {
@@ -177,6 +231,31 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             }
         }
     }
+    let health = engine.health_report();
+    if !engine.recovery_log().is_empty()
+        || !health.stragglers.is_empty()
+        || !health.down_ranks.is_empty()
+    {
+        out.push_str("\ncluster health:\n");
+        for ev in engine.recovery_log() {
+            out.push_str(&format!(
+                "  RC{}: rank {} recovered via {} ({} rows restored, {} reseeded, {} resent)\n",
+                ev.step,
+                ev.report.rank,
+                ev.report.method,
+                ev.report.restored_rows,
+                ev.report.reseeded_rows,
+                ev.report.resent_rows
+            ));
+        }
+        for &rank in &health.stragglers {
+            out.push_str(&format!("  rank {rank} is straggling\n"));
+        }
+        for &rank in &health.down_ranks {
+            out.push_str(&format!("  rank {rank} is DOWN (results may be stale)\n"));
+        }
+    }
+
     out.push_str(&format!("\n{}", engine.cluster().ledger().report()));
     let totals = engine.cluster().ledger().totals();
     if totals.dropped_messages > 0 || totals.dup_messages > 0 {
@@ -224,7 +303,7 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
 /// Appends a top-k listing of a score vector to the report.
 fn push_top(out: &mut String, scores: &[f64], k: usize) {
     let mut idx: Vec<usize> = (0..scores.len()).filter(|&v| scores[v] > 0.0).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap().then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     for v in idx.into_iter().take(k) {
         out.push_str(&format!("  vertex {v:>8}  score {:.6e}\n", scores[v]));
     }
@@ -400,6 +479,46 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("[0, 1)"));
+    }
+
+    #[test]
+    fn analyze_with_scheduled_crash_reports_recovery() {
+        let dir = temp_dir("selfheal");
+        let input = write_test_graph(&dir);
+        let report = analyze(&AnalyzeOpts {
+            input: input.clone(),
+            procs: 4,
+            top: 3,
+            crash_at: vec![(3, 1)],
+            detector_timeout: Some(2),
+            checkpoint_interval: Some(1),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("converged"));
+        assert!(
+            report.contains("recovered via checkpoint-restore"),
+            "recovery summary missing from:\n{report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Bad fault specs fail fast, before any work.
+        let err = analyze(&AnalyzeOpts {
+            input: input.clone(),
+            procs: 4,
+            crash_at: vec![(3, 9)],
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            stragglers: vec![(1, 0.0)],
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
     }
 
     #[test]

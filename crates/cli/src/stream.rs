@@ -208,16 +208,12 @@ pub fn apply(
             vec![format!("rebalanced: {moved} vertices migrated")]
         }
         Command::Fail(rank) => {
-            let procs = engine.config().num_procs;
-            if *rank >= procs {
-                return Err(format!(
-                    "rank {rank} out of range (cluster has processors 0..{procs})"
-                ));
-            }
-            let report = engine.fail_and_recover_processor(*rank);
+            let report = engine
+                .fail_and_recover_processor(*rank)
+                .map_err(|e| e.to_string())?;
             vec![format!(
-                "processor {rank} crashed and recovered: {} rows reseeded, {} rows resent",
-                report.reseeded_rows, report.resent_rows
+                "processor {rank} crashed and recovered via {}: {} rows reseeded, {} rows resent",
+                report.method, report.reseeded_rows, report.resent_rows
             )]
         }
         Command::Chaos(p_drop, p_dup) => {

@@ -50,7 +50,7 @@ const CRC_TABLE: [u32; 256] = {
 };
 
 /// Standard CRC32 (the zlib/PNG/Ethernet checksum).
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -58,28 +58,65 @@ fn crc32(data: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
-fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn bad(msg: &str) -> io::Error {
+pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Frames `body` in the v2 checkpoint envelope: magic, version, body, CRC32
+/// footer over the body. Shared by the whole-engine checkpoint and the
+/// supervisor's per-rank checkpoints.
+pub(crate) fn write_framed(magic: &[u8; 4], version: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+/// Unframes a v2-envelope byte stream: checks magic and version, verifies
+/// the CRC32 footer, and returns the body. Truncation, bit flips and wrong
+/// headers all surface as `InvalidData` errors.
+pub(crate) fn read_framed<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    version: u32,
+) -> io::Result<&'a [u8]> {
+    if bytes.len() < 12 {
+        return Err(bad("checkpoint truncated before the integrity footer"));
+    }
+    if &bytes[..4] != magic {
+        return Err(bad("not an anytime-anywhere checkpoint"));
+    }
+    if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != version {
+        return Err(bad("unsupported checkpoint version"));
+    }
+    let (body, footer) = bytes[8..].split_at(bytes.len() - 12);
+    let stored = u32::from_le_bytes(footer.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(bad("checkpoint integrity checksum mismatch"));
+    }
+    Ok(body)
 }
 
 impl AnytimeEngine {
@@ -245,8 +282,14 @@ impl AnytimeEngine {
         let p = config.num_procs;
         let mut cluster = SimCluster::new(p, config.logp, config.exchange);
         cluster.set_compute_scale(config.compute_scale);
-        if let Some(fc) = &config.fault {
-            cluster.set_fault_plan(Some(fc.build_plan()));
+        cluster.set_fault_plan(config.build_fault_plan());
+        // Supervision restarts fresh: the whole-cluster checkpoint does not
+        // carry per-rank checkpoints (they describe volatile replica state),
+        // and the detector's clocks re-anchor to the restored step counter —
+        // without the re-anchor every rank would look "silent since step 0".
+        let mut supervision = crate::supervisor::Supervision::new(p, &config.supervision);
+        for rank in 0..p {
+            supervision.detector.mark_up(rank, rc_steps as u64);
         }
         let engine = AnytimeEngine {
             world,
@@ -259,6 +302,8 @@ impl AnytimeEngine {
             initialized: true,
             rr_cursor,
             pivot_pending: vec![false; p],
+            supervision,
+            invalidation_epoch: 0,
         };
         engine
             .check_invariants()

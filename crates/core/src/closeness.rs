@@ -19,6 +19,11 @@ pub struct Snapshot {
     pub closeness: Vec<f64>,
     /// Harmonic closeness estimate per vertex id slot.
     pub harmonic: Vec<f64>,
+    /// Per vertex id slot: whether the estimate is served from the frozen
+    /// state of a currently-down processor (graceful degradation — still a
+    /// valid upper-bound-derived estimate for the graph as it stood, but not
+    /// being refined until the rank recovers).
+    pub stale: Vec<bool>,
 }
 
 impl Snapshot {
@@ -32,7 +37,7 @@ impl Snapshot {
             .filter(|&(_, &c)| c > 0.0)
             .map(|(v, &c)| (v as VertexId, c))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
     }
@@ -46,9 +51,15 @@ impl Snapshot {
             .filter(|&(_, &c)| c > 0.0)
             .map(|(v, &c)| (v as VertexId, c))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         ranked
+    }
+
+    /// Whether any estimate in the snapshot is stale (a rank was down when
+    /// it was taken).
+    pub fn any_stale(&self) -> bool {
+        self.stale.iter().any(|&s| s)
     }
 
     /// Mean absolute closeness error against a reference (e.g. the exact
@@ -79,6 +90,7 @@ mod tests {
             rc_step: 0,
             makespan_us: 0.0,
             harmonic: closeness.clone(),
+            stale: vec![false; closeness.len()],
             closeness,
         }
     }

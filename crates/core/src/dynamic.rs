@@ -276,6 +276,9 @@ impl AnytimeEngine {
         for &(u, v, _) in &present {
             self.world.remove_edge(u, v);
         }
+        // Deletion can make pre-deletion rows underestimates; per-rank
+        // checkpoints from before this point are no longer restorable.
+        self.invalidation_epoch += 1;
         let ia = self.config.ia;
         for rank in 0..self.procs.len() {
             let t = Instant::now();
@@ -321,6 +324,9 @@ impl AnytimeEngine {
             ps.sync_snapshots_to_rows();
         }
         let w = self.world.remove_edge(u, v).expect("edge checked above");
+        // Deletion can make pre-deletion rows underestimates; per-rank
+        // checkpoints from before this point are no longer restorable.
+        self.invalidation_epoch += 1;
         let ou = self.partition.part_of(u).expect("u must be assigned");
         let ov = self.partition.part_of(v).expect("v must be assigned");
         // Pre-deletion endpoint rows (exact, since we are converged).
@@ -398,6 +404,9 @@ impl AnytimeEngine {
         for ps in &mut self.procs {
             ps.sync_snapshots_to_rows();
         }
+        // Deletion can make pre-deletion rows underestimates; per-rank
+        // checkpoints from before this point are no longer restorable.
+        self.invalidation_epoch += 1;
         let owner = self.partition.part_of(v).expect("v must be assigned");
         let row_v = self.procs[owner].dv.row(v).to_vec();
         self.cluster

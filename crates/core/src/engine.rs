@@ -4,12 +4,21 @@
 use crate::closeness::Snapshot;
 use crate::config::{EngineConfig, FaultConfig, Refinement};
 use crate::proc_state::{retry_backoff, Outstanding, ProcState, RowUpdate};
+use crate::supervisor::Supervision;
 use aa_graph::{Graph, VertexId, Weight, INF};
 use aa_logp::Phase;
 use aa_partition::Partition;
 use aa_runtime::{SimCluster, TransferOut};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
+
+/// What a recombination exchange carries: boundary-row updates, plus the
+/// supervision layer's piggybacked one-byte heartbeats.
+#[derive(Debug, Clone)]
+pub(crate) enum RcPayload {
+    Row(VertexId, RowUpdate),
+    Heartbeat,
+}
 
 /// The distributed anytime-anywhere closeness-centrality engine.
 ///
@@ -32,6 +41,11 @@ pub struct AnytimeEngine {
     /// another pass is owed even if no new boundary rows arrive
     /// (PivotPass refinement only).
     pub(crate) pivot_pending: Vec<bool>,
+    /// Failure detector, per-rank checkpoint store and recovery log.
+    pub(crate) supervision: Supervision,
+    /// Bumped by every deletion (and weight increase): per-rank checkpoints
+    /// from an older epoch may hold underestimates and are unusable.
+    pub(crate) invalidation_epoch: u64,
 }
 
 impl AnytimeEngine {
@@ -42,9 +56,8 @@ impl AnytimeEngine {
         let p = config.num_procs;
         let mut cluster = SimCluster::new(p, config.logp, config.exchange);
         cluster.set_compute_scale(config.compute_scale);
-        if let Some(fc) = &config.fault {
-            cluster.set_fault_plan(Some(fc.build_plan()));
-        }
+        cluster.set_fault_plan(config.build_fault_plan());
+        let supervision = Supervision::new(p, &config.supervision);
         AnytimeEngine {
             partition: Partition::unassigned(graph.capacity(), p),
             world: graph,
@@ -56,6 +69,8 @@ impl AnytimeEngine {
             initialized: false,
             rr_cursor: 0,
             pivot_pending: vec![false; p],
+            supervision,
+            invalidation_epoch: 0,
         }
     }
 
@@ -121,6 +136,10 @@ impl AnytimeEngine {
         self.converged = false;
         self.initialized = true;
         self.pivot_pending = vec![false; p];
+        // A (re)initialization resets supervision: old checkpoints describe
+        // state the rebuild just discarded, and the detector's clocks restart
+        // with the step counter.
+        self.supervision = Supervision::new(p, &self.config.supervision);
     }
 
     /// One recombination step: exchange the distance vectors of boundary
@@ -140,19 +159,33 @@ impl AnytimeEngine {
         let p = self.config.num_procs;
         self.rc_steps_done += 1;
         let now = self.rc_steps_done as u64;
+        // Heartbeats (and with them automatic crash detection) need peers.
+        let supervise = self.config.supervision.heartbeats && p > 1;
+
+        // 0. Scheduled fail-stop crashes fire; then every live rank takes
+        // its periodic checkpoint if one is due. A rank that crashes this
+        // step keeps only its previous checkpoint — exactly what a real
+        // fail-stop leaves behind.
+        self.cluster.fire_crashes_due(now);
+        self.take_periodic_checkpoints(now);
+        // Per-step compute baseline for the straggler detector.
+        let compute_before: Vec<f64> = self.cluster.compute_us_by_rank().to_vec();
 
         // 1. Assemble boundary-row sends: full rows on first contact, only
         // the changed entries afterwards (the papers' "send only the updated
         // values of the boundary DVs"), plus due retransmits of previously
         // dropped rows. `descs[rank][i]` describes `outbox[rank][i]`:
-        // (row, destination, is_retransmit).
-        let mut outbox: Vec<Vec<TransferOut<(VertexId, RowUpdate)>>> =
-            (0..p).map(|_| Vec::new()).collect();
+        // (row, destination, is_retransmit). Down ranks assemble nothing —
+        // their dirty sets and retransmit queues stay frozen until recovery.
+        let mut outbox: Vec<Vec<TransferOut<RcPayload>>> = (0..p).map(|_| Vec::new()).collect();
         let mut descs: Vec<Vec<(VertexId, usize, bool)>> = (0..p).map(|_| Vec::new()).collect();
         // Per dirty row: destinations that were already up to date (no bytes
         // needed — trivially delivered).
         let mut dirty_meta: Vec<Vec<(VertexId, Vec<usize>)>> = (0..p).map(|_| Vec::new()).collect();
         for rank in 0..p {
+            if self.cluster.is_down(rank) {
+                continue;
+            }
             let t = Instant::now();
             let mut dirty: Vec<VertexId> = self.procs[rank].dirty.drain().collect();
             dirty.sort_unstable(); // deterministic order
@@ -171,7 +204,7 @@ impl AnytimeEngine {
                         outbox[rank].push(TransferOut {
                             dst,
                             bytes: update.bytes(),
-                            payload: (u, update),
+                            payload: RcPayload::Row(u, update),
                         });
                         descs[rank].push((u, dst, false));
                     } else {
@@ -196,7 +229,7 @@ impl AnytimeEngine {
                         outbox[rank].push(TransferOut {
                             dst,
                             bytes: update.bytes(),
-                            payload: (u, update),
+                            payload: RcPayload::Row(u, update),
                         });
                         descs[rank].push((u, dst, true));
                     }
@@ -211,22 +244,68 @@ impl AnytimeEngine {
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
         }
 
+        // 1b. Piggyback one-byte heartbeats from every live rank to every
+        // other rank on the same exchange, so silent-but-alive ranks remain
+        // distinguishable from crashed ones. Heartbeats ride the same faulty
+        // network as the data: chaos drops them too, which is why suspicion
+        // needs `detector_timeout` consecutive silent steps.
+        let mut hb_dsts: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        if supervise {
+            for rank in 0..p {
+                if self.cluster.is_down(rank) {
+                    continue;
+                }
+                for dst in 0..p {
+                    if dst != rank {
+                        outbox[rank].push(TransferOut {
+                            dst,
+                            bytes: 1,
+                            payload: RcPayload::Heartbeat,
+                        });
+                        hb_dsts[rank].push(dst);
+                    }
+                }
+            }
+        }
+
         // 2. Personalized all-to-all exchange, through the (possibly faulty)
         // network, with per-sender delivery receipts.
         let (inbox, receipts) = self
             .cluster
             .exchange_with_receipts(Phase::Recombination, outbox);
+        if supervise {
+            let sent: u64 = hb_dsts.iter().map(|d| d.len() as u64).sum();
+            self.cluster
+                .note_heartbeats(Phase::Recombination, sent, sent);
+        }
 
         // 3a. Settle receipts *before* applying received rows: each row
         // still equals its value at send time, so an all-acked row's delta
         // baseline can be refreshed to exactly what every receiver now
-        // holds.
+        // holds. Positive receipts double as liveness evidence: an ack
+        // proves the destination was up this step.
         for rank in 0..p {
             let t = Instant::now();
+            debug_assert_eq!(
+                descs[rank].len() + hb_dsts[rank].len(),
+                receipts[rank].len()
+            );
+            for (&dst, &ok) in hb_dsts[rank]
+                .iter()
+                .zip(&receipts[rank][descs[rank].len()..])
+            {
+                if ok {
+                    self.supervision.detector.observe_contact(dst, now);
+                }
+            }
+            for (&(_, dst, _), &ok) in descs[rank].iter().zip(&receipts[rank]) {
+                if ok {
+                    self.supervision.detector.observe_contact(dst, now);
+                }
+            }
             let ps = &mut self.procs[rank];
             let mut acked: HashMap<VertexId, Vec<usize>> = HashMap::new();
             let mut failed: HashMap<VertexId, Vec<usize>> = HashMap::new();
-            debug_assert_eq!(descs[rank].len(), receipts[rank].len());
             for (&(u, dst, is_retry), &ok) in descs[rank].iter().zip(&receipts[rank]) {
                 if is_retry {
                     if ok {
@@ -282,13 +361,16 @@ impl AnytimeEngine {
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
         }
 
-        // 3b. Apply received rows and refine locally.
-        let mut flags = vec![false; p];
+        // 3b. Apply received rows and refine locally. Every inbound message
+        // (row or heartbeat) is liveness evidence for its sender.
         for (rank, received) in inbox.into_iter().enumerate() {
             let t = Instant::now();
             let mut seeds = Vec::new();
-            for (_src, (v, update)) in received {
-                seeds.extend(self.procs[rank].apply_row_update(v, update));
+            for (src, payload) in received {
+                self.supervision.detector.observe_contact(src, now);
+                if let RcPayload::Row(v, update) = payload {
+                    seeds.extend(self.procs[rank].apply_row_update(v, update));
+                }
             }
             match self.config.refinement {
                 Refinement::WorklistRelax => {
@@ -300,15 +382,45 @@ impl AnytimeEngine {
                     }
                 }
             }
-            // Loss-safety: unacknowledged rows count as pending work.
-            flags[rank] = !self.procs[rank].dirty.is_empty()
-                || self.pivot_pending[rank]
-                || !self.procs[rank].outstanding.is_empty();
             self.cluster
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
         }
 
-        // 4. Global termination test.
+        // 3c. Failure detection. Stragglers: compare this step's per-rank
+        // compute deltas against the live median. Crashes: any rank silent
+        // for more than the timeout is suspected; the supervisor confirms it
+        // down and (policy permitting) runs the recovery ladder — no manual
+        // call anywhere.
+        let skip: Vec<bool> = (0..p).map(|r| self.cluster.is_down(r)).collect();
+        let deltas: Vec<f64> = self
+            .cluster
+            .compute_us_by_rank()
+            .iter()
+            .zip(&compute_before)
+            .map(|(a, b)| a - b)
+            .collect();
+        self.supervision
+            .detector
+            .observe_step_compute(&deltas, &skip);
+        if supervise {
+            for rank in self.supervision.detector.suspects(now) {
+                self.supervision.detector.mark_down(rank);
+                if self.config.supervision.auto_recover {
+                    self.recover_rank_ladder(rank, now);
+                }
+            }
+        }
+
+        // 4. Global termination test. Flags are computed *after* recovery so
+        // freshly re-dirtied rows count as pending work; a down rank always
+        // votes "pending" — its frozen state is not the fixed point.
+        let mut flags = vec![false; p];
+        for (rank, flag) in flags.iter_mut().enumerate() {
+            *flag = self.cluster.is_down(rank)
+                || !self.procs[rank].dirty.is_empty()
+                || self.pivot_pending[rank]
+                || !self.procs[rank].outstanding.is_empty();
+        }
         let any = self.cluster.all_reduce_or(Phase::Recombination, &flags);
         self.converged = !any;
         self.converged
@@ -378,7 +490,6 @@ impl AnytimeEngine {
     pub fn set_chaos(&mut self, p_drop: f64, p_dup: f64) {
         if p_drop == 0.0 && p_dup == 0.0 {
             self.config.fault = None;
-            self.cluster.set_fault_plan(None);
         } else {
             let fc = FaultConfig {
                 p_drop,
@@ -386,8 +497,11 @@ impl AnytimeEngine {
                 ..self.config.fault.unwrap_or_default()
             };
             self.config.fault = Some(fc);
-            self.cluster.set_fault_plan(Some(fc.build_plan()));
         }
+        // Rebuild the combined plan so any configured processor faults
+        // (crash schedule, stragglers) survive the link-rate change.
+        let plan = self.config.build_fault_plan();
+        self.cluster.set_fault_plan(plan);
     }
 
     /// The engine configuration.
@@ -397,10 +511,21 @@ impl AnytimeEngine {
 
     /// An anytime snapshot: closeness estimates from the current (possibly
     /// partial) distance vectors. Charges the small result gather.
+    ///
+    /// Graceful degradation: while a rank is down, estimates for its
+    /// vertices are served from its frozen pre-crash state and flagged
+    /// [`Snapshot::stale`] — still valid anytime upper-bound-derived
+    /// estimates, just not improving until recovery.
     pub fn snapshot(&mut self) -> Snapshot {
         let cap = self.world.capacity();
         let mut closeness = vec![0.0f64; cap];
         let mut harmonic = vec![0.0f64; cap];
+        let mut stale = vec![false; cap];
+        for rank in self.cluster.down_ranks() {
+            for &v in self.procs[rank].dv.vertices() {
+                stale[v as usize] = true;
+            }
+        }
         let p = self.config.num_procs;
         let mut outbox: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
         for (rank, ps) in self.procs.iter().enumerate() {
@@ -435,6 +560,7 @@ impl AnytimeEngine {
             makespan_us: self.cluster.makespan_us(),
             closeness,
             harmonic,
+            stale,
         }
     }
 

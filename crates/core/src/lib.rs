@@ -56,13 +56,17 @@ pub mod proc_state;
 pub mod rebalance;
 pub mod resilience;
 pub mod strategy;
+pub mod supervisor;
 
+pub use aa_runtime::RankHealth;
 pub use closeness::Snapshot;
 pub use config::{
-    EngineConfig, FaultConfig, IaAlgorithm, PartitionerKind, Refinement, RepartitionMode,
+    EngineConfig, FaultConfig, IaAlgorithm, PartitionerKind, ProcFaultConfig, Refinement,
+    RepartitionMode, SupervisorConfig,
 };
 pub use dynamic::{Endpoint, VertexBatch};
 pub use engine::AnytimeEngine;
 pub use rebalance::ImbalanceReport;
-pub use resilience::RecoveryReport;
+pub use resilience::{RecoveryError, RecoveryMethod, RecoveryReport};
 pub use strategy::AdditionStrategy;
+pub use supervisor::{HealthReport, RecoveryEvent};

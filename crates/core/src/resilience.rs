@@ -17,13 +17,72 @@
 //! 3. ordinary recombination steps reconverge — surviving partial results are
 //!    reused untouched.
 
+use crate::config::Refinement;
 use crate::engine::AnytimeEngine;
+use aa_graph::{VertexId, Weight, INF};
 use aa_logp::Phase;
 use std::time::Instant;
+
+/// Why a recovery request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The engine has not been initialized yet — call `initialize()` first.
+    NotInitialized,
+    /// The rank does not exist on this cluster.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// How many processors the cluster actually has.
+        num_procs: usize,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::NotInitialized => {
+                f.write_str("engine not initialized: call initialize() first")
+            }
+            RecoveryError::InvalidRank { rank, num_procs } => {
+                write!(
+                    f,
+                    "rank {rank} out of range (cluster has {num_procs} processors)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// How a crashed rank's rows were rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMethod {
+    /// Rows restored from the rank's last valid periodic checkpoint; only
+    /// rows the checkpoint misses (assigned since) are reseeded.
+    CheckpointRestore,
+    /// All rows reseeded from local SSSP (no usable checkpoint).
+    SsspReseed,
+}
+
+impl std::fmt::Display for RecoveryMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryMethod::CheckpointRestore => "checkpoint-restore",
+            RecoveryMethod::SsspReseed => "sssp-reseed",
+        })
+    }
+}
 
 /// What a failure+recovery cost, for comparisons against a full restart.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryReport {
+    /// The recovered rank.
+    pub rank: usize,
+    /// How the replacement's rows were rebuilt.
+    pub method: RecoveryMethod,
+    /// Rows restored from the checkpoint (0 on the reseed path).
+    pub restored_rows: usize,
     /// Rows the replacement node reseeded from local SSSP.
     pub reseeded_rows: usize,
     /// Surviving boundary rows re-marked dirty for full resend.
@@ -33,27 +92,93 @@ pub struct RecoveryReport {
 impl AnytimeEngine {
     /// Kills processor `rank` and immediately brings up a blank replacement
     /// with the same rank and vertex assignment, then runs the anytime
-    /// recovery protocol described in the module docs. The engine is left
-    /// unconverged; subsequent recombination steps restore exactness.
-    pub fn fail_and_recover_processor(&mut self, rank: usize) -> RecoveryReport {
-        assert!(self.initialized, "call initialize() first");
-        assert!(rank < self.config.num_procs, "rank {rank} out of range");
+    /// recovery protocol described in the module docs (always the SSSP
+    /// reseed — this is the manual injection path; detected crashes go
+    /// through the supervisor's checkpoint-assisted ladder, see
+    /// `crate::supervisor`). The engine is left unconverged; subsequent
+    /// recombination steps restore exactness.
+    pub fn fail_and_recover_processor(
+        &mut self,
+        rank: usize,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        if !self.initialized {
+            return Err(RecoveryError::NotInitialized);
+        }
+        if rank >= self.config.num_procs {
+            return Err(RecoveryError::InvalidRank {
+                rank,
+                num_procs: self.config.num_procs,
+            });
+        }
+        Ok(self.replace_rank(rank, None))
+    }
 
+    /// The crash-and-replace protocol shared by manual injection and
+    /// detected-crash recovery: discards `rank`'s state, rebuilds it from
+    /// `checkpoint_rows` when given (padding each restored row to the
+    /// current capacity and reseeding rows the checkpoint misses) or from a
+    /// full local SSSP reseed otherwise, then has every survivor downgrade
+    /// the rank to full-row sends and re-dirty what it borders. All costs
+    /// are charged to [`Phase::Recovery`].
+    pub(crate) fn replace_rank(
+        &mut self,
+        rank: usize,
+        checkpoint_rows: Option<Vec<(VertexId, Vec<Weight>)>>,
+    ) -> RecoveryReport {
         // --- the crash: all of `rank`'s state is lost ---------------------
         let owned: Vec<_> = self.partition.members()[rank].clone();
         let cap = self.world.capacity();
         let mut fresh = crate::proc_state::ProcState::new(rank, cap);
         fresh.rebuild_view(&self.world, &self.partition);
-        for &v in &owned {
-            fresh.dv.add_row(v);
+        if checkpoint_rows.is_none() {
+            // The reseed path starts from blank rows; the checkpoint path
+            // inserts restored rows directly.
+            for &v in &owned {
+                fresh.dv.add_row(v);
+            }
         }
         self.procs[rank] = fresh;
 
-        // --- replacement node: local re-approximation of its own rows -----
+        // --- replacement node: restore checkpointed rows, reseed the rest -
+        let method = if checkpoint_rows.is_some() {
+            RecoveryMethod::CheckpointRestore
+        } else {
+            RecoveryMethod::SsspReseed
+        };
+        let mut restored = 0usize;
+        let mut reseeded = 0usize;
         let t = Instant::now();
-        self.procs[rank].initial_approximation(self.config.ia);
+        match checkpoint_rows {
+            Some(rows) => {
+                let mut have: std::collections::HashSet<VertexId> =
+                    std::collections::HashSet::new();
+                for (v, mut row) in rows {
+                    row.resize(cap, INF); // vertices added since the checkpoint
+                    self.procs[rank].dv.insert_row(v, row);
+                    have.insert(v);
+                    restored += 1;
+                }
+                for &v in &owned {
+                    if !have.contains(&v) {
+                        let row = self.procs[rank].local_sssp(v, self.config.ia);
+                        self.procs[rank].dv.insert_row(v, row);
+                        reseeded += 1;
+                    }
+                }
+                // Everything restored is marked dirty: any pre-crash send
+                // the rank had not yet delivered is covered by a full
+                // re-flood, which the anytime min-merge absorbs for free.
+                for &v in &owned {
+                    self.procs[rank].dirty.insert(v);
+                }
+            }
+            None => {
+                self.procs[rank].initial_approximation(self.config.ia);
+                reseeded = owned.len();
+            }
+        }
         self.cluster
-            .compute_measured(rank, Phase::InitialApproximation, t.elapsed());
+            .compute_measured(rank, Phase::Recovery, t.elapsed());
 
         // --- survivors: downgrade the failed rank to full-row sends and
         //     re-dirty everything it borders -------------------------------
@@ -84,12 +209,20 @@ impl AnytimeEngine {
             // harmless direction (they reflect pre-crash values, which were
             // valid upper bounds of an unchanged graph) — they stay.
             self.cluster
-                .compute_measured(survivor, Phase::DynamicUpdate, t.elapsed());
+                .compute_measured(survivor, Phase::Recovery, t.elapsed());
         }
         self.cluster.barrier();
+        if self.config.refinement == Refinement::PivotPass {
+            // Force a pivot pass on the replacement even if the inbound
+            // flood happens to seed nothing.
+            self.pivot_pending[rank] = true;
+        }
         self.converged = false;
         RecoveryReport {
-            reseeded_rows: owned.len(),
+            rank,
+            method,
+            restored_rows: restored,
+            reseeded_rows: reseeded,
             resent_rows: resent,
         }
     }
@@ -129,7 +262,10 @@ mod tests {
     fn recovery_restores_exactness() {
         let mut e = engine(80, 4, 3);
         e.run_to_convergence(64);
-        let report = e.fail_and_recover_processor(2);
+        let report = e.fail_and_recover_processor(2).unwrap();
+        assert_eq!(report.rank, 2);
+        assert_eq!(report.method, RecoveryMethod::SsspReseed);
+        assert_eq!(report.restored_rows, 0);
         assert!(report.reseeded_rows > 0);
         assert!(!e.is_converged());
         e.run_to_convergence(64);
@@ -142,7 +278,7 @@ mod tests {
     fn recovery_mid_run_still_converges() {
         let mut e = engine(70, 4, 5);
         e.rc_step(); // crash before the static analysis finished
-        e.fail_and_recover_processor(0);
+        e.fail_and_recover_processor(0).unwrap();
         e.run_to_convergence(64);
         assert_oracle(&e);
     }
@@ -152,7 +288,7 @@ mod tests {
         let mut e = engine(60, 4, 7);
         e.run_to_convergence(64);
         for rank in [0usize, 1, 2, 3, 1] {
-            e.fail_and_recover_processor(rank);
+            e.fail_and_recover_processor(rank).unwrap();
             e.rc_step();
         }
         e.run_to_convergence(64);
@@ -170,7 +306,7 @@ mod tests {
         batch.connect(2, Endpoint::Existing(10), 2);
         e.add_vertices(&batch, AdditionStrategy::CutEdgePs);
         e.rc_step();
-        e.fail_and_recover_processor(3);
+        e.fail_and_recover_processor(3).unwrap();
         e.rc_step();
         e.add_edge(0, 40, 1);
         e.run_to_convergence(96);
@@ -186,7 +322,7 @@ mod tests {
         let mut recovered = engine(100, 4, 11);
         recovered.run_to_convergence(64);
         let before = recovered.cluster().ledger().totals().bytes;
-        recovered.fail_and_recover_processor(1);
+        recovered.fail_and_recover_processor(1).unwrap();
         recovered.run_to_convergence(64);
         let recovery_bytes = recovered.cluster().ledger().totals().bytes - before;
 
@@ -204,9 +340,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn invalid_rank_rejected() {
         let mut e = engine(20, 2, 13);
-        e.fail_and_recover_processor(5);
+        let err = e.fail_and_recover_processor(5).unwrap_err();
+        assert_eq!(
+            err,
+            RecoveryError::InvalidRank {
+                rank: 5,
+                num_procs: 2
+            }
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // The failed call must not have disturbed the engine.
+        e.run_to_convergence(64);
+        assert_oracle(&e);
+    }
+
+    #[test]
+    fn uninitialized_engine_rejected() {
+        let g = generators::barabasi_albert(20, 2, 2, 13);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            e.fail_and_recover_processor(0).unwrap_err(),
+            RecoveryError::NotInitialized
+        );
     }
 }

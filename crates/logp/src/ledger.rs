@@ -16,16 +16,20 @@ pub enum Phase {
     DynamicUpdate,
     /// Partial-result migration during repartitioning.
     Migration,
+    /// Failure detection and repair: checkpoint writes/restores, replacement
+    /// reseeds and the survivors' reaction to a detected crash.
+    Recovery,
 }
 
 impl Phase {
     /// All phases in reporting order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::DomainDecomposition,
         Phase::InitialApproximation,
         Phase::Recombination,
         Phase::DynamicUpdate,
         Phase::Migration,
+        Phase::Recovery,
     ];
 }
 
@@ -37,6 +41,7 @@ impl fmt::Display for Phase {
             Phase::Recombination => "recombination",
             Phase::DynamicUpdate => "dynamic-update",
             Phase::Migration => "migration",
+            Phase::Recovery => "recovery",
         };
         f.write_str(s)
     }
@@ -64,6 +69,10 @@ pub struct PhaseStats {
     pub dup_messages: u64,
     /// Payload bytes injected as duplicates.
     pub dup_bytes: u64,
+    /// Failure-detector heartbeat messages (a subset of `messages`).
+    pub heartbeat_messages: u64,
+    /// Failure-detector heartbeat bytes (a subset of `bytes`).
+    pub heartbeat_bytes: u64,
 }
 
 /// Ledger of communication and computation per phase.
@@ -113,6 +122,15 @@ impl CostLedger {
         s.dup_bytes += bytes;
     }
 
+    /// Records failure-detector heartbeat traffic (detector counters only;
+    /// the heartbeats' traffic is charged via
+    /// [`CostLedger::record_transfer`] like any other transfer).
+    pub fn record_heartbeat(&mut self, phase: Phase, messages: u64, bytes: u64) {
+        let s = &mut self.stats[Self::idx(phase)];
+        s.heartbeat_messages += messages;
+        s.heartbeat_bytes += bytes;
+    }
+
     /// Stats for one phase.
     pub fn phase(&self, phase: Phase) -> PhaseStats {
         self.stats[Self::idx(phase)]
@@ -129,6 +147,8 @@ impl CostLedger {
             t.dropped_bytes += s.dropped_bytes;
             t.dup_messages += s.dup_messages;
             t.dup_bytes += s.dup_bytes;
+            t.heartbeat_messages += s.heartbeat_messages;
+            t.heartbeat_bytes += s.heartbeat_bytes;
         }
         t
     }
@@ -143,6 +163,8 @@ impl CostLedger {
             self.stats[i].dropped_bytes += s.dropped_bytes;
             self.stats[i].dup_messages += s.dup_messages;
             self.stats[i].dup_bytes += s.dup_bytes;
+            self.stats[i].heartbeat_messages += s.heartbeat_messages;
+            self.stats[i].heartbeat_bytes += s.heartbeat_bytes;
         }
     }
 
@@ -242,5 +264,29 @@ mod tests {
         let t = a.totals();
         assert_eq!((t.dropped_messages, t.dropped_bytes), (4, 130));
         assert_eq!((t.dup_messages, t.dup_bytes), (2, 50));
+    }
+
+    #[test]
+    fn heartbeat_counters_accumulate_merge_and_total() {
+        let mut a = CostLedger::new();
+        a.record_transfer(Phase::Recombination, 6, 6);
+        a.record_heartbeat(Phase::Recombination, 6, 6);
+        let s = a.phase(Phase::Recombination);
+        assert_eq!((s.heartbeat_messages, s.heartbeat_bytes), (6, 6));
+        // Heartbeat counters never touch the traffic totals on their own.
+        assert_eq!((s.messages, s.bytes), (6, 6));
+        let mut b = CostLedger::new();
+        b.record_heartbeat(Phase::Recovery, 2, 2);
+        a.merge(&b);
+        let t = a.totals();
+        assert_eq!((t.heartbeat_messages, t.heartbeat_bytes), (8, 8));
+    }
+
+    #[test]
+    fn recovery_phase_is_reported() {
+        let mut l = CostLedger::new();
+        l.record_transfer(Phase::Recovery, 1, 64);
+        assert_eq!(l.phase(Phase::Recovery).bytes, 64);
+        assert!(l.report().contains("recovery"));
     }
 }

@@ -39,6 +39,9 @@ pub enum DeliveryKind {
     Dropped,
     /// An injected second copy of a delivered transfer.
     Duplicate,
+    /// Sent to (or from) a crashed rank: the transfer rode the network but
+    /// nobody was home to receive or ack it. The bytes were still charged.
+    LostDown,
 }
 
 impl std::fmt::Display for DeliveryKind {
@@ -47,6 +50,7 @@ impl std::fmt::Display for DeliveryKind {
             DeliveryKind::Delivered => "delivered",
             DeliveryKind::Dropped => "dropped",
             DeliveryKind::Duplicate => "duplicate",
+            DeliveryKind::LostDown => "lost-down",
         })
     }
 }
@@ -95,6 +99,16 @@ pub struct SimCluster {
     trace: Option<Vec<TraceEvent>>,
     compute_scale: f64,
     fault: Option<FaultPlan>,
+    /// Fail-stop state per rank: a down rank neither receives nor acks.
+    down: Vec<bool>,
+    /// Per-rank compute slowdown (straggler faults); 1.0 = nominal.
+    rank_scale: Vec<f64>,
+    /// Compute microseconds charged per rank (after all scaling), the
+    /// signal the straggler detector compares across ranks.
+    rank_compute_us: Vec<f64>,
+    /// Scheduled crashes that already fired, keyed by `(step, rank)` so the
+    /// schedule can be extended mid-run without re-firing old entries.
+    crashes_fired: std::collections::HashSet<(u64, usize)>,
 }
 
 impl SimCluster {
@@ -109,19 +123,122 @@ impl SimCluster {
             trace: None,
             compute_scale: 1.0,
             fault: None,
+            down: vec![false; p],
+            rank_scale: vec![1.0; p],
+            rank_compute_us: vec![0.0; p],
+            crashes_fired: std::collections::HashSet::new(),
         }
     }
 
     /// Installs (or with `None`, removes) a network fault plan. Faults apply
     /// only to [`SimCluster::exchange_with_receipts`]; the plain collectives
-    /// model reliable transport.
+    /// model reliable transport. Straggler faults in the plan take effect
+    /// immediately; scheduled crashes fire via
+    /// [`SimCluster::fire_crashes_due`].
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.rank_scale = vec![1.0; self.proc_count()];
+        if let Some(plan) = &plan {
+            for s in plan.stragglers() {
+                if s.rank < self.rank_scale.len() {
+                    self.rank_scale[s.rank] = s.scale;
+                }
+            }
+        }
+        self.crashes_fired.clear();
         self.fault = plan;
     }
 
     /// The active fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref()
+    }
+
+    /// Mutable access to the active fault plan (e.g. to extend the crash
+    /// schedule mid-run). Straggler edits made this way take effect on the
+    /// next [`SimCluster::refresh_stragglers`] call.
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault.as_mut()
+    }
+
+    /// Re-reads straggler scales from the installed plan (after mutating it
+    /// via [`SimCluster::fault_plan_mut`]).
+    pub fn refresh_stragglers(&mut self) {
+        self.rank_scale = vec![1.0; self.proc_count()];
+        if let Some(plan) = &self.fault {
+            for s in plan.stragglers() {
+                if s.rank < self.rank_scale.len() {
+                    self.rank_scale[s.rank] = s.scale;
+                }
+            }
+        }
+    }
+
+    /// Fires every scheduled crash whose step is due (`c.step <= step`) and
+    /// has not fired yet, marking those ranks down. Returns the newly downed
+    /// ranks. A crash that would take down the last live rank is skipped
+    /// (the simulation keeps at least one survivor to run recovery).
+    pub fn fire_crashes_due(&mut self, step: u64) -> Vec<usize> {
+        let due: Vec<(u64, usize)> = match &self.fault {
+            Some(plan) => plan
+                .crashes()
+                .iter()
+                .filter(|c| c.step <= step && !self.crashes_fired.contains(&(c.step, c.rank)))
+                .map(|c| (c.step, c.rank))
+                .collect(),
+            None => return Vec::new(),
+        };
+        let mut newly_down = Vec::new();
+        for (step, rank) in due {
+            self.crashes_fired.insert((step, rank));
+            if rank >= self.proc_count() || self.down[rank] {
+                continue;
+            }
+            if self.live_count() <= 1 {
+                continue; // never kill the last survivor
+            }
+            self.down[rank] = true;
+            newly_down.push(rank);
+        }
+        newly_down
+    }
+
+    /// Whether `rank` is currently down (fail-stopped).
+    pub fn is_down(&self, rank: usize) -> bool {
+        self.down[rank]
+    }
+
+    /// The currently down ranks, ascending.
+    pub fn down_ranks(&self) -> Vec<usize> {
+        (0..self.proc_count()).filter(|&r| self.down[r]).collect()
+    }
+
+    /// Number of live (not down) ranks.
+    pub fn live_count(&self) -> usize {
+        self.down.iter().filter(|&&d| !d).count()
+    }
+
+    /// Marks `rank` down (fail-stop). Used by manual fault injection; the
+    /// scheduled path goes through [`SimCluster::fire_crashes_due`].
+    pub fn mark_down(&mut self, rank: usize) {
+        assert!(rank < self.proc_count());
+        self.down[rank] = true;
+    }
+
+    /// Brings `rank` back up (a replacement processor takes over the rank).
+    pub fn mark_up(&mut self, rank: usize) {
+        assert!(rank < self.proc_count());
+        self.down[rank] = false;
+    }
+
+    /// Compute microseconds charged so far per rank (after compute-scale and
+    /// straggler scaling) — the straggler detector's input signal.
+    pub fn compute_us_by_rank(&self) -> &[f64] {
+        &self.rank_compute_us
+    }
+
+    /// Virtual clock of processor `p` (µs).
+    pub fn proc_time_us(&self, p: usize) -> f64 {
+        self.clocks.proc_time_us(p)
     }
 
     /// Sets the compute calibration factor: measured wall microseconds are
@@ -156,16 +273,21 @@ impl SimCluster {
     }
 
     /// Charges `elapsed` of measured local computation on processor `p`
-    /// (wall microseconds × the compute-scale calibration factor).
+    /// (wall microseconds × the compute-scale calibration factor × the
+    /// rank's straggler scale, if any).
     pub fn compute_measured(&mut self, p: usize, phase: Phase, elapsed: Duration) {
-        let us = elapsed.as_secs_f64() * 1e6 * self.compute_scale;
+        let us = elapsed.as_secs_f64() * 1e6 * self.compute_scale * self.rank_scale[p];
         self.clocks.compute(p, us);
+        self.rank_compute_us[p] += us;
         self.ledger.record_compute(phase, us);
     }
 
-    /// Charges `us` microseconds of modeled computation on processor `p`.
+    /// Charges `us` microseconds of modeled computation on processor `p`
+    /// (× the rank's straggler scale, if any).
     pub fn compute_modeled(&mut self, p: usize, phase: Phase, us: f64) {
+        let us = us * self.rank_scale[p];
         self.clocks.compute(p, us);
+        self.rank_compute_us[p] += us;
         self.ledger.record_compute(phase, us);
     }
 
@@ -227,6 +349,17 @@ impl SimCluster {
                 assert!(t.dst < p, "destination {} out of range", t.dst);
                 assert_ne!(t.dst, src, "self-send from processor {src}");
                 per_pair_bytes[src * p + t.dst] += t.bytes;
+                if self.down[t.dst] || self.down[src] {
+                    // Nobody home at one end: the transfer rides the network
+                    // (bytes are charged via `per_pair_bytes`) but is never
+                    // received or acked, so the sender sees a nack and will
+                    // retransmit until the rank is recovered.
+                    receipts[src].push(false);
+                    let msgs = self.params.message_count(t.bytes) as u64;
+                    self.ledger.record_drop(phase, msgs, t.bytes as u64);
+                    faulted.push((src, t.dst, t.bytes, DeliveryKind::LostDown));
+                    continue;
+                }
                 let verdict = match &mut self.fault {
                     Some(plan) => plan.decide(src, t.dst),
                     None => Delivery::Delivered { duplicated: false },
@@ -328,6 +461,33 @@ impl SimCluster {
         }
     }
 
+    /// Charges one point-to-point transfer of `bytes` from `src` to `dst`
+    /// (cost only; the caller moves the payload). Used for out-of-band
+    /// control traffic such as shipping a checkpoint to a replacement rank.
+    pub fn point_to_point_cost(&mut self, phase: Phase, src: usize, dst: usize, bytes: usize) {
+        let p = self.proc_count();
+        assert!(src < p && dst < p && src != dst);
+        match self.mode {
+            ExchangeMode::Serialized => {
+                self.clocks
+                    .transfer_serialized(src, dst, bytes, &self.params);
+            }
+            ExchangeMode::RoundBased => {
+                self.clocks
+                    .transfer_concurrent(src, dst, bytes, &self.params);
+            }
+        }
+        self.record(phase, bytes);
+        self.trace_transfer(src, dst, bytes, phase);
+    }
+
+    /// Books already-charged transfers as failure-detector heartbeats in the
+    /// ledger's heartbeat counters (the transfers themselves go through the
+    /// normal exchange path and are charged there).
+    pub fn note_heartbeats(&mut self, phase: Phase, messages: u64, bytes: u64) {
+        self.ledger.record_heartbeat(phase, messages, bytes);
+    }
+
     /// Barrier: synchronizes all virtual clocks (cost only).
     pub fn barrier(&mut self) {
         self.clocks.barrier();
@@ -414,9 +574,12 @@ impl SimCluster {
     }
 
     /// Resets clocks and ledger (used by the baseline-restart strategy).
+    /// Fault topology (down ranks, straggler scales, crash schedule) is
+    /// preserved: a restart does not repair hardware.
     pub fn reset_accounting(&mut self) {
         self.clocks = VirtualClocks::new(self.proc_count());
         self.ledger = CostLedger::new();
+        self.rank_compute_us = vec![0.0; self.proc_count()];
     }
 }
 
@@ -741,6 +904,106 @@ mod tests {
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77).1, run(78).1, "different seeds fault differently");
+    }
+
+    #[test]
+    fn transfers_to_a_down_rank_are_nacked_and_charged() {
+        let mut c = cluster(3, ExchangeMode::Serialized);
+        c.set_fault_plan(Some(crate::FaultPlan::new(0, 0.0, 0.0).with_reorder(false)));
+        c.mark_down(1);
+        c.enable_trace();
+        let (inbox, receipts) = c.exchange_with_receipts(
+            Phase::Recombination,
+            vec![
+                vec![
+                    TransferOut {
+                        dst: 1,
+                        bytes: 48,
+                        payload: "dead",
+                    },
+                    TransferOut {
+                        dst: 2,
+                        bytes: 16,
+                        payload: "live",
+                    },
+                ],
+                vec![],
+                vec![],
+            ],
+        );
+        assert!(inbox[1].is_empty(), "a down rank receives nothing");
+        assert_eq!(inbox[2], vec![(0, "live")]);
+        assert_eq!(receipts[0], vec![false, true]);
+        let s = c.ledger().phase(Phase::Recombination);
+        assert_eq!(s.bytes, 64, "the lost transfer still rode the network");
+        assert_eq!(s.dropped_bytes, 48);
+        assert!(c
+            .take_trace()
+            .iter()
+            .any(|e| e.kind == DeliveryKind::LostDown && e.dst == 1 && e.bytes == 48));
+        // Recovery brings the rank back.
+        c.mark_up(1);
+        assert_eq!(c.down_ranks(), Vec::<usize>::new());
+        let (inbox, receipts) = c.exchange_with_receipts(
+            Phase::Recombination,
+            vec![
+                vec![TransferOut {
+                    dst: 1,
+                    bytes: 48,
+                    payload: "retry",
+                }],
+                vec![],
+                vec![],
+            ],
+        );
+        assert_eq!(inbox[1], vec![(0, "retry")]);
+        assert_eq!(receipts[0], vec![true]);
+    }
+
+    #[test]
+    fn scheduled_crashes_fire_once_and_spare_the_last_survivor() {
+        let mut c = cluster(2, ExchangeMode::Serialized);
+        let plan = crate::FaultPlan::new(0, 0.0, 0.0)
+            .with_crash(3, 0)
+            .with_crash(5, 1);
+        c.set_fault_plan(Some(plan));
+        assert_eq!(c.fire_crashes_due(2), Vec::<usize>::new());
+        assert_eq!(c.fire_crashes_due(3), vec![0]);
+        assert!(c.is_down(0));
+        // Firing the same step again is idempotent.
+        assert_eq!(c.fire_crashes_due(3), Vec::<usize>::new());
+        // Rank 1 is the last survivor: its crash is skipped.
+        assert_eq!(c.fire_crashes_due(10), Vec::<usize>::new());
+        assert_eq!(c.live_count(), 1);
+        // After recovery, late crashes do not re-fire.
+        c.mark_up(0);
+        assert_eq!(c.fire_crashes_due(11), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn straggler_scale_inflates_compute_and_clock() {
+        let mut c = cluster(2, ExchangeMode::Serialized);
+        c.set_fault_plan(Some(
+            crate::FaultPlan::new(0, 0.0, 0.0).with_straggler(1, 10.0),
+        ));
+        c.compute_modeled(0, Phase::Recombination, 100.0);
+        c.compute_modeled(1, Phase::Recombination, 100.0);
+        assert_eq!(c.compute_us_by_rank(), &[100.0, 1000.0]);
+        assert_eq!(c.proc_time_us(1), 1000.0);
+        assert_eq!(c.makespan_us(), 1000.0, "the straggler drags the makespan");
+        // Removing the plan resets the scale.
+        c.set_fault_plan(None);
+        c.compute_modeled(1, Phase::Recombination, 50.0);
+        assert_eq!(c.compute_us_by_rank()[1], 1050.0);
+    }
+
+    #[test]
+    fn point_to_point_cost_charges_one_transfer() {
+        let mut c = cluster(4, ExchangeMode::Serialized);
+        c.point_to_point_cost(Phase::Recovery, 0, 2, 1000);
+        let s = c.ledger().phase(Phase::Recovery);
+        assert_eq!(s.bytes, 1000);
+        assert!(c.makespan_us() > 0.0);
     }
 
     #[test]

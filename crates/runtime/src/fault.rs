@@ -57,6 +57,27 @@ pub enum Delivery {
     Dropped,
 }
 
+/// A scheduled fail-stop processor crash: `rank` dies at the start of
+/// recombination step `step` (1-based, matching the engine's step counter)
+/// and stays down until the supervision layer recovers it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// Recombination step at which the rank dies.
+    pub step: u64,
+    /// The dying rank.
+    pub rank: usize,
+}
+
+/// A straggler fault: `rank`'s compute charges (and therefore its LogP
+/// virtual clock) are inflated by `scale` for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerFault {
+    /// The slow rank.
+    pub rank: usize,
+    /// Compute slowdown factor (> 1 means slower).
+    pub scale: f64,
+}
+
 /// A seeded, replayable schedule of message faults.
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
@@ -64,6 +85,10 @@ pub struct FaultPlan {
     default: LinkFaults,
     overrides: HashMap<(usize, usize), LinkFaults>,
     reorder: bool,
+    /// Scheduled fail-stop crashes, kept sorted by step.
+    crashes: Vec<CrashFault>,
+    /// Per-rank compute slowdowns.
+    stragglers: Vec<StragglerFault>,
     /// Decisions drawn so far per directed link (the replay position).
     counters: HashMap<(usize, usize), u64>,
     /// Shuffles drawn so far per receiver.
@@ -85,6 +110,8 @@ impl FaultPlan {
             default: LinkFaults::new(p_drop, p_dup),
             overrides: HashMap::new(),
             reorder: true,
+            crashes: Vec::new(),
+            stragglers: Vec::new(),
             counters: HashMap::new(),
             shuffle_counters: HashMap::new(),
         }
@@ -107,6 +134,54 @@ impl FaultPlan {
             .get(&(src, dst))
             .copied()
             .unwrap_or(self.default)
+    }
+
+    /// Schedules a fail-stop crash: `rank` dies at recombination step `step`.
+    /// The schedule is part of the plan, so a run replays the same crashes
+    /// from the same plan. Crashes are kept sorted by step.
+    pub fn schedule_crash(&mut self, step: u64, rank: usize) {
+        self.crashes.push(CrashFault { step, rank });
+        self.crashes.sort_by_key(|c| (c.step, c.rank));
+    }
+
+    /// Builder form of [`FaultPlan::schedule_crash`].
+    pub fn with_crash(mut self, step: u64, rank: usize) -> Self {
+        self.schedule_crash(step, rank);
+        self
+    }
+
+    /// Marks `rank` as a straggler: its compute charges are multiplied by
+    /// `scale` (> 1 = slower). A later call for the same rank overrides the
+    /// earlier one.
+    pub fn set_straggler(&mut self, rank: usize, scale: f64) {
+        assert!(scale > 0.0, "straggler scale must be positive: {scale}");
+        if let Some(s) = self.stragglers.iter_mut().find(|s| s.rank == rank) {
+            s.scale = scale;
+        } else {
+            self.stragglers.push(StragglerFault { rank, scale });
+        }
+    }
+
+    /// Builder form of [`FaultPlan::set_straggler`].
+    pub fn with_straggler(mut self, rank: usize, scale: f64) -> Self {
+        self.set_straggler(rank, scale);
+        self
+    }
+
+    /// Removes any straggler fault on `rank` (the rank runs at nominal
+    /// speed again).
+    pub fn clear_straggler(&mut self, rank: usize) {
+        self.stragglers.retain(|s| s.rank != rank);
+    }
+
+    /// The scheduled crashes, sorted by step.
+    pub fn crashes(&self) -> &[CrashFault] {
+        &self.crashes
+    }
+
+    /// The configured stragglers.
+    pub fn stragglers(&self) -> &[StragglerFault] {
+        &self.stragglers
     }
 
     /// The plan's seed.
@@ -259,5 +334,33 @@ mod tests {
     #[should_panic(expected = "must lie in [0, 1]")]
     fn invalid_probability_rejected() {
         FaultPlan::new(0, 1.5, 0.0);
+    }
+
+    #[test]
+    fn crash_schedule_is_sorted_and_replayable() {
+        let plan = FaultPlan::new(0, 0.0, 0.0)
+            .with_crash(30, 2)
+            .with_crash(5, 1)
+            .with_crash(30, 0);
+        let steps: Vec<(u64, usize)> = plan.crashes().iter().map(|c| (c.step, c.rank)).collect();
+        assert_eq!(steps, vec![(5, 1), (30, 0), (30, 2)]);
+        // Cloning the plan (how a run is replayed) preserves the schedule.
+        assert_eq!(plan.clone().crashes(), plan.crashes());
+    }
+
+    #[test]
+    fn straggler_override_replaces_earlier_entry() {
+        let mut plan = FaultPlan::new(0, 0.0, 0.0).with_straggler(3, 10.0);
+        plan.set_straggler(3, 25.0);
+        plan.set_straggler(1, 4.0);
+        assert_eq!(plan.stragglers().len(), 2);
+        let s3 = plan.stragglers().iter().find(|s| s.rank == 3).unwrap();
+        assert_eq!(s3.scale, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_straggler_scale_rejected() {
+        FaultPlan::new(0, 0.0, 0.0).with_straggler(0, 0.0);
     }
 }

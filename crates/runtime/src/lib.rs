@@ -15,7 +15,9 @@
 //! each virtual processor (the paper's OpenMP level, rayon here).
 
 pub mod cluster;
+pub mod detector;
 pub mod fault;
 
 pub use cluster::{DeliveryKind, ExchangeMode, SimCluster, TraceEvent, TransferOut};
-pub use fault::{Delivery, FaultPlan, LinkFaults};
+pub use detector::{FailureDetector, RankHealth};
+pub use fault::{CrashFault, Delivery, FaultPlan, LinkFaults, StragglerFault};

@@ -3,7 +3,10 @@
 //! checkpoint round-trip — with oracle verification at multiple points. This
 //! is the "leave it running for a week" scenario compressed.
 
-use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, Refinement, VertexBatch};
+use aa_core::{
+    AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, FaultConfig, ProcFaultConfig,
+    Refinement, SupervisorConfig, VertexBatch,
+};
 use aa_graph::{algo, generators, VertexId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -91,7 +94,7 @@ fn hundred_operation_soak() {
                 e.rebalance_if_needed(1.3);
             }
             8 => {
-                e.fail_and_recover_processor(rng.gen_range(0..5));
+                e.fail_and_recover_processor(rng.gen_range(0..5)).unwrap();
             }
             _ => {
                 let victims: Vec<_> = e
@@ -121,6 +124,97 @@ fn hundred_operation_soak() {
         .expect("soaked state must checkpoint cleanly");
     assert_eq!(restored.distances_dense(), e.distances_dense());
     assert_oracle(&e);
+}
+
+/// Combined-adversity soak: lossy links, scheduled fail-stop crashes, an
+/// injected straggler and a stream of dynamic updates, all at once. The
+/// supervisor must detect and recover every crash on its own (no manual
+/// `fail_and_recover_processor` anywhere) and the end state must still be
+/// the exact oracle.
+#[test]
+fn combined_adversity_soak() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xADE5);
+    let graph = generators::barabasi_albert(70, 2, 2, 31);
+    let mut e = AnytimeEngine::new(
+        graph,
+        EngineConfig {
+            num_procs: 5,
+            seed: 31,
+            fault: Some(FaultConfig {
+                p_drop: 0.15,
+                p_dup: 0.05,
+                reorder: true,
+                seed: 0xADE5,
+            }),
+            proc_fault: Some(ProcFaultConfig {
+                crashes: vec![(8, 1), (45, 3)],
+                stragglers: vec![(2, 200.0)],
+            }),
+            supervision: SupervisorConfig {
+                checkpoint_interval: 4,
+                detector_timeout: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    e.initialize();
+
+    for op in 0..40u64 {
+        match op % 8 {
+            0 | 1 => {
+                let (u, v) = random_live_pair(&e, &mut rng);
+                e.add_edge(u, v, rng.gen_range(1..6));
+            }
+            2 => {
+                let edges: Vec<_> = e.graph().edges().collect();
+                let (u, v, _) = edges[rng.gen_range(0..edges.len())];
+                e.delete_edge(u, v);
+            }
+            3 => {
+                let mut batch = VertexBatch::new(1);
+                let ids: Vec<VertexId> = e.graph().vertices().collect();
+                batch.connect(0, Endpoint::Existing(ids[rng.gen_range(0..ids.len())]), 2);
+                e.add_vertices(&batch, AdditionStrategy::CutEdgePs);
+            }
+            4 => {
+                let edges: Vec<_> = e.graph().edges().collect();
+                let (u, v, w) = edges[rng.gen_range(0..edges.len())];
+                let new_w = if rng.gen_bool(0.5) { w + 2 } else { 1 };
+                e.change_edge_weight(u, v, new_w);
+            }
+            5 if op == 21 => {
+                // One more crash scheduled on the fly, mid-churn.
+                e.schedule_crash(e.rc_steps() as u64 + 3, 4);
+            }
+            _ => {}
+        }
+        e.rc_step();
+    }
+
+    e.run_to_convergence(6000);
+    assert!(e.is_converged(), "combined adversity must still converge");
+    assert_eq!(e.outstanding_rows(), 0);
+
+    // Every scheduled crash was detected and recovered automatically.
+    let recovered: Vec<usize> = e.recovery_log().iter().map(|ev| ev.report.rank).collect();
+    assert!(recovered.contains(&1), "crash of rank 1 not recovered");
+    assert!(recovered.contains(&3), "crash of rank 3 not recovered");
+    assert!(recovered.contains(&4), "crash of rank 4 not recovered");
+    let health = e.health_report();
+    assert!(health.down_ranks.is_empty());
+    assert_eq!(
+        health.stragglers,
+        vec![2],
+        "straggler flag lost in the noise"
+    );
+
+    let totals = e.cluster().ledger().totals();
+    assert!(totals.dropped_messages > 0, "chaos must actually drop");
+    assert!(totals.heartbeat_messages > 0);
+
+    assert_oracle(&e);
+    e.check_invariants().unwrap();
 }
 
 #[test]
