@@ -37,6 +37,9 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|all] [--n N] [--procs P] [--seed S] [--compute-scale X]");
+                // CLI entry point: a usage error is the one place an abrupt
+                // exit is the right interface.
+                #[allow(clippy::exit)]
                 std::process::exit(2);
             }
         }

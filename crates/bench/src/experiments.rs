@@ -270,7 +270,7 @@ pub fn anytime_quality(params: &ExperimentParams) -> Vec<AnytimeRow> {
     let graph = params.base_graph();
     let exact = aa_graph::algo::exact_closeness(&graph);
     let mut true_top: Vec<usize> = (0..exact.len()).collect();
-    true_top.sort_by(|&a, &b| exact[b].partial_cmp(&exact[a]).unwrap());
+    true_top.sort_by(|&a, &b| exact[b].total_cmp(&exact[a]));
     let true_top: std::collections::HashSet<u32> =
         true_top.into_iter().take(25).map(|v| v as u32).collect();
 

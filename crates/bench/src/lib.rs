@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness for the papers' evaluation (Figures 4–8) and ablations.
 //!
 //! The papers evaluate on 16 processors and 50 000-vertex scale-free graphs;

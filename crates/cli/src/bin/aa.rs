@@ -7,6 +7,10 @@
 //! aa convert  <in> <out> [--from F] [--to F]
 //! ```
 
+// CLI entry point: nonzero process exits on usage/runtime errors are the
+// shell contract, unlike in library code where the workspace denies them.
+#![allow(clippy::exit)]
+
 use aa_cli::commands::{analyze, convert, partition_report, AnalyzeOpts, Measure};
 use aa_cli::Format;
 use aa_core::AdditionStrategy;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Library backing the `aa` command-line tool: argument parsing, graph file
 //! loading in three formats, and the dynamic-update stream language.
 //!

@@ -218,6 +218,7 @@ pub fn apply(
         }
         Command::Chaos(p_drop, p_dup) => {
             engine.set_chaos(*p_drop, *p_dup);
+            // aa-lint: allow(AA03, exact echo of the user-typed "chaos off" zeros, not a computed estimate)
             if *p_drop == 0.0 && *p_dup == 0.0 {
                 vec!["chaos disabled: links are reliable again".to_string()]
             } else {

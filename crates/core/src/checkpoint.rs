@@ -82,6 +82,17 @@ pub(crate) fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// Decodes the little-endian u32 at the start of `b`, surfacing short input
+/// as a context-carrying `InvalidData` error instead of a panic (the restore
+/// path must reject corruption, never abort on it).
+pub(crate) fn le_u32(b: &[u8], what: &str) -> io::Result<u32> {
+    let arr: [u8; 4] = b
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| bad(&format!("checkpoint truncated inside {what}")))?;
+    Ok(u32::from_le_bytes(arr))
+}
+
 /// Frames `body` in the v2 checkpoint envelope: magic, version, body, CRC32
 /// footer over the body. Shared by the whole-engine checkpoint and the
 /// supervisor's per-rank checkpoints.
@@ -108,11 +119,11 @@ pub(crate) fn read_framed<'a>(
     if &bytes[..4] != magic {
         return Err(bad("not an anytime-anywhere checkpoint"));
     }
-    if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != version {
+    if le_u32(&bytes[4..8], "the version header")? != version {
         return Err(bad("unsupported checkpoint version"));
     }
     let (body, footer) = bytes[8..].split_at(bytes.len() - 12);
-    let stored = u32::from_le_bytes(footer.try_into().unwrap());
+    let stored = le_u32(footer, "the integrity footer")?;
     if crc32(body) != stored {
         return Err(bad("checkpoint integrity checksum mismatch"));
     }
@@ -199,7 +210,7 @@ impl AnytimeEngine {
             return Err(bad("checkpoint truncated before the integrity footer"));
         }
         let (body, footer) = rest.split_at(rest.len() - 4);
-        let stored = u32::from_le_bytes(footer.try_into().unwrap());
+        let stored = le_u32(footer, "the integrity footer")?;
         if crc32(body) != stored {
             return Err(bad("checkpoint integrity checksum mismatch"));
         }

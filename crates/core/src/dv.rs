@@ -74,6 +74,7 @@ impl DistanceMatrix {
         assert!(!self.has_row(v), "vertex {v} already has a row");
         let mut row = vec![INF; self.cols];
         row[v as usize] = 0;
+        // aa-lint: allow(AA05, row count is bounded by the u32 vertex-id space)
         self.row_of[v as usize] = self.rows.len() as u32;
         self.rows.push(row);
         self.vertex_of_row.push(v);
@@ -86,6 +87,7 @@ impl DistanceMatrix {
         // A migrated row may predate recent column extensions.
         assert!(row.len() <= self.cols, "row longer than column count");
         row.resize(self.cols, INF);
+        // aa-lint: allow(AA05, row count is bounded by the u32 vertex-id space)
         self.row_of[v as usize] = self.rows.len() as u32;
         self.rows.push(row);
         self.vertex_of_row.push(v);
@@ -101,6 +103,7 @@ impl DistanceMatrix {
         self.row_of[v as usize] = NO_ROW;
         if idx < self.rows.len() {
             let moved = self.vertex_of_row[idx];
+            // aa-lint: allow(AA05, idx indexes the row table, bounded by the u32 vertex-id space)
             self.row_of[moved as usize] = idx as u32;
         }
         row

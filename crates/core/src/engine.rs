@@ -90,6 +90,7 @@ impl AnytimeEngine {
         // spreading the measured cost evenly and synchronizing.
         for rank in 0..p {
             self.cluster
+                // aa-lint: allow(AA05, p is the processor count, far below u32::MAX)
                 .compute_measured(rank, Phase::DomainDecomposition, elapsed / p as u32);
         }
         self.cluster.barrier();
@@ -488,6 +489,7 @@ impl AnytimeEngine {
     /// values. Takes effect from the next exchange; outstanding
     /// retransmissions keep running either way.
     pub fn set_chaos(&mut self, p_drop: f64, p_dup: f64) {
+        // aa-lint: allow(AA03, exact zero is the user-set "chaos off" sentinel, not a computed estimate)
         if p_drop == 0.0 && p_dup == 0.0 {
             self.config.fault = None;
         } else {

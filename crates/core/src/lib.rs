@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Anytime-anywhere closeness centrality for large and dynamic graphs.
 //!
 //! This crate is the reproduction of the papers' contribution: a

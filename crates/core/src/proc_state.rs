@@ -44,6 +44,7 @@ pub fn diff_rows(snapshot: &[Weight], current: &[Weight]) -> Vec<(u32, Weight)> 
         .iter()
         .enumerate()
         .filter(|&(i, &c)| i >= snapshot.len() || c < snapshot[i])
+        // aa-lint: allow(AA05, i indexes a distance row whose length is bounded by the u32 vertex-id space)
         .map(|(i, &c)| (i as u32, c))
         .collect()
 }
@@ -135,6 +136,7 @@ impl ProcState {
     /// runs.
     pub fn sync_snapshots_to_rows(&mut self) {
         debug_assert!(self.outstanding.is_empty() && self.dirty.is_empty());
+        // aa-lint: allow(AA04, per-key overwrite; the result is identical for every visit order)
         let rows: Vec<VertexId> = self.sent_snapshot.keys().copied().collect();
         for u in rows {
             if self.dv.has_row(u) {
@@ -256,9 +258,11 @@ impl ProcState {
         self.adj.resize(new_cap, Vec::new());
         self.is_local.resize(new_cap, false);
         self.dv.extend_cols(new_cap);
+        // aa-lint: allow(AA04, independent per-row resize; no cross-row state, order cannot leak)
         for row in self.ext_rows.values_mut() {
             row.resize(new_cap, INF);
         }
+        // aa-lint: allow(AA04, independent per-row resize; no cross-row state, order cannot leak)
         for row in self.sent_snapshot.values_mut() {
             row.resize(new_cap, INF);
         }

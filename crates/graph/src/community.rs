@@ -38,6 +38,7 @@ impl Communities {
 /// `Q = Σ_c (in_c / 2m - (tot_c / 2m)^2)`.
 pub fn modularity(g: &Graph, label: &[usize]) -> f64 {
     let two_m = 2.0 * g.total_edge_weight() as f64;
+    // aa-lint: allow(AA03, 2m is exactly zero only for an edgeless graph; guard against dividing by it)
     if two_m == 0.0 {
         return 0.0;
     }
@@ -112,6 +113,7 @@ impl WorkGraph {
         let mut comm: Vec<usize> = (0..n).collect();
         let mut comm_tot: Vec<f64> = (0..n).map(|v| self.weighted_degree(v)).collect();
         let mut improved = false;
+        // aa-lint: allow(AA03, 2m is exactly zero only for an edgeless graph; guard against dividing by it)
         if two_m == 0.0 {
             return (comm, false);
         }

@@ -40,6 +40,19 @@ fn parse<T: std::str::FromStr>(tok: &str, line: usize, what: &str) -> Result<T, 
     })
 }
 
+/// Unwraps the next whitespace token of a line, turning "token missing" into
+/// a line-numbered parse error instead of a panic.
+fn next_tok<'a, I: Iterator<Item = &'a str>>(
+    toks: &mut I,
+    line: usize,
+    what: &str,
+) -> Result<&'a str, IoError> {
+    toks.next().ok_or_else(|| IoError::Parse {
+        line,
+        msg: format!("missing {what}"),
+    })
+}
+
 /// Reads a whitespace edge list: one `u v [w]` triple per line, `#`-comments
 /// allowed, 0-based ids, default weight 1. Vertices are created as needed.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, IoError> {
@@ -52,12 +65,13 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, IoError> {
             continue;
         }
         let mut toks = content.split_whitespace();
-        let u: VertexId = parse(toks.next().unwrap(), lineno, "source id")?;
+        let u: VertexId = parse(
+            next_tok(&mut toks, lineno, "source id")?,
+            lineno,
+            "source id",
+        )?;
         let v: VertexId = parse(
-            toks.next().ok_or(IoError::Parse {
-                line: lineno,
-                msg: "missing target id".into(),
-            })?,
+            next_tok(&mut toks, lineno, "target id")?,
             lineno,
             "target id",
         )?;
@@ -116,12 +130,13 @@ pub fn read_pajek<R: BufRead>(reader: R) -> Result<Graph, IoError> {
             continue; // vertex labels / unknown sections
         }
         let mut toks = content.split_whitespace();
-        let u: u32 = parse(toks.next().unwrap(), lineno, "source id")?;
+        let u: u32 = parse(
+            next_tok(&mut toks, lineno, "source id")?,
+            lineno,
+            "source id",
+        )?;
         let v: u32 = parse(
-            toks.next().ok_or(IoError::Parse {
-                line: lineno,
-                msg: "missing target id".into(),
-            })?,
+            next_tok(&mut toks, lineno, "target id")?,
             lineno,
             "target id",
         )?;
@@ -173,12 +188,13 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<Graph, IoError> {
             }
             header_seen = true;
             let mut toks = content.split_whitespace();
-            let n: usize = parse(toks.next().unwrap(), lineno, "vertex count")?;
+            let n: usize = parse(
+                next_tok(&mut toks, lineno, "vertex count")?,
+                lineno,
+                "vertex count",
+            )?;
             expected_edges = parse(
-                toks.next().ok_or(IoError::Parse {
-                    line: lineno,
-                    msg: "missing edge count".into(),
-                })?,
+                next_tok(&mut toks, lineno, "edge count")?,
                 lineno,
                 "edge count",
             )?;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph substrate for the anytime-anywhere closeness-centrality reproduction.
 //!
 //! The papers' experiments run on undirected, weighted, *dynamic* scale-free

@@ -1,0 +1,287 @@
+//! The ratchet: a committed baseline of pre-existing findings.
+//!
+//! `lint-baseline.json` maps `rule → file → count`. The gate passes when, for
+//! every `(rule, file)` bucket, the current finding count is **at most** the
+//! baseline count: new findings fail immediately, burned-down debt is
+//! reported as stale so the baseline can be tightened (`--write-baseline`).
+//! The baseline never grows through tooling — raising a count is a reviewed
+//! edit to the committed file.
+//!
+//! The format is a strict, sorted subset of JSON written and parsed here by
+//! hand (the workspace is offline; serde is not available), so the file is
+//! byte-stable across regenerations.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// `rule id → workspace-relative file → finding count`.
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Aggregates findings into baseline buckets.
+pub fn bucket_counts(findings: &[Finding]) -> Baseline {
+    let mut out = Baseline::new();
+    for f in findings {
+        *out.entry(f.rule.as_str().to_string())
+            .or_default()
+            .entry(f.file.clone())
+            .or_default() += 1;
+    }
+    out
+}
+
+/// The ratchet verdict for one `(rule, file)` bucket that moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketDelta {
+    pub rule: String,
+    pub file: String,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+/// Ratchet comparison: buckets over baseline (failures) and under it (stale
+/// entries the baseline writer should tighten).
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    pub regressions: Vec<BucketDelta>,
+    pub stale: Vec<BucketDelta>,
+}
+
+impl RatchetReport {
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current findings against the committed baseline.
+pub fn ratchet(current: &Baseline, baseline: &Baseline) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    let zero = BTreeMap::new();
+    // Buckets present now: over-baseline is a regression, under is stale.
+    for (rule, files) in current {
+        let base_files = baseline.get(rule).unwrap_or(&zero);
+        for (file, &n) in files {
+            let b = base_files.get(file).copied().unwrap_or(0);
+            let delta = BucketDelta {
+                rule: rule.clone(),
+                file: file.clone(),
+                baseline: b,
+                current: n,
+            };
+            if n > b {
+                report.regressions.push(delta);
+            } else if n < b {
+                report.stale.push(delta);
+            }
+        }
+    }
+    // Buckets that vanished entirely are stale too.
+    for (rule, files) in baseline {
+        for (file, &b) in files {
+            let gone = current
+                .get(rule)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0)
+                == 0;
+            if b > 0 && gone {
+                report.stale.push(BucketDelta {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    baseline: b,
+                    current: 0,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Total finding count a baseline admits.
+pub fn total(b: &Baseline) -> usize {
+    b.values().flat_map(|f| f.values()).sum()
+}
+
+/// Serializes a baseline as sorted, pretty JSON.
+pub fn to_json(b: &Baseline) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"rules\": {");
+    let mut first_rule = true;
+    for (rule, files) in b {
+        if files.is_empty() {
+            continue;
+        }
+        if !first_rule {
+            s.push(',');
+        }
+        first_rule = false;
+        s.push_str(&format!("\n    {}: {{", quote(rule)));
+        let mut first_file = true;
+        for (file, n) in files {
+            if !first_file {
+                s.push(',');
+            }
+            first_file = false;
+            s.push_str(&format!("\n      {}: {n}", quote(file)));
+        }
+        s.push_str("\n    }");
+    }
+    s.push_str("\n  }\n}\n");
+    s
+}
+
+/// Parses the baseline JSON subset written by [`to_json`] (tolerant of
+/// whitespace/ordering, intolerant of anything structurally different).
+pub fn from_json(src: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect_char('{')?;
+    let mut baseline = Baseline::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect_char(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "version" => {
+                let v = p.number()?;
+                if v != 1 {
+                    return Err(format!("unsupported baseline version {v}"));
+                }
+            }
+            "rules" => {
+                p.expect_char('{')?;
+                loop {
+                    p.skip_ws();
+                    if p.eat('}') {
+                        break;
+                    }
+                    let rule = p.string()?;
+                    p.skip_ws();
+                    p.expect_char(':')?;
+                    p.skip_ws();
+                    p.expect_char('{')?;
+                    let files: &mut BTreeMap<String, usize> = baseline.entry(rule).or_default();
+                    loop {
+                        p.skip_ws();
+                        if p.eat('}') {
+                            break;
+                        }
+                        let file = p.string()?;
+                        p.skip_ws();
+                        p.expect_char(':')?;
+                        p.skip_ws();
+                        files.insert(file, p.number()?);
+                        p.skip_ws();
+                        p.eat(',');
+                    }
+                    p.skip_ws();
+                    p.eat(',');
+                }
+            }
+            other => return Err(format!("unknown baseline key {other:?}")),
+        }
+        p.skip_ws();
+        p.eat(',');
+    }
+    Ok(baseline)
+}
+
+/// JSON string escaping for paths/messages (ASCII control chars, quotes,
+/// backslashes).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "baseline parse error at offset {}: expected {c:?}, found {:?}",
+                self.pos,
+                self.chars.get(self.pos)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.chars.get(self.pos) {
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.chars.get(self.pos).copied().unwrap_or('"');
+                    self.pos += 1;
+                    out.push(match esc {
+                        'n' => '\n',
+                        'r' => '\r',
+                        't' => '\t',
+                        other => other,
+                    });
+                }
+                c => out.push(c),
+            }
+        }
+        Err("baseline parse error: unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.chars.get(self.pos).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!(
+                "baseline parse error at offset {start}: expected a number"
+            ));
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| format!("baseline parse error: {e}"))
+    }
+}

@@ -1,0 +1,438 @@
+//! A comment/string-aware Rust lexer.
+//!
+//! The analyzer's rules are token-pattern matchers, so the lexer's one job is
+//! to never confuse *code* with *text that looks like code*: `"unwrap()"`
+//! inside a string literal, `partial_cmp` inside a doc comment, `'a` the
+//! lifetime versus `'a'` the char literal, and `r#"..."#` raw strings must
+//! all come out as single opaque tokens. It is not a full Rust lexer (no
+//! float-suffix validation, no shebang handling beyond line 1) — it is exactly
+//! the subset the rules in [`crate::rules`] need, with line/column spans.
+
+/// The coarse token classes the rules match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `for`, `HashMap`, ...).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (`0.95`, `1e-3`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-char operators (`==`, `!=`, `::`, ...) are fused.
+    Punct,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text. For `Str`/`Char` this is the literal *content-bearing*
+    /// source slice; rules treat it as opaque.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+/// A comment (line or block), kept separately from the token stream so the
+/// pragma scanner can see it while the rule matchers cannot.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the delimiters.
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (differs for block comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: the token stream plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Two-character operators that must not be split (the rules need `==`/`!=`
+/// as single tokens; the rest are fused so expressions read sanely).
+const TWO_CHAR_OPS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated literals
+/// are closed at end-of-file (the analyzer must degrade gracefully on files
+/// that do not compile yet).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while let Some(c) = cur.peek(0) {
+                if c == '/' && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if c == '*' && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    cur.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            if let Some(n) = cur.peek(1) {
+                let is_lifetime = is_ident_start(n) && {
+                    // 'a' is a char, 'a is a lifetime: scan the ident run and
+                    // see whether a closing quote follows immediately.
+                    let mut k = 2;
+                    while cur.peek(k).is_some_and(is_ident_continue) {
+                        k += 1;
+                    }
+                    cur.peek(k) != Some('\'')
+                };
+                if is_lifetime {
+                    let mut text = String::from('\'');
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        text.push(cur.bump().unwrap_or('_'));
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            out.tokens.push(lex_quoted(&mut cur, '\'', TokenKind::Char));
+            continue;
+        }
+        if c == '"' {
+            out.tokens.push(lex_quoted(&mut cur, '"', TokenKind::Str));
+            continue;
+        }
+        // Identifiers — including the string-literal prefixes r"", b"", br"",
+        // c"", cr"" and raw identifiers r#ident.
+        if is_ident_start(c) {
+            if let Some(tok) = try_lex_prefixed_string(&mut cur) {
+                out.tokens.push(tok);
+                continue;
+            }
+            let mut text = String::new();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                text.push(cur.bump().unwrap_or('_'));
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.tokens.push(lex_number(&mut cur));
+            continue;
+        }
+        // `#` before `"` only occurs inside raw strings, which are handled
+        // above; everything else is punctuation, with known operators fused.
+        let mut text = String::from(c);
+        cur.bump();
+        if let Some(n) = cur.peek(0) {
+            let two: String = [c, n].iter().collect();
+            if TWO_CHAR_OPS.contains(&two.as_str()) {
+                cur.bump();
+                text = two;
+                // ..= is the only three-char operator the rules care to fuse.
+                if text == ".." && cur.peek(0) == Some('=') {
+                    cur.bump();
+                    text.push('=');
+                }
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lexes a `'...'` or `"..."` literal with escape handling. The cursor is on
+/// the opening quote.
+fn lex_quoted(cur: &mut Cursor, quote: char, kind: TokenKind) -> Token {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or(quote)); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == quote {
+            break;
+        }
+    }
+    Token {
+        kind,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Handles `r"…"`, `r#"…"#` (any number of hashes), `b"…"`, `br#"…"#`,
+/// `c"…"`, `cr"…"`, `b'…'`, and raw identifiers `r#ident`. Returns `None`
+/// if the cursor is on a plain identifier.
+fn try_lex_prefixed_string(cur: &mut Cursor) -> Option<Token> {
+    let (line, col) = (cur.line, cur.col);
+    let c0 = cur.peek(0)?;
+    let prefix_len = match (c0, cur.peek(1)) {
+        ('b', Some('r')) | ('c', Some('r')) => 2,
+        ('r' | 'b' | 'c', _) => 1,
+        _ => return None,
+    };
+    let raw = c0 == 'r' || (prefix_len == 2 && cur.peek(1) == Some('r'));
+    // Count hashes after the prefix (raw flavours only).
+    let mut hashes = 0usize;
+    while raw && cur.peek(prefix_len + hashes) == Some('#') {
+        hashes += 1;
+    }
+    let quote = cur.peek(prefix_len + hashes)?;
+    if quote == '"' {
+        let mut text = String::new();
+        for _ in 0..prefix_len + hashes + 1 {
+            text.push(cur.bump().unwrap_or('"'));
+        }
+        if raw {
+            // Raw string: no escapes; ends at `"` followed by `hashes` #s.
+            while let Some(c) = cur.peek(0) {
+                if c == '"' && (1..=hashes).all(|k| cur.peek(k) == Some('#')) {
+                    for _ in 0..hashes + 1 {
+                        text.push(cur.bump().unwrap_or('#'));
+                    }
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+        } else {
+            // b"…" / c"…": escapes apply.
+            while let Some(c) = cur.peek(0) {
+                if c == '\\' {
+                    text.push(c);
+                    cur.bump();
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                    continue;
+                }
+                text.push(c);
+                cur.bump();
+                if c == '"' {
+                    break;
+                }
+            }
+        }
+        return Some(Token {
+            kind: TokenKind::Str,
+            text,
+            line,
+            col,
+        });
+    }
+    if quote == '\'' && prefix_len == 1 && c0 == 'b' && hashes == 0 {
+        cur.bump(); // consume the b
+        let mut tok = lex_quoted(cur, '\'', TokenKind::Char);
+        tok.text.insert(0, 'b');
+        tok.line = line;
+        tok.col = col;
+        return Some(tok);
+    }
+    if c0 == 'r' && hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+        // Raw identifier r#match: token text is the bare identifier, so the
+        // rules see `r#unwrap` and `unwrap` identically.
+        cur.bump();
+        cur.bump();
+        let mut text = String::new();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            text.push(cur.bump().unwrap_or('_'));
+        }
+        return Some(Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+            col,
+        });
+    }
+    None
+}
+
+/// Lexes a numeric literal. `1.5`, `1e-3` and `2f64` are floats; `1.max(2)`
+/// and `0..n` keep the `1`/`0` as integers (the dot belongs to the method
+/// call / range).
+fn lex_number(cur: &mut Cursor) -> Token {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            text.push(cur.bump().unwrap_or('0'));
+        }
+    } else {
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(cur.bump().unwrap_or('0'));
+        }
+        // Fractional part: only if the dot is followed by a digit, or by
+        // nothing identifier-like (so `1.` is a float but `1.max` is not,
+        // and `0..n` leaves the range operator alone).
+        if cur.peek(0) == Some('.') {
+            let after = cur.peek(1);
+            let digit_after = after.is_some_and(|c| c.is_ascii_digit());
+            let plain_dot = after != Some('.') && !after.is_some_and(is_ident_start);
+            if digit_after || plain_dot {
+                float = true;
+                text.push(cur.bump().unwrap_or('.'));
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    text.push(cur.bump().unwrap_or('0'));
+                }
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(0), Some('e' | 'E')) {
+            let (sign, first_digit) = match cur.peek(1) {
+                Some('+' | '-') => (1, cur.peek(2)),
+                other => (0, other),
+            };
+            if first_digit.is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                for _ in 0..sign + 1 {
+                    text.push(cur.bump().unwrap_or('e'));
+                }
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    text.push(cur.bump().unwrap_or('0'));
+                }
+            }
+        }
+    }
+    // Type suffix (u32, f64, usize, ...).
+    let mut suffix = String::new();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        suffix.push(cur.bump().unwrap_or('_'));
+    }
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    text.push_str(&suffix);
+    Token {
+        kind: if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text,
+        line,
+        col,
+    }
+}

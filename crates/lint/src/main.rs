@@ -1,0 +1,125 @@
+//! `aa-lint` CLI.
+//!
+//! ```text
+//! cargo run -p aa-lint                       # human report, ratcheted gate
+//! cargo run -p aa-lint -- --format json      # CI artifact
+//! cargo run -p aa-lint -- --write-baseline   # tighten the ratchet after a burn-down
+//! ```
+//!
+//! Exit codes: 0 clean (all findings within the committed baseline),
+//! 1 new findings or ratchet regressions, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    format: Format,
+    output: Option<PathBuf>,
+    write_baseline: bool,
+    no_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+const USAGE: &str = "usage: aa-lint [--root DIR] [--baseline FILE] [--no-baseline] \
+                     [--format human|json] [--output FILE] [--write-baseline]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        format: Format::Human,
+        output: None,
+        write_baseline: false,
+        no_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--output" => args.output = Some(PathBuf::from(value("--output")?)),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?}\n{USAGE}")),
+                }
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(clean) => ExitCode::from(if clean { 0 } else { 1 }),
+        Err(msg) => {
+            eprintln!("aa-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.json"));
+    let baseline = if args.no_baseline {
+        None
+    } else {
+        aa_lint::load_baseline(&baseline_path)?
+    };
+    let report = aa_lint::run(&args.root, baseline.as_ref())?;
+
+    if args.write_baseline {
+        let counts = aa_lint::baseline::bucket_counts(&report.findings);
+        let json = aa_lint::baseline::to_json(&counts);
+        std::fs::write(&baseline_path, json)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "aa-lint: wrote baseline ({} findings) to {}",
+            aa_lint::baseline::total(&counts),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let rendered = match args.format {
+        Format::Human => aa_lint::render_human(&report),
+        Format::Json => aa_lint::render_json(&report),
+    };
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            // Keep the pass/fail summary visible even when the report goes
+            // to a file (CI uploads the file, humans read the log).
+            eprint!("{}", aa_lint::render_human(&report));
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(report.is_clean())
+}

@@ -1,0 +1,36 @@
+//! AA01 fixture: panicking calls in library code. Every marked line must be
+//! flagged; the `#[cfg(test)]` module at the bottom must not be.
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap() // flag: unwrap
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().expect("non-empty") // flag: expect
+}
+
+pub fn boom() {
+    panic!("bad state"); // flag: panic!
+}
+
+pub fn grid(dir: u8) -> i32 {
+    match dir {
+        0 => 1,
+        1 => -1,
+        _ => unreachable!(), // flag: unreachable!
+    }
+}
+
+pub fn later() {
+    todo!() // flag: todo!
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        let _: u32 = "7".parse().expect("digit");
+    }
+}

@@ -1,0 +1,18 @@
+//! AA01 fixture: the Result-propagating rewrites of `aa01_bad.rs`. Must
+//! produce zero findings.
+
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|e| format!("bad integer {s:?}: {e}"))
+}
+
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn grid(dir: u8) -> Result<i32, String> {
+    match dir {
+        0 => Ok(1),
+        1 => Ok(-1),
+        other => Err(format!("unknown direction {other}")),
+    }
+}

@@ -1,0 +1,11 @@
+//! AA02 fixture: the `total_cmp` rewrite. Must produce zero findings.
+
+pub fn rank(mut scores: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    scores.sort_by(|a, b| a.1.total_cmp(&b.1));
+    scores
+}
+
+pub fn rank_rev(mut scores: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scores
+}

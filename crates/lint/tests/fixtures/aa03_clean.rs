@@ -1,0 +1,17 @@
+//! AA03 fixture: tolerance-based compares, plus one *justified* exact compare
+//! carrying a suppression pragma. Must produce zero unsuppressed findings.
+
+pub const EPS: f64 = 1e-12;
+
+pub fn is_unreached(closeness: f64) -> bool {
+    closeness.abs() < EPS
+}
+
+pub fn changed(old: f64, new: f64) -> bool {
+    (new - old).abs() >= EPS
+}
+
+pub fn skip_scaling(scale: f64) -> bool {
+    // aa-lint: allow(AA03, 1.0 is an exact sentinel set by config, never computed)
+    scale == 1.0
+}

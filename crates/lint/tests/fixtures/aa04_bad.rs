@@ -1,0 +1,30 @@
+//! AA04 fixture: nondeterminism sources in a deterministic-core crate.
+//! Wall clocks, unseeded RNG, and hash-order iteration must all be flagged.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime}; // flag x2: wall clock types
+
+pub fn stamp() -> Instant {
+    Instant::now() // flag: wall clock
+}
+
+pub fn since_epoch() -> std::time::Duration {
+    SystemTime::now() // flag: wall clock
+        .duration_since(SystemTime::UNIX_EPOCH) // flag: wall clock
+        .unwrap_or_default()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // flag: unseeded RNG
+    rand::Rng::gen(&mut rng)
+}
+
+pub fn dump(m: &HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let scores: HashMap<u32, f64> = m.clone();
+    let mut out = Vec::new();
+    for (k, v) in scores.iter() {
+        // flag: hash-order iteration
+        out.push((*k, *v));
+    }
+    out
+}

@@ -1,0 +1,30 @@
+//! AA04 fixture: deterministic rewrites — seeded RNG, step counters instead
+//! of wall clocks, BTree collections for ordered iteration, and a reasoned
+//! pragma for the sort-immediately-after pattern the lexical rule cannot see
+//! through. Must produce zero unsuppressed findings.
+
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    rand::Rng::gen(&mut rng)
+}
+
+pub fn dump(m: &BTreeMap<u32, f64>) -> Vec<(u32, f64)> {
+    let scores: BTreeMap<u32, f64> = m.clone();
+    scores.into_iter().collect()
+}
+
+pub fn dump_sorted(m: HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let hash_scores: HashMap<u32, f64> = m;
+    let mut out: Vec<(u32, f64)> =
+        // aa-lint: allow(AA04, collected then sorted by key on the next line, order cannot leak)
+        hash_scores.into_iter().collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+pub fn logical_clock(step: u64) -> u64 {
+    step + 1
+}

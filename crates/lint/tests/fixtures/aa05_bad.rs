@@ -1,0 +1,14 @@
+//! AA05 fixture (hot-path classification): lossy `as` casts. All three casts
+//! must be flagged.
+
+pub fn pack(row_count: usize) -> u32 {
+    row_count as u32 // flag: usize -> u32 may truncate
+}
+
+pub fn quantize(score: f64) -> u32 {
+    (score * 1000.0) as u32 // flag: narrowing target
+}
+
+pub fn micros() -> u64 {
+    1e6 as u64 // flag: float literal -> int truncates silently
+}

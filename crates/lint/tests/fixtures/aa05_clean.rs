@@ -1,0 +1,14 @@
+//! AA05 fixture (hot-path classification): checked conversions and widening
+//! casts. Must produce zero findings.
+
+pub fn pack(row_count: usize) -> Result<u32, String> {
+    u32::try_from(row_count).map_err(|_| format!("{row_count} rows overflow u32"))
+}
+
+pub fn widen(v: u32) -> u64 {
+    u64::from(v)
+}
+
+pub fn promote(v: u32) -> f64 {
+    v as f64
+}

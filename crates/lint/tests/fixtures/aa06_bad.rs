@@ -1,0 +1,6 @@
+//! AA06 fixture (lib-root classification): crate root *without*
+//! `#![forbid(unsafe_code)]`. Must be flagged once.
+
+pub fn placeholder() -> u32 {
+    42
+}

@@ -1,0 +1,7 @@
+//! AA06 fixture (lib-root classification): crate root with the forbid
+//! attribute. Must produce zero findings.
+#![forbid(unsafe_code)]
+
+pub fn placeholder() -> u32 {
+    42
+}

@@ -1,0 +1,49 @@
+//! Lexer torture fixture: every construct here is designed to produce a
+//! false positive if comment/string awareness breaks. A correct scan of this
+//! file (as non-test library code) yields exactly ZERO findings.
+
+/* block comment mentioning .unwrap() and panic!() — not code */
+
+/* nested /* block /* comments */ still */ hide .expect("x") too */
+
+pub fn strings() -> Vec<String> {
+    vec![
+        "calling .unwrap() here is fine".to_string(),
+        "panic!(\"with escaped quotes\") stays data".to_string(),
+        String::from(r"raw string with .expect(msg) inside"),
+        String::from(r#"raw hash string: partial_cmp(x).unwrap() "quoted""#),
+        String::from("backslash at end \\"),
+    ]
+}
+
+pub fn chars_vs_lifetimes<'a>(s: &'a str) -> (&'a str, char, char, char) {
+    let quote = '\'';
+    let brace = '{';
+    let escaped = '\n';
+    (s, quote, brace, escaped)
+}
+
+pub fn byte_strings() -> (&'static [u8], u8) {
+    (b"bytes with .unwrap() text", b'u')
+}
+
+pub fn numbers() -> (u32, f64, f64, f64) {
+    // `1.max(2)` must lex as Int + method call, not a malformed float.
+    let a = 1.max(2);
+    let b = 1.5;
+    let c = 1e3;
+    let d = 2f64;
+    (a, b, c, d)
+}
+
+pub fn cmp_ints(a: u32, b: u32) -> bool {
+    a == b // integer equality: not AA03
+}
+
+pub struct Generic<T>(pub T);
+
+impl<T: Clone> Generic<T> {
+    pub fn get(&self) -> T {
+        self.0.clone()
+    }
+}

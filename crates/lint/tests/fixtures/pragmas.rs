@@ -1,0 +1,27 @@
+//! Pragma fixture: one correctly suppressed finding, one same-line pragma,
+//! one pragma missing its reason (AA00), one naming an unknown rule (AA00),
+//! and one suppression that does NOT cover its target (wrong rule).
+
+pub fn suppressed_prev_line(v: &[u32]) -> u32 {
+    // aa-lint: allow(AA01, slice is length-checked by the caller)
+    *v.first().unwrap()
+}
+
+pub fn suppressed_same_line(v: &[u32]) -> u32 {
+    *v.first().unwrap() // aa-lint: allow(AA01, slice is length-checked by the caller)
+}
+
+pub fn missing_reason(v: &[u32]) -> u32 {
+    // aa-lint: allow(AA01)
+    *v.first().unwrap()
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // aa-lint: allow(AA99, no such rule)
+    *v.first().unwrap()
+}
+
+pub fn wrong_rule(v: &[u32]) -> u32 {
+    // aa-lint: allow(AA03, this pragma names the wrong rule)
+    *v.first().unwrap()
+}

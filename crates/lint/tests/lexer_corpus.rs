@@ -1,0 +1,160 @@
+//! Direct lexer assertions over the torture fixture plus targeted snippets:
+//! strings, raw strings, nested block comments, char literals vs lifetimes,
+//! and number forms. Complements `rule_fixtures.rs`, which checks the same
+//! corpus end-to-end through the rules.
+
+use aa_lint::lexer::{lex, TokenKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn strings_hide_their_contents() {
+    let ids = idents(r#"let x = "calling .unwrap() here"; f(x);"#);
+    assert_eq!(ids, ["let", "x", "f", "x"], "unwrap leaked out of a string");
+}
+
+#[test]
+fn raw_strings_with_hashes_and_quotes() {
+    let src = r##"let s = r#"quoted " and .expect(msg) inside"#; g(s);"##;
+    let ids = idents(src);
+    assert_eq!(ids, ["let", "s", "g", "s"]);
+}
+
+#[test]
+fn raw_string_without_hashes() {
+    let ids = idents(r#"let s = r"no \ escapes .unwrap()"; s"#);
+    assert_eq!(ids, ["let", "s", "s"]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let ids = idents(r##"let a = b"panic!() bytes"; let c = br#"more .unwrap()"#;"##);
+    assert_eq!(ids, ["let", "a", "let", "c"]);
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "/* a /* b /* c */ */ still comment */ real();";
+    let lexed = lex(src);
+    let ids: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(ids, ["real"]);
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("still comment"));
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    let lexed = lex("fn f<'a>(s: &'a str) { let q = '\\''; let b = 'x'; }");
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    let chars = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .count();
+    assert_eq!(chars, 2, "escaped-quote char and plain char");
+}
+
+#[test]
+fn static_lifetime_and_labels() {
+    let lexed = lex("fn f() -> &'static str { 'outer: loop { break 'outer; } }");
+    let lifetimes = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .count();
+    assert_eq!(lifetimes, 3, "'static + label definition + break target");
+}
+
+#[test]
+fn number_forms() {
+    let lexed = lex("let a = 1.max(2); let b = 1.5; let c = 1e3; let d = 2f64; let e = 0x1F;");
+    let kinds: Vec<(TokenKind, &str)> = lexed
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert_eq!(
+        kinds,
+        [
+            (TokenKind::Int, "1"),
+            (TokenKind::Int, "2"),
+            (TokenKind::Float, "1.5"),
+            (TokenKind::Float, "1e3"),
+            (TokenKind::Float, "2f64"),
+            (TokenKind::Int, "0x1F"),
+        ]
+    );
+}
+
+#[test]
+fn fused_comparison_operators() {
+    let lexed = lex("a == b; c != d; e <= f;");
+    let puncts: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Punct && t.text.len() == 2)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(puncts, ["==", "!=", "<="]);
+}
+
+#[test]
+fn line_and_column_tracking() {
+    let lexed = lex("foo();\n    bar();\n");
+    let bar = lexed
+        .tokens
+        .iter()
+        .find(|t| t.text == "bar")
+        .expect("bar token");
+    assert_eq!((bar.line, bar.col), (2, 5));
+}
+
+#[test]
+fn line_comments_are_captured_not_tokenized() {
+    let lexed = lex("x(); // trailing .unwrap() note\ny();");
+    assert_eq!(lexed.comments.len(), 1);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert!(lexed.tokens.iter().all(|t| t.text != "unwrap"));
+}
+
+#[test]
+fn torture_fixture_lexes_without_token_leaks() {
+    let path = format!(
+        "{}/tests/fixtures/lexer_tricky.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let lexed = lex(&src);
+    // Every `unwrap`/`expect`/`panic` mention in that file lives inside a
+    // string or comment; none may surface as an identifier token.
+    for t in &lexed.tokens {
+        if t.kind == TokenKind::Ident {
+            assert!(
+                !matches!(t.text.as_str(), "unwrap" | "expect" | "panic"),
+                "decoy leaked at {}:{}",
+                t.line,
+                t.col
+            );
+        }
+    }
+    assert!(lexed.comments.len() >= 3, "doc + block comments captured");
+}

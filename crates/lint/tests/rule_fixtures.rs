@@ -1,0 +1,180 @@
+//! Rule self-tests: every rule must flag its known-bad fixture and pass its
+//! clean/suppressed counterpart. Fixtures live under `tests/fixtures/` and
+//! are excluded from the workspace scan (the `fixtures` directory is in the
+//! walker's skip list), so the bad ones never taint the baseline.
+
+use aa_lint::{check_source, FileClass, RuleId};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Library-code classification (AA01–AA04 apply).
+fn lib_class(name: &str) -> FileClass {
+    FileClass {
+        rel_path: format!("crates/fixture/src/{name}"),
+        crate_name: Some("fixture".to_string()),
+        deterministic_core: true,
+        ..FileClass::default()
+    }
+}
+
+fn count(report: &aa_lint::rules::FileReport, rule: RuleId) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn aa01_flags_panicking_calls_outside_tests() {
+    let report = check_source(&lib_class("aa01_bad.rs"), &fixture("aa01_bad.rs"));
+    assert_eq!(
+        count(&report, RuleId::AA01),
+        5,
+        "unwrap/expect/panic!/unreachable!/todo! each flagged once: {:#?}",
+        report.findings
+    );
+    // The #[cfg(test)] module's unwrap+expect must NOT be among them.
+    assert!(report.findings.iter().all(|f| f.line < 28));
+}
+
+#[test]
+fn aa01_passes_result_rewrite() {
+    let report = check_source(&lib_class("aa01_clean.rs"), &fixture("aa01_clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn aa01_exempts_panicky_crates() {
+    let class = FileClass {
+        allow_panics: true,
+        ..lib_class("aa01_bad.rs")
+    };
+    let report = check_source(&class, &fixture("aa01_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA01), 0, "{:#?}", report.findings);
+}
+
+#[test]
+fn aa02_flags_partial_cmp_unwrap_without_double_report() {
+    let report = check_source(&lib_class("aa02_bad.rs"), &fixture("aa02_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA02), 2, "{:#?}", report.findings);
+    // AA02 claims the consumed unwrap/expect; AA01 must not fire on it too.
+    assert_eq!(count(&report, RuleId::AA01), 0, "{:#?}", report.findings);
+}
+
+#[test]
+fn aa02_passes_total_cmp() {
+    let report = check_source(&lib_class("aa02_clean.rs"), &fixture("aa02_clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn aa03_flags_exact_float_literal_compares() {
+    let report = check_source(&lib_class("aa03_bad.rs"), &fixture("aa03_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA03), 2, "{:#?}", report.findings);
+}
+
+#[test]
+fn aa03_passes_tolerance_compares_and_reasoned_pragma() {
+    let report = check_source(&lib_class("aa03_clean.rs"), &fixture("aa03_clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1, "sentinel compare is suppressed");
+    assert_eq!(report.suppressed[0].rule, RuleId::AA03);
+}
+
+#[test]
+fn aa04_flags_clocks_rng_and_hash_iteration() {
+    let report = check_source(&lib_class("aa04_bad.rs"), &fixture("aa04_bad.rs"));
+    assert!(
+        count(&report, RuleId::AA04) >= 5,
+        "wall clocks + thread_rng + hash iteration: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn aa04_passes_seeded_rng_and_sorted_iteration() {
+    let report = check_source(&lib_class("aa04_clean.rs"), &fixture("aa04_clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    // The sort-after-collect pattern is invisible to the lexical rule and is
+    // carried by a reasoned pragma instead.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, RuleId::AA04);
+}
+
+#[test]
+fn aa04_only_applies_to_deterministic_core() {
+    let class = FileClass {
+        deterministic_core: false,
+        ..lib_class("aa04_bad.rs")
+    };
+    let report = check_source(&class, &fixture("aa04_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA04), 0, "{:#?}", report.findings);
+}
+
+#[test]
+fn aa05_flags_lossy_casts_on_hot_paths_only() {
+    let hot = FileClass {
+        is_hot_path: true,
+        ..lib_class("aa05_bad.rs")
+    };
+    let report = check_source(&hot, &fixture("aa05_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA05), 3, "{:#?}", report.findings);
+
+    let cold = lib_class("aa05_bad.rs");
+    let report = check_source(&cold, &fixture("aa05_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA05), 0, "{:#?}", report.findings);
+}
+
+#[test]
+fn aa05_passes_checked_and_widening_conversions() {
+    let hot = FileClass {
+        is_hot_path: true,
+        ..lib_class("aa05_clean.rs")
+    };
+    let report = check_source(&hot, &fixture("aa05_clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn aa06_requires_forbid_unsafe_on_lib_roots() {
+    let root = FileClass {
+        is_lib_root: true,
+        ..lib_class("lib.rs")
+    };
+    let report = check_source(&root, &fixture("aa06_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA06), 1, "{:#?}", report.findings);
+
+    let report = check_source(&root, &fixture("aa06_clean.rs"));
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+
+    // Non-root files are exempt even without the attribute.
+    let report = check_source(&lib_class("aa06_bad.rs"), &fixture("aa06_bad.rs"));
+    assert_eq!(count(&report, RuleId::AA06), 0, "{:#?}", report.findings);
+}
+
+#[test]
+fn pragmas_suppress_cover_and_report_malformed() {
+    let report = check_source(&lib_class("pragmas.rs"), &fixture("pragmas.rs"));
+    // Two well-formed AA01 pragmas (previous-line and same-line) suppress.
+    assert_eq!(report.suppressed.len(), 2, "{:#?}", report.suppressed);
+    assert!(report.suppressed.iter().all(|f| f.rule == RuleId::AA01));
+    // Missing reason + unknown rule each raise AA00 and do NOT suppress.
+    assert_eq!(count(&report, RuleId::AA00), 2, "{:#?}", report.findings);
+    // Their targets, plus the wrong-rule pragma's target, still fire AA01.
+    assert_eq!(count(&report, RuleId::AA01), 3, "{:#?}", report.findings);
+}
+
+#[test]
+fn lexer_tricky_corpus_is_finding_free() {
+    let hot_core_root = FileClass {
+        is_hot_path: true,
+        is_lib_root: false, // has no forbid attr; not a crate root
+        ..lib_class("lexer_tricky.rs")
+    };
+    let report = check_source(&hot_core_root, &fixture("lexer_tricky.rs"));
+    assert!(
+        report.findings.is_empty() && report.suppressed.is_empty(),
+        "comment/string-aware lexing must hide every decoy: {:#?}",
+        report.findings
+    );
+}

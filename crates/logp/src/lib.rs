@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! LogP/LogGP cost model and communication schedules.
 //!
 //! The papers analyze their algorithms in the LogP model (Culler et al.) and

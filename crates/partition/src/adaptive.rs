@@ -81,7 +81,10 @@ impl AdaptiveMultilevel {
             let last = levels.last().unwrap();
             let matched = labeled_matching(last, &part, &mut rng);
             let next = contract(last, &matched);
-            if next.n() as f64 > 0.95 * last.n() as f64 {
+            // Integer form of `next.n() > 0.95 * last.n()`: coarsening stalls
+            // when a pass shrinks the level by less than 5% (float-free so the
+            // stop decision is exact and replayable).
+            if next.n() * 20 > last.n() * 19 {
                 break;
             }
             // Project labels exactly (label-pure coarse vertices).
@@ -108,7 +111,8 @@ impl AdaptiveMultilevel {
             }
             for (v, lbl) in part.iter_mut().enumerate() {
                 if *lbl == usize::MAX {
-                    let p = (0..k).min_by_key(|&p| weight[p]).expect("k >= 1");
+                    // k >= 1 is asserted at entry; the fallback is unreachable.
+                    let p = (0..k).min_by_key(|&p| weight[p]).unwrap_or(0);
                     *lbl = p;
                     weight[p] += coarsest.vw[v];
                 }
@@ -255,7 +259,8 @@ pub fn remap_labels(old: &Partition, new: &Partition) -> Partition {
     // Any leftover labels (k small corner cases) take the free slots.
     for slot in label_map.iter_mut() {
         if *slot == usize::MAX {
-            let op = used.iter().position(|&u| !u).expect("a free label exists");
+            // One free slot per unmapped label by counting; 0 is unreachable.
+            let op = used.iter().position(|&u| !u).unwrap_or(0);
             *slot = op;
             used[op] = true;
         }
@@ -342,7 +347,7 @@ impl AdaptiveRefine {
             let choice = (0..k)
                 .filter(|&p| weight[p] < max_weight)
                 .max_by_key(|&p| (affinity[p], std::cmp::Reverse(weight[p])))
-                .unwrap_or_else(|| (0..k).min_by_key(|&p| weight[p]).expect("k >= 1"));
+                .unwrap_or_else(|| (0..k).min_by_key(|&p| weight[p]).unwrap_or(0));
             part[d] = choice;
             weight[choice] += 1;
         }

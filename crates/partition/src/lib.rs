@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph partitioning substrate — the reproduction's METIS/ParMETIS substitute.
 //!
 //! The anytime-anywhere papers use ParMETIS for domain decomposition, METIS

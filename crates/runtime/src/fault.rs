@@ -205,14 +205,15 @@ impl FaultPlan {
     pub fn decide(&mut self, src: usize, dst: usize) -> Delivery {
         let n = self.counters.entry((src, dst)).or_insert(0);
         *n += 1;
+        let count = *n;
         let faults = self.link(src, dst);
+        // aa-lint: allow(AA03, exact zero is the "link is reliable" config sentinel, not a computed estimate)
         if faults.p_drop == 0.0 && faults.p_dup == 0.0 {
             // Keep the zero-fault path free of RNG work.
             return Delivery::Delivered { duplicated: false };
         }
-        let key = mix(self.seed
-            ^ mix((src as u64) << 40 | (dst as u64) << 20 | 0x5EED)
-            ^ mix(*self.counters.get(&(src, dst)).unwrap()));
+        let key =
+            mix(self.seed ^ mix((src as u64) << 40 | (dst as u64) << 20 | 0x5EED) ^ mix(count));
         let mut rng = ChaCha8Rng::seed_from_u64(key);
         if rng.gen_bool(faults.p_drop) {
             Delivery::Dropped

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A deterministic simulated message-passing cluster — the MPI substitute.
 //!
 //! The papers run on a 32-node MPI cluster. This runtime replaces it with a

@@ -1,0 +1,47 @@
+//! Tier-1 lint gate: runs the `aa-lint` static-analysis pass over the whole
+//! workspace inside `cargo test` and enforces the ratcheted baseline. A new
+//! finding anywhere fails this test with the same report the CLI prints;
+//! fixing findings only ever *lowers* the committed counts.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_against_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline_path = root.join("lint-baseline.json");
+    let baseline = aa_lint::load_baseline(&baseline_path)
+        .expect("lint-baseline.json must parse")
+        .expect("lint-baseline.json must exist at the workspace root");
+    let report = aa_lint::run(root, Some(&baseline)).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "new lint findings (fix them or, for sound code, add a reasoned \
+         `// aa-lint: allow(RULE, reason)` pragma; never widen the baseline):\n{}",
+        aa_lint::render_human(&report)
+    );
+}
+
+#[test]
+fn baseline_only_ratchets_down() {
+    // Regenerating the baseline from the current tree must never *grow* any
+    // bucket: that would mean someone hand-edited counts upward.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let committed = aa_lint::load_baseline(&root.join("lint-baseline.json"))
+        .expect("parse")
+        .expect("exists");
+    let report = aa_lint::run(root, None).expect("workspace scan");
+    let current = aa_lint::baseline::bucket_counts(&report.findings);
+    for (rule, files) in &current {
+        for (file, &n) in files {
+            let allowed = committed
+                .get(rule)
+                .and_then(|f| f.get(file))
+                .copied()
+                .unwrap_or(0);
+            assert!(
+                n <= allowed,
+                "{rule} in {file}: {n} findings but baseline allows {allowed}"
+            );
+        }
+    }
+}
