@@ -34,9 +34,13 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
             f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime") => {
                 figs.push(f.to_string())
             }
+            "replay" => {
+                let path = args.next().expect("replay <progress.jsonl>");
+                figs.push(format!("replay:{path}"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|all] [--n N] [--procs P] [--seed S] [--compute-scale X]");
+                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X]");
                 // CLI entry point: a usage error is the one place an abrupt
                 // exit is the right interface.
                 #[allow(clippy::exit)]
@@ -121,16 +125,69 @@ fn print_fig8(rows: &[Fig8Row]) {
 
 fn print_anytime(rows: &[AnytimeRow]) {
     println!(
-        "{:<8} {:>12} {:>18} {:>14}",
-        "RC step", "minutes", "mean |error|", "top-25 overlap"
+        "{:<8} {:>12} {:>18} {:>14} {:>10} {:>8} {:>10}",
+        "RC step", "minutes", "mean |error|", "top-25 overlap", "max over", "tau", "conv rows"
     );
     for r in rows {
         println!(
-            "{:<8} {:>12.4} {:>18.3e} {:>13.0}%",
+            "{:<8} {:>12.4} {:>18.3e} {:>13.0}% {:>10.1} {:>8.3} {:>9.0}%",
             r.rc_step,
             r.minutes,
             r.mean_abs_error,
-            r.top25_overlap * 100.0
+            r.top25_overlap * 100.0,
+            r.max_overestimate,
+            r.kendall_tau,
+            r.converged_rows * 100.0
+        );
+    }
+}
+
+/// `figures replay <progress.jsonl>`: renders a progress file written by
+/// `aa analyze --progress-out` (or the nightly chaos workflow) as the same
+/// anytime-quality table, without re-running anything.
+fn print_replay(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    };
+    let samples = match aa_core::decode_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot decode {path}: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    };
+    println!();
+    println!("=== Replay: {path} ({} samples) ===", samples.len());
+    println!(
+        "{:<8} {:>14} {:>10} {:>10} {:>8} {:>10} {:>10} {:>6} {:>10}",
+        "RC step",
+        "cluster ms",
+        "max over",
+        "mean over",
+        "tau",
+        "conv rows",
+        "in flight",
+        "down",
+        "recovering"
+    );
+    for s in &samples {
+        println!(
+            "{:<8} {:>14.1} {:>10.1} {:>10.3} {:>8.3} {:>9.0}% {:>10} {:>6} {:>10}",
+            s.rc_step,
+            s.makespan_us / 1000.0,
+            s.max_overestimate,
+            s.mean_overestimate,
+            s.kendall_tau,
+            s.converged_row_fraction * 100.0,
+            s.outstanding_rows,
+            s.down_ranks,
+            if s.recovering { "yes" } else { "no" }
         );
     }
 }
@@ -202,6 +259,9 @@ fn main() {
                     "Strong scaling of the static analysis (beyond-paper ablation)",
                 );
                 print_scaling(&experiments::scaling(&params));
+            }
+            replay if replay.starts_with("replay:") => {
+                print_replay(&replay["replay:".len()..]);
             }
             _ => unreachable!(),
         }

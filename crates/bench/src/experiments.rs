@@ -261,6 +261,12 @@ pub struct AnytimeRow {
     /// Spearman-style agreement: fraction of the true top-25 already ranked
     /// in the estimate's top-25.
     pub top25_overlap: f64,
+    /// Probe: worst distance overestimate (hops) across all finite pairs.
+    pub max_overestimate: f64,
+    /// Probe: Kendall tau-b of estimated vs exact closeness (1.0 = perfect).
+    pub kendall_tau: f64,
+    /// Probe: fraction of distance rows already entrywise exact.
+    pub converged_rows: f64,
 }
 
 /// Quantifies the anytime property: closeness error and top-k agreement after
@@ -284,6 +290,8 @@ pub fn anytime_quality(params: &ExperimentParams) -> Vec<AnytimeRow> {
         },
     );
     e.initialize();
+    e.enable_progress_probe();
+    e.record_progress_sample(); // baseline sample before the first RC step
     let mut rows = Vec::new();
     let snapshot_row = |e: &mut AnytimeEngine| {
         let snap = e.snapshot();
@@ -293,11 +301,15 @@ pub fn anytime_quality(params: &ExperimentParams) -> Vec<AnytimeRow> {
             .filter(|&&(v, _)| true_top.contains(&v))
             .count() as f64
             / 25.0;
+        let probe = e.progress_samples().last().cloned();
         AnytimeRow {
             rc_step: snap.rc_step,
             minutes: minutes(snap.makespan_us),
             mean_abs_error: snap.mean_abs_error(&exact),
             top25_overlap: overlap,
+            max_overestimate: probe.as_ref().map_or(f64::INFINITY, |p| p.max_overestimate),
+            kendall_tau: probe.as_ref().map_or(0.0, |p| p.kendall_tau),
+            converged_rows: probe.as_ref().map_or(0.0, |p| p.converged_row_fraction),
         }
     };
     rows.push(snapshot_row(&mut e));
@@ -390,6 +402,21 @@ mod tests {
         }
         assert!(rows.last().unwrap().mean_abs_error < 1e-15);
         assert!((rows.last().unwrap().top25_overlap - 1.0).abs() < 1e-12);
+        // Probe-derived columns agree with the convergence claim.
+        let last = rows.last().unwrap();
+        assert!(last.max_overestimate < 1e-12, "{}", last.max_overestimate);
+        assert!(
+            (last.kendall_tau - 1.0).abs() < 1e-12,
+            "{}",
+            last.kendall_tau
+        );
+        assert!((last.converged_rows - 1.0).abs() < 1e-12);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].converged_rows + 1e-12 >= pair[0].converged_rows,
+                "converged-row fraction must not decrease fault-free"
+            );
+        }
     }
 
     #[test]

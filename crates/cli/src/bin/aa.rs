@@ -28,6 +28,9 @@ usage:
               [--straggler RANK:SCALE]... (RANK's compute runs SCALE x slower)
               [--detector-timeout N]      (RC steps of silence before suspicion)
               [--checkpoint-interval N]   (per-rank checkpoint every N RC steps)
+              [--metrics-out JSON]        (dump the metrics registry)
+              [--progress-out JSONL]      (anytime progress probe samples)
+              [--spans-out JSONL]         (phase spans: DD/IA/RC/recovery)
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -134,6 +137,9 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
                         .map_err(|_| "invalid --checkpoint-interval")?,
                 )
             }
+            "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--progress-out" => opts.progress_out = Some(PathBuf::from(value("--progress-out"))),
+            "--spans-out" => opts.spans_out = Some(PathBuf::from(value("--spans-out"))),
             other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),
         }

@@ -43,6 +43,14 @@ pub struct AnalyzeOpts {
     pub detector_timeout: Option<u64>,
     /// Take per-rank checkpoints every N RC steps (0 disables them).
     pub checkpoint_interval: Option<usize>,
+    /// Optional JSON file to dump the metrics registry to.
+    pub metrics_out: Option<PathBuf>,
+    /// Optional JSONL file to dump anytime progress samples to (enables the
+    /// progress probe, which computes an exact oracle — expensive on large
+    /// graphs).
+    pub progress_out: Option<PathBuf>,
+    /// Optional JSONL file to dump phase spans to.
+    pub spans_out: Option<PathBuf>,
 }
 
 /// Additional measures the `analyze` subcommand can report.
@@ -91,6 +99,9 @@ impl Default for AnalyzeOpts {
             stragglers: Vec::new(),
             detector_timeout: None,
             checkpoint_interval: None,
+            metrics_out: None,
+            progress_out: None,
+            spans_out: None,
         }
     }
 }
@@ -168,6 +179,9 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
 
     if opts.trace.is_some() {
         engine.cluster_mut().enable_trace();
+    }
+    if opts.progress_out.is_some() {
+        engine.enable_progress_probe();
     }
     let mut out = String::new();
     let steps = engine.run_to_convergence(16 * opts.procs + 64);
@@ -289,6 +303,31 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
         ));
     }
 
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, engine.metrics_registry().to_json())
+            .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
+        out.push_str(&format!("metrics written to {}\n", path.display()));
+    }
+    if let Some(path) = &opts.progress_out {
+        let samples = engine.progress_samples();
+        std::fs::write(path, aa_core::encode_jsonl(samples))
+            .map_err(|e| format!("cannot write progress {}: {e}", path.display()))?;
+        out.push_str(&format!(
+            "progress probe ({} samples) written to {}\n",
+            samples.len(),
+            path.display()
+        ));
+    }
+    if let Some(path) = &opts.spans_out {
+        let spans = engine.spans();
+        std::fs::write(path, spans.to_jsonl())
+            .map_err(|e| format!("cannot write spans {}: {e}", path.display()))?;
+        out.push_str(&format!(
+            "phase spans ({} records) written to {}\n",
+            spans.len(),
+            path.display()
+        ));
+    }
     if let Some(path) = &opts.save_checkpoint {
         let mut file = std::fs::File::create(path)
             .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
@@ -519,6 +558,42 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn analyze_writes_metrics_progress_and_spans() {
+        let dir = temp_dir("obs_out");
+        let input = write_test_graph(&dir);
+        let metrics = dir.join("m.json");
+        let progress = dir.join("p.jsonl");
+        let spans = dir.join("s.jsonl");
+        let report = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            metrics_out: Some(metrics.clone()),
+            progress_out: Some(progress.clone()),
+            spans_out: Some(spans.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("metrics written"));
+        assert!(report.contains("progress probe"));
+        assert!(report.contains("phase spans"));
+
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"aa_rc_steps_total\""));
+        assert!(json.contains("\"aa_converged\""));
+
+        let samples = aa_core::decode_jsonl(&std::fs::read_to_string(&progress).unwrap()).unwrap();
+        assert!(!samples.is_empty());
+        let last = samples.last().unwrap();
+        assert!(last.converged_row_fraction >= 0.999);
+        assert!(last.max_overestimate <= 1e-9);
+
+        let log = aa_core::SpanLog::from_jsonl(&std::fs::read_to_string(&spans).unwrap()).unwrap();
+        assert!(log.iter().any(|s| s.name == "domain-decomposition"));
+        assert!(log.iter().any(|s| s.name == "recombination"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

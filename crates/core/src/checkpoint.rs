@@ -315,6 +315,7 @@ impl AnytimeEngine {
             pivot_pending: vec![false; p],
             supervision,
             invalidation_epoch: 0,
+            obs: crate::obs::EngineObs::default(),
         };
         engine
             .check_invariants()

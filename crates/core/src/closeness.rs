@@ -24,6 +24,16 @@ pub struct Snapshot {
     /// valid upper-bound-derived estimate for the graph as it stood, but not
     /// being refined until the rank recovers).
     pub stale: Vec<bool>,
+    /// Row sends in flight (sent but unacknowledged) when the snapshot was
+    /// taken. Non-zero means the convergence test cannot pass yet — this is
+    /// the figure the engine consults internally, surfaced so callers stop
+    /// reaching into engine internals for it.
+    pub outstanding_rows: usize,
+    /// Processors up when the snapshot was taken.
+    pub live_ranks: usize,
+    /// Processors down when the snapshot was taken (every `stale` flag is
+    /// owned by one of them).
+    pub down_ranks: usize,
 }
 
 impl Snapshot {
@@ -92,6 +102,9 @@ mod tests {
             harmonic: closeness.clone(),
             stale: vec![false; closeness.len()],
             closeness,
+            outstanding_rows: 0,
+            live_ranks: 1,
+            down_ranks: 0,
         }
     }
 

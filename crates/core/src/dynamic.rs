@@ -101,6 +101,8 @@ impl AnytimeEngine {
         if !self.world.add_edge(u, v, w) {
             return false;
         }
+        let span = self.span_open();
+        self.obs.note_mutation();
         let ou = self.partition.part_of(u).expect("u must be assigned");
         let ov = self.partition.part_of(v).expect("v must be assigned");
         self.procs[ou].view_add_edge(u, v, w);
@@ -109,6 +111,7 @@ impl AnytimeEngine {
         }
         self.relax_through_edge(u, v, w);
         self.converged = false;
+        self.span_close(span, "dynamic-update", format!("add-edge {u}-{v}"));
         true
     }
 
@@ -185,6 +188,8 @@ impl AnytimeEngine {
         if inserted.is_empty() {
             return 0;
         }
+        let span = self.span_open();
+        self.obs.note_mutation();
 
         // One broadcast per distinct endpoint.
         let mut endpoints: Vec<VertexId> = inserted.iter().flat_map(|&(u, v, _)| [u, v]).collect();
@@ -231,6 +236,11 @@ impl AnytimeEngine {
                 .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
         }
         self.converged = false;
+        self.span_close(
+            span,
+            "dynamic-update",
+            format!("add-edges n={}", inserted.len()),
+        );
         inserted.len()
     }
 
@@ -260,6 +270,8 @@ impl AnytimeEngine {
         for ps in &mut self.procs {
             ps.sync_snapshots_to_rows();
         }
+        let span = self.span_open();
+        self.obs.note_mutation();
         // Capture pre-deletion rows of every distinct endpoint.
         let mut endpoints: Vec<VertexId> = present.iter().flat_map(|&(u, v, _)| [u, v]).collect();
         endpoints.sort_unstable();
@@ -298,6 +310,11 @@ impl AnytimeEngine {
                 .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
         }
         self.converged = false;
+        self.span_close(
+            span,
+            "dynamic-update",
+            format!("delete-edges n={}", present.len()),
+        );
         present.len()
     }
 
@@ -323,6 +340,8 @@ impl AnytimeEngine {
         for ps in &mut self.procs {
             ps.sync_snapshots_to_rows();
         }
+        let span = self.span_open();
+        self.obs.note_mutation();
         let w = self.world.remove_edge(u, v).expect("edge checked above");
         // Deletion can make pre-deletion rows underestimates; per-rank
         // checkpoints from before this point are no longer restorable.
@@ -349,6 +368,7 @@ impl AnytimeEngine {
                 .compute_measured(rank, Phase::DynamicUpdate, t.elapsed());
         }
         self.converged = false;
+        self.span_close(span, "dynamic-update", format!("delete-edge {u}-{v}"));
         true
     }
 
@@ -366,6 +386,8 @@ impl AnytimeEngine {
             return false;
         }
         if new_w < old_w {
+            let span = self.span_open();
+            self.obs.note_mutation();
             self.world.set_edge_weight(u, v, new_w);
             for rank in 0..self.procs.len() {
                 self.procs[rank].view_remove_edge(u, v);
@@ -373,6 +395,7 @@ impl AnytimeEngine {
             }
             self.relax_through_edge(u, v, new_w);
             self.converged = false;
+            self.span_close(span, "dynamic-update", format!("decrease-weight {u}-{v}"));
             return true;
         }
         // Increase: invalidate paths supported at the old weight, then make
@@ -404,6 +427,8 @@ impl AnytimeEngine {
         for ps in &mut self.procs {
             ps.sync_snapshots_to_rows();
         }
+        let span = self.span_open();
+        self.obs.note_mutation();
         // Deletion can make pre-deletion rows underestimates; per-rank
         // checkpoints from before this point are no longer restorable.
         self.invalidation_epoch += 1;
@@ -437,6 +462,7 @@ impl AnytimeEngine {
         }
         self.partition.assignment[v as usize] = UNASSIGNED;
         self.converged = false;
+        self.span_close(span, "dynamic-update", format!("delete-vertex {v}"));
         removed
     }
 }

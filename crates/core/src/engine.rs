@@ -3,6 +3,7 @@
 
 use crate::closeness::Snapshot;
 use crate::config::{EngineConfig, FaultConfig, Refinement};
+use crate::obs::EngineObs;
 use crate::proc_state::{retry_backoff, Outstanding, ProcState, RowUpdate};
 use crate::supervisor::Supervision;
 use aa_graph::{Graph, VertexId, Weight, INF};
@@ -46,6 +47,9 @@ pub struct AnytimeEngine {
     /// Bumped by every deletion (and weight increase): per-rank checkpoints
     /// from an older epoch may hold underestimates and are unusable.
     pub(crate) invalidation_epoch: u64,
+    /// Span log, progress-probe state and protocol counters (see
+    /// [`crate::obs`]).
+    pub(crate) obs: EngineObs,
 }
 
 impl AnytimeEngine {
@@ -71,6 +75,7 @@ impl AnytimeEngine {
             pivot_pending: vec![false; p],
             supervision,
             invalidation_epoch: 0,
+            obs: EngineObs::default(),
         }
     }
 
@@ -82,6 +87,7 @@ impl AnytimeEngine {
         let p = self.config.num_procs;
 
         // --- Domain decomposition ---------------------------------------
+        let dd_span = self.span_open();
         let partitioner = self.config.partitioner.build(self.config.seed);
         let t = Instant::now();
         self.partition = partitioner.partition(&self.world, p);
@@ -123,8 +129,14 @@ impl AnytimeEngine {
                 ps
             })
             .collect();
+        self.span_close(
+            dd_span,
+            "domain-decomposition",
+            format!("{:?} p={p}", self.config.partitioner),
+        );
 
         // --- Initial approximation ---------------------------------------
+        let ia_span = self.span_open();
         for rank in 0..p {
             let t = Instant::now();
             self.procs[rank].initial_approximation(self.config.ia);
@@ -132,6 +144,7 @@ impl AnytimeEngine {
                 .compute_measured(rank, Phase::InitialApproximation, t.elapsed());
         }
         self.cluster.barrier();
+        self.span_close(ia_span, "initial-approximation", format!("p={p}"));
 
         self.rc_steps_done = 0;
         self.converged = false;
@@ -157,6 +170,7 @@ impl AnytimeEngine {
     /// under the injected network faults (see `FaultConfig`).
     pub fn rc_step(&mut self) -> bool {
         assert!(self.initialized, "call initialize() first");
+        let rc_span = self.span_open();
         let p = self.config.num_procs;
         self.rc_steps_done += 1;
         let now = self.rc_steps_done as u64;
@@ -241,6 +255,8 @@ impl AnytimeEngine {
                     }
                 }
             }
+            self.obs.retransmit_sends +=
+                descs[rank].iter().filter(|&&(_, _, retry)| retry).count() as u64;
             self.cluster
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
         }
@@ -302,6 +318,13 @@ impl AnytimeEngine {
             for (&(_, dst, _), &ok) in descs[rank].iter().zip(&receipts[rank]) {
                 if ok {
                     self.supervision.detector.observe_contact(dst, now);
+                }
+            }
+            for &ok in receipts[rank].iter().take(descs[rank].len()) {
+                if ok {
+                    self.obs.acked_sends += 1;
+                } else {
+                    self.obs.failed_sends += 1;
                 }
             }
             let ps = &mut self.procs[rank];
@@ -424,6 +447,8 @@ impl AnytimeEngine {
         }
         let any = self.cluster.all_reduce_or(Phase::Recombination, &flags);
         self.converged = !any;
+        self.span_close(rc_span, "recombination", format!("step {now}"));
+        self.record_progress_sample();
         self.converged
     }
 
@@ -519,6 +544,7 @@ impl AnytimeEngine {
     /// [`Snapshot::stale`] — still valid anytime upper-bound-derived
     /// estimates, just not improving until recovery.
     pub fn snapshot(&mut self) -> Snapshot {
+        let snap_span = self.span_open();
         let cap = self.world.capacity();
         let mut closeness = vec![0.0f64; cap];
         let mut harmonic = vec![0.0f64; cap];
@@ -557,13 +583,23 @@ impl AnytimeEngine {
             }
         }
         self.cluster.exchange(Phase::Recombination, outbox);
-        Snapshot {
+        let down_ranks = self.cluster.down_ranks().len();
+        let snap = Snapshot {
             rc_step: self.rc_steps_done,
             makespan_us: self.cluster.makespan_us(),
             closeness,
             harmonic,
             stale,
-        }
+            outstanding_rows: self.outstanding_rows(),
+            live_ranks: self.cluster.live_count(),
+            down_ranks,
+        };
+        self.span_close(
+            snap_span,
+            "snapshot",
+            format!("step {}", self.rc_steps_done),
+        );
+        snap
     }
 
     /// Gathers the full distance matrix by source vertex id (test/debug

@@ -53,12 +53,16 @@ pub mod dv;
 pub mod dynamic;
 pub mod engine;
 pub mod measures;
+pub mod obs;
 pub mod proc_state;
 pub mod rebalance;
 pub mod resilience;
 pub mod strategy;
 pub mod supervisor;
 
+pub use aa_obs::{
+    decode_jsonl, encode_jsonl, kendall_tau, MetricsRegistry, ProgressSample, SpanLog, SpanRecord,
+};
 pub use aa_runtime::RankHealth;
 pub use closeness::Snapshot;
 pub use config::{

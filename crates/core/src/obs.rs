@@ -1,0 +1,530 @@
+//! Engine-side observability: span capture, the anytime progress probe, and
+//! the metrics export, all backed by the dependency-free `aa-obs` layer.
+//!
+//! The engine computes every number here from state it already owns — the
+//! LogP virtual clock, the cost ledger, the distance vectors, the supervision
+//! log — and feeds plain data into `aa-obs` types. Nothing reads a wall
+//! clock: the modeled cost of a span is the virtual-makespan delta across
+//! it, and the "measured" cost is the ledger's `compute_us` delta (which the
+//! cluster charged from measured execution at record time).
+//!
+//! The progress probe is opt-in ([`AnytimeEngine::enable_progress_probe`])
+//! because each sample compares the full distance state against an exact
+//! APSP oracle — O(V·E log V) to (re)build after a mutation, O(V²) per
+//! sample. The oracle is cached and only invalidated when the world graph
+//! changes.
+
+use crate::engine::AnytimeEngine;
+use aa_graph::{algo, VertexId, Weight, INF};
+use aa_logp::PhaseStats;
+use aa_obs::{kendall_tau, MetricsRegistry, ProgressSample, SpanLog, SpanRecord};
+use std::collections::BTreeMap;
+
+/// Bucket bounds for the per-step recombination payload histogram (bytes).
+const RC_BYTES_BOUNDS: [f64; 7] = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0];
+/// Bucket bounds for the per-step modeled span duration histogram (µs).
+const RC_SPAN_US_BOUNDS: [f64; 6] = [10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0];
+
+/// Everything a span needs to remember from its opening instant.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanStart {
+    start_us: f64,
+    totals: PhaseStats,
+}
+
+/// Exact-APSP oracle cached between probe samples.
+#[derive(Debug, Clone)]
+struct Oracle {
+    dist: Vec<Vec<Weight>>,
+    closeness: Vec<f64>,
+}
+
+/// Observability state carried by the engine.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineObs {
+    /// Whether the (expensive) progress probe samples each RC step.
+    probe_enabled: bool,
+    pub(crate) spans: SpanLog,
+    pub(crate) samples: Vec<ProgressSample>,
+    /// Retransmit sends assembled (satellite of the ack-based protocol).
+    pub(crate) retransmit_sends: u64,
+    /// Row sends positively acknowledged by a delivery receipt.
+    pub(crate) acked_sends: u64,
+    /// Row sends negatively acknowledged (dropped; queued for retransmit).
+    pub(crate) failed_sends: u64,
+    oracle: Option<Oracle>,
+    /// Dense estimate matrix at the previous sample, for regression counts.
+    prev_dense: Option<Vec<Vec<Weight>>>,
+    /// A recovery ran at or since the previous sample.
+    recovering: bool,
+}
+
+impl EngineObs {
+    /// The world graph changed: the oracle is stale, and estimate
+    /// comparisons across the mutation are meaningless (deletions reset
+    /// entries upward by design).
+    pub(crate) fn note_mutation(&mut self) {
+        self.oracle = None;
+        self.prev_dense = None;
+    }
+
+    /// A recovery ladder invocation ran; the next probe sample is flagged so
+    /// monotonicity assertions skip it (restores may legitimately regress).
+    pub(crate) fn note_recovery(&mut self) {
+        self.recovering = true;
+    }
+}
+
+impl AnytimeEngine {
+    /// Turns on the anytime progress probe: every subsequent
+    /// [`AnytimeEngine::rc_step`] appends one [`ProgressSample`] comparing
+    /// the live distance state against a cached exact oracle. Expensive —
+    /// see the module docs — and intended for analysis/test runs, not
+    /// production-size graphs.
+    pub fn enable_progress_probe(&mut self) {
+        self.obs.probe_enabled = true;
+    }
+
+    /// Whether the progress probe is sampling.
+    pub fn progress_probe_enabled(&self) -> bool {
+        self.obs.probe_enabled
+    }
+
+    /// The probe's samples so far, one per RC step since it was enabled.
+    pub fn progress_samples(&self) -> &[ProgressSample] {
+        &self.obs.samples
+    }
+
+    /// The span log: one record per engine activity, in completion order.
+    pub fn spans(&self) -> &SpanLog {
+        &self.obs.spans
+    }
+
+    /// Opens a span: remembers the virtual clock and ledger totals.
+    pub(crate) fn span_open(&self) -> SpanStart {
+        SpanStart {
+            start_us: self.cluster.makespan_us(),
+            totals: self.cluster.ledger().totals(),
+        }
+    }
+
+    /// Closes a span, recording the virtual-clock and ledger deltas since
+    /// [`AnytimeEngine::span_open`].
+    pub(crate) fn span_close(&mut self, start: SpanStart, name: &str, detail: String) {
+        let t = self.cluster.ledger().totals();
+        let b = start.totals;
+        self.obs.spans.push(SpanRecord {
+            name: name.to_string(),
+            detail,
+            rc_step: self.rc_steps_done as u64,
+            start_us: start.start_us,
+            end_us: self.cluster.makespan_us(),
+            compute_us: (t.compute_us - b.compute_us).max(0.0),
+            bytes: t.bytes.saturating_sub(b.bytes),
+            messages: t.messages.saturating_sub(b.messages),
+            dropped_messages: t.dropped_messages.saturating_sub(b.dropped_messages),
+            dup_messages: t.dup_messages.saturating_sub(b.dup_messages),
+            heartbeat_messages: t.heartbeat_messages.saturating_sub(b.heartbeat_messages),
+        });
+    }
+
+    /// Closeness estimates from the current distance vectors, by vertex id,
+    /// with the same formula as [`AnytimeEngine::snapshot`] but free of
+    /// cluster charges (probe arithmetic is not part of the modeled run).
+    fn closeness_estimates(&self) -> Vec<f64> {
+        let mut closeness = vec![0.0f64; self.world.capacity()];
+        for ps in &self.procs {
+            for &v in ps.dv.vertices() {
+                let row = ps.dv.row(v);
+                let mut sum = 0u64;
+                for (t, &d) in row.iter().enumerate() {
+                    if t != v as usize && d != INF && d > 0 {
+                        sum += u64::from(d);
+                    }
+                }
+                closeness[v as usize] = if sum == 0 { 0.0 } else { 1.0 / sum as f64 };
+            }
+        }
+        closeness
+    }
+
+    /// (Re)builds the exact oracle if a mutation invalidated it.
+    fn ensure_oracle(&mut self) {
+        if self.obs.oracle.is_some() {
+            return;
+        }
+        let dist = algo::apsp_dijkstra(&self.world);
+        let mut closeness = vec![0.0f64; self.world.capacity()];
+        for v in self.world.vertices() {
+            closeness[v as usize] = algo::closeness_from_distances(&dist[v as usize], v);
+        }
+        self.obs.oracle = Some(Oracle { dist, closeness });
+    }
+
+    /// Takes one progress sample (called at the end of each RC step while
+    /// the probe is enabled; also callable directly to sample between steps,
+    /// e.g. right after `initialize`). No-op while the probe is disabled.
+    pub fn record_progress_sample(&mut self) {
+        if !self.obs.probe_enabled {
+            return;
+        }
+        self.ensure_oracle();
+        let dense = self.distances_dense();
+        let live: Vec<VertexId> = self.world.vertices().collect();
+
+        let mut max_over = 0.0f64;
+        let mut sum_over = 0.0f64;
+        let mut finite_pairs = 0u64;
+        let mut unreached = 0u64;
+        let mut converged_rows = 0u64;
+        let mut regressions = 0u64;
+        let same_shape = self
+            .obs
+            .prev_dense
+            .as_ref()
+            .is_some_and(|p| p.len() == dense.len());
+        {
+            let oracle = match self.obs.oracle.as_ref() {
+                Some(o) => o,
+                None => return, // unreachable: ensure_oracle just ran
+            };
+            for &u in &live {
+                let est_row = &dense[u as usize];
+                let exact_row = &oracle.dist[u as usize];
+                let mut row_equal = true;
+                for &t in &live {
+                    let est = est_row[t as usize];
+                    let exact = exact_row[t as usize];
+                    if est != exact {
+                        row_equal = false;
+                    }
+                    match (est == INF, exact == INF) {
+                        (false, false) => {
+                            let over = f64::from(est) - f64::from(exact);
+                            if over > max_over {
+                                max_over = over;
+                            }
+                            sum_over += over;
+                            finite_pairs += 1;
+                        }
+                        (true, true) => {}
+                        _ => unreached += 1,
+                    }
+                }
+                if row_equal {
+                    converged_rows += 1;
+                }
+                if same_shape {
+                    if let Some(prev) = self.obs.prev_dense.as_ref() {
+                        let prev_row = &prev[u as usize];
+                        for &t in &live {
+                            if est_row[t as usize] > prev_row[t as usize] {
+                                regressions += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let estimates = self.closeness_estimates();
+        let oracle_closeness: Vec<f64> = match self.obs.oracle.as_ref() {
+            Some(o) => live.iter().map(|&v| o.closeness[v as usize]).collect(),
+            None => return, // unreachable: ensure_oracle just ran
+        };
+        let est_closeness: Vec<f64> = live.iter().map(|&v| estimates[v as usize]).collect();
+
+        let dirty_rows: usize = self.procs.iter().map(|ps| ps.dirty.len()).sum();
+        let sample = ProgressSample {
+            rc_step: self.rc_steps_done as u64,
+            makespan_us: self.cluster.makespan_us(),
+            max_overestimate: max_over,
+            mean_overestimate: if finite_pairs == 0 {
+                0.0
+            } else {
+                sum_over / finite_pairs as f64
+            },
+            kendall_tau: kendall_tau(&est_closeness, &oracle_closeness),
+            converged_row_fraction: if live.is_empty() {
+                1.0
+            } else {
+                converged_rows as f64 / live.len() as f64
+            },
+            unreached_pairs: unreached,
+            outstanding_rows: self.outstanding_rows() as u64,
+            dirty_rows: dirty_rows as u64,
+            estimate_regressions: regressions,
+            down_ranks: self.cluster.down_ranks().len() as u64,
+            recovering: self.obs.recovering,
+        };
+        self.obs.samples.push(sample);
+        self.obs.prev_dense = Some(dense);
+        self.obs.recovering = false;
+    }
+
+    /// Exports the engine's current state as a metrics registry: phase
+    /// counters from the cost ledger, protocol counters from the ack-based
+    /// retransmission machinery, recovery counts by ladder rung, liveness
+    /// gauges, and per-RC-step histograms derived from the span log.
+    ///
+    /// The registry is rebuilt on each call (cheap: one pass over ledger and
+    /// spans), so it always reflects the state at the call.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_help("aa_phase_messages_total", "Model messages sent, by phase");
+        r.set_help("aa_phase_bytes_total", "Payload bytes moved, by phase");
+        r.set_help(
+            "aa_phase_compute_us",
+            "Virtual compute charged, by phase (µs)",
+        );
+        r.set_help(
+            "aa_dropped_messages_total",
+            "Messages lost to injected network faults",
+        );
+        r.set_help(
+            "aa_dup_messages_total",
+            "Duplicate deliveries injected by the network",
+        );
+        r.set_help(
+            "aa_heartbeat_messages_total",
+            "Failure-detector heartbeat messages",
+        );
+        r.set_help("aa_rc_steps_total", "Recombination steps executed");
+        r.set_help(
+            "aa_retransmits_total",
+            "Row retransmissions assembled after negative receipts",
+        );
+        r.set_help(
+            "aa_acked_sends_total",
+            "Row sends confirmed by a positive delivery receipt",
+        );
+        r.set_help(
+            "aa_failed_sends_total",
+            "Row sends negatively acknowledged and queued for retransmit",
+        );
+        r.set_help(
+            "aa_recoveries_total",
+            "Recovery-ladder invocations, by rung",
+        );
+        r.set_help("aa_makespan_us", "LogP virtual cluster time (µs)");
+        r.set_help(
+            "aa_outstanding_rows",
+            "Row sends in flight awaiting acknowledgement",
+        );
+        r.set_help("aa_dirty_rows", "Rows scheduled for the next exchange");
+        r.set_help("aa_live_ranks", "Processors currently up");
+        r.set_help("aa_down_ranks", "Processors currently down");
+        r.set_help(
+            "aa_converged",
+            "1 when the last RC step reported convergence",
+        );
+        r.set_help("aa_graph_vertices", "Live vertices in the world graph");
+        r.set_help("aa_graph_edges", "Edges in the world graph");
+        r.set_help(
+            "aa_rc_step_bytes",
+            "Payload bytes per recombination step (from spans)",
+        );
+        r.set_help(
+            "aa_rc_step_span_us",
+            "Modeled duration per recombination step (from spans, µs)",
+        );
+
+        let ledger = self.cluster.ledger();
+        for phase in aa_logp::Phase::ALL {
+            let s = ledger.phase(phase);
+            let name = phase.to_string();
+            let labels = [("phase", name.as_str())];
+            r.inc_counter("aa_phase_messages_total", &labels, s.messages);
+            r.inc_counter("aa_phase_bytes_total", &labels, s.bytes);
+            r.set_gauge("aa_phase_compute_us", &labels, s.compute_us);
+        }
+        let totals = ledger.totals();
+        r.inc_counter("aa_dropped_messages_total", &[], totals.dropped_messages);
+        r.inc_counter("aa_dup_messages_total", &[], totals.dup_messages);
+        r.inc_counter(
+            "aa_heartbeat_messages_total",
+            &[],
+            totals.heartbeat_messages,
+        );
+        r.inc_counter("aa_rc_steps_total", &[], self.rc_steps_done as u64);
+        r.inc_counter("aa_retransmits_total", &[], self.obs.retransmit_sends);
+        r.inc_counter("aa_acked_sends_total", &[], self.obs.acked_sends);
+        r.inc_counter("aa_failed_sends_total", &[], self.obs.failed_sends);
+
+        let mut by_method: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in &self.supervision.log {
+            *by_method.entry(ev.report.method.to_string()).or_insert(0) += 1;
+        }
+        for (method, count) in &by_method {
+            r.inc_counter("aa_recoveries_total", &[("method", method)], *count);
+        }
+
+        r.set_gauge("aa_makespan_us", &[], self.cluster.makespan_us());
+        r.set_gauge("aa_outstanding_rows", &[], self.outstanding_rows() as f64);
+        let dirty_rows: usize = self.procs.iter().map(|ps| ps.dirty.len()).sum();
+        r.set_gauge("aa_dirty_rows", &[], dirty_rows as f64);
+        r.set_gauge("aa_live_ranks", &[], self.cluster.live_count() as f64);
+        r.set_gauge("aa_down_ranks", &[], self.cluster.down_ranks().len() as f64);
+        r.set_gauge("aa_converged", &[], if self.converged { 1.0 } else { 0.0 });
+        r.set_gauge("aa_graph_vertices", &[], self.world.vertex_count() as f64);
+        r.set_gauge("aa_graph_edges", &[], self.world.edge_count() as f64);
+
+        r.declare_histogram("aa_rc_step_bytes", &RC_BYTES_BOUNDS);
+        r.declare_histogram("aa_rc_step_span_us", &RC_SPAN_US_BOUNDS);
+        for span in self.obs.spans.iter() {
+            if span.name == "recombination" {
+                r.observe("aa_rc_step_bytes", &[], span.bytes as f64);
+                r.observe("aa_rc_step_span_us", &[], span.modeled_us());
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use aa_graph::generators;
+
+    fn engine(p: usize, seed: u64) -> AnytimeEngine {
+        let g = generators::barabasi_albert(60, 2, 1, seed);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: p,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e
+    }
+
+    #[test]
+    fn probe_samples_one_per_step_and_converges_to_exact() {
+        let mut e = engine(4, 7);
+        e.enable_progress_probe();
+        let steps = e.run_to_convergence(32);
+        let samples = e.progress_samples();
+        assert_eq!(samples.len(), steps);
+        let last = samples.last().unwrap();
+        assert_eq!(last.max_overestimate, 0.0);
+        assert_eq!(last.converged_row_fraction, 1.0);
+        assert_eq!(last.unreached_pairs, 0);
+        assert!(
+            last.kendall_tau > 0.999,
+            "tau at exactness: {}",
+            last.kendall_tau
+        );
+        assert_eq!(last.outstanding_rows, 0);
+    }
+
+    #[test]
+    fn probe_is_monotone_fault_free() {
+        let mut e = engine(5, 13);
+        e.enable_progress_probe();
+        e.run_to_convergence(32);
+        for s in e.progress_samples() {
+            assert_eq!(s.estimate_regressions, 0, "step {}", s.rc_step);
+            assert!(!s.recovering);
+            assert_eq!(s.down_ranks, 0);
+        }
+        for w in e.progress_samples().windows(2) {
+            assert!(
+                w[1].converged_row_fraction >= w[0].converged_row_fraction,
+                "converged fraction regressed at step {}",
+                w[1].rc_step
+            );
+            assert!(w[1].max_overestimate <= w[0].max_overestimate);
+        }
+    }
+
+    #[test]
+    fn probe_disabled_by_default() {
+        let mut e = engine(3, 5);
+        e.run_to_convergence(16);
+        assert!(!e.progress_probe_enabled());
+        assert!(e.progress_samples().is_empty());
+    }
+
+    #[test]
+    fn spans_cover_init_and_steps() {
+        let mut e = engine(4, 9);
+        let steps = e.run_to_convergence(32);
+        let names: Vec<&str> = e.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"domain-decomposition"));
+        assert!(names.contains(&"initial-approximation"));
+        let rc_spans = names.iter().filter(|n| **n == "recombination").count();
+        assert_eq!(rc_spans, steps);
+        for s in e.spans().iter() {
+            assert!(s.end_us >= s.start_us, "span {} runs backwards", s.name);
+        }
+        let bytes: u64 = e
+            .spans()
+            .iter()
+            .filter(|s| s.name == "recombination")
+            .map(|s| s.bytes)
+            .sum();
+        assert!(
+            bytes > 0,
+            "recombination spans must carry the exchange bytes"
+        );
+    }
+
+    #[test]
+    fn metrics_registry_reflects_run_state() {
+        let mut e = engine(4, 11);
+        let steps = e.run_to_convergence(32);
+        let r = e.metrics_registry();
+        assert_eq!(r.counter_value("aa_rc_steps_total", &[]), steps as u64);
+        assert!(r.counter_value("aa_phase_bytes_total", &[("phase", "recombination")]) > 0);
+        assert_eq!(r.gauge_value("aa_converged", &[]), Some(1.0));
+        assert_eq!(r.gauge_value("aa_outstanding_rows", &[]), Some(0.0));
+        assert_eq!(r.gauge_value("aa_down_ranks", &[]), Some(0.0));
+        assert_eq!(r.gauge_value("aa_live_ranks", &[]), Some(4.0));
+        let prom = r.to_prometheus_text();
+        assert!(prom.contains("aa_rc_step_bytes_bucket"));
+        assert!(prom.contains("# TYPE aa_rc_steps_total counter"));
+    }
+
+    #[test]
+    fn mutation_invalidates_oracle_and_probe_recovers() {
+        let mut e = engine(4, 17);
+        e.enable_progress_probe();
+        e.run_to_convergence(32);
+        assert_eq!(e.progress_samples().last().unwrap().max_overestimate, 0.0);
+        let (u, v, _) = e.graph().edges().nth(2).unwrap();
+        assert!(e.delete_edge(u, v));
+        e.run_to_convergence(64);
+        let last = e.progress_samples().last().unwrap();
+        assert_eq!(
+            last.max_overestimate, 0.0,
+            "probe must track the post-deletion oracle"
+        );
+        assert_eq!(last.converged_row_fraction, 1.0);
+    }
+
+    #[test]
+    fn recovery_spans_and_counters_appear_under_faults() {
+        let g = generators::barabasi_albert(80, 2, 1, 23);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 4,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e.schedule_crash(2, 1);
+        e.run_to_convergence(64);
+        assert!(e.is_converged());
+        assert!(!e.recovery_log().is_empty(), "crash must trigger recovery");
+        let names: Vec<&str> = e.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"recovery"));
+        let r = e.metrics_registry();
+        let total: u64 = ["checkpoint-restore", "sssp-reseed"]
+            .iter()
+            .map(|m| r.counter_value("aa_recoveries_total", &[("method", m)]))
+            .sum();
+        assert_eq!(total, e.recovery_log().len() as u64);
+    }
+}

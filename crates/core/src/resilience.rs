@@ -110,7 +110,15 @@ impl AnytimeEngine {
                 num_procs: self.config.num_procs,
             });
         }
-        Ok(self.replace_rank(rank, None))
+        let span = self.span_open();
+        let report = self.replace_rank(rank, None);
+        self.obs.note_recovery();
+        self.span_close(
+            span,
+            "recovery",
+            format!("{} rank={rank} (manual)", report.method),
+        );
+        Ok(report)
     }
 
     /// The crash-and-replace protocol shared by manual injection and

@@ -65,7 +65,9 @@ impl AnytimeEngine {
         batch
             .validate(self.world.capacity())
             .expect("invalid vertex batch");
-        match strategy {
+        let span = self.span_open();
+        self.obs.note_mutation();
+        let ids = match strategy {
             AdditionStrategy::RoundRobinPs => {
                 let assign = self.round_robin_assignment(batch.count);
                 self.incorporate_incremental(batch, &assign)
@@ -76,7 +78,13 @@ impl AnytimeEngine {
             }
             AdditionStrategy::RepartitionS => self.incorporate_repartition(batch),
             AdditionStrategy::BaselineRestart => self.incorporate_restart(batch),
-        }
+        };
+        self.span_close(
+            span,
+            "dynamic-update",
+            format!("add-vertices n={} {strategy:?}", batch.count),
+        );
+        ids
     }
 
     /// Round-robin assignment continuing from a persistent cursor, so

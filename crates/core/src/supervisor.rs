@@ -295,6 +295,7 @@ impl AnytimeEngine {
     /// to offer; otherwise fall back to the SSSP reseed. Brings the rank
     /// back up in the cluster and the detector, and logs the recovery.
     pub(crate) fn recover_rank_ladder(&mut self, rank: usize, now: u64) -> RecoveryReport {
+        let recovery_span = self.span_open();
         // Rows whose owner moved since the checkpoint (repartitioning) are
         // dropped here and reseeded by `replace_rank`.
         let usable: Option<Vec<(VertexId, Vec<Weight>)>> = self.supervision.checkpoints[rank]
@@ -329,6 +330,12 @@ impl AnytimeEngine {
         self.supervision
             .log
             .push(RecoveryEvent { step: now, report });
+        self.obs.note_recovery();
+        self.span_close(
+            recovery_span,
+            "recovery",
+            format!("{} rank={rank}", report.method),
+        );
         report
     }
 }

@@ -1,0 +1,398 @@
+//! Differential oracle harness.
+//!
+//! Drives random dynamic-update schedules (edge additions/deletions, vertex
+//! additions/deletions) against a running [`AnytimeEngine`] and, after
+//! convergence, checks every closeness estimate and every distance row
+//! against a brute-force sequential oracle — across two partitioners and
+//! with and without lossy links.
+//!
+//! The vendored `proptest` stand-in has no shrinking, so failures here run a
+//! hand-rolled delta-debugging pass: the failing operation schedule is
+//! minimized (ddmin over ops, then over the extra edge list) and the minimal
+//! case is printed together with its anytime progress timeline before the
+//! test fails, so the report alone reproduces and localizes the bug.
+//!
+//! `AA_DIFF_SEED=<n> cargo test differential_seeded_replay` replays one
+//! deterministic schedule derived from the seed — the hook CI uses to pin a
+//! known-failing case while it is being fixed.
+
+use aa_core::{
+    AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, FaultConfig, PartitionerKind,
+    ProgressSample, VertexBatch,
+};
+use aa_graph::{algo, Graph, VertexId};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One mutation of a random schedule. Vertex/edge picks are modulo-indexed
+/// into the *live* vertex/edge lists at apply time, so any subsequence of a
+/// schedule is still a valid schedule — the property delta-debugging needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Add an edge between the a-th and b-th live vertices with weight w.
+    AddEdge(u32, u32, u32),
+    /// Delete the i-th live edge.
+    DeleteEdge(u32),
+    /// Re-weight the i-th live edge to w.
+    ChangeWeight(u32, u32),
+    /// Add one vertex attached to the a-th live vertex with weight w.
+    AddVertex(u32, u32),
+    /// Delete the i-th live vertex.
+    DeleteVertex(u32),
+}
+
+/// A complete differential test case: base graph, engine configuration and
+/// an operation schedule.
+#[derive(Debug, Clone)]
+struct Case {
+    n: usize,
+    extra_edges: Vec<(u32, u32, u32)>,
+    procs: usize,
+    partitioner: PartitionerKind,
+    drop_rate: f64,
+    seed: u64,
+    ops: Vec<Op>,
+}
+
+/// Spine + extra edges, like the proptests generator: the spine keeps the
+/// graph connected enough that distances are interesting rather than INF.
+fn build_graph(n: usize, extra: &[(u32, u32, u32)]) -> Graph {
+    let mut g = Graph::with_vertices(n);
+    for v in 1..n as u32 {
+        g.add_edge(v - 1, v, 1 + (v % 3));
+    }
+    for &(u, v, w) in extra {
+        let (u, v) = (u % n as u32, v % n as u32);
+        if u != v {
+            g.add_edge(u, v, w);
+        }
+    }
+    g
+}
+
+fn apply(e: &mut AnytimeEngine, op: Op) {
+    match op {
+        Op::AddEdge(a, b, w) => {
+            let ids: Vec<VertexId> = e.graph().vertices().collect();
+            let u = ids[a as usize % ids.len()];
+            let v = ids[b as usize % ids.len()];
+            if u != v {
+                e.add_edge(u, v, w.max(1));
+            }
+        }
+        Op::DeleteEdge(i) => {
+            let edges: Vec<_> = e.graph().edges().collect();
+            if edges.len() > 1 {
+                let (u, v, _) = edges[i as usize % edges.len()];
+                e.delete_edge(u, v);
+            }
+        }
+        Op::ChangeWeight(i, w) => {
+            let edges: Vec<_> = e.graph().edges().collect();
+            if !edges.is_empty() {
+                let (u, v, old) = edges[i as usize % edges.len()];
+                let w = w.max(1);
+                if old != w {
+                    e.change_edge_weight(u, v, w);
+                }
+            }
+        }
+        Op::AddVertex(a, w) => {
+            let ids: Vec<VertexId> = e.graph().vertices().collect();
+            let mut batch = VertexBatch::new(1);
+            batch.connect(0, Endpoint::Existing(ids[a as usize % ids.len()]), w.max(1));
+            e.add_vertices(&batch, AdditionStrategy::CutEdgePs);
+        }
+        Op::DeleteVertex(i) => {
+            let ids: Vec<VertexId> = e.graph().vertices().collect();
+            if ids.len() > 2 {
+                e.delete_vertex(ids[i as usize % ids.len()]);
+            }
+        }
+    }
+}
+
+/// Runs a case to convergence and differentially checks it against the
+/// brute-force oracle. Returns the failure description (if any) and the
+/// anytime progress timeline of the run.
+fn run_case(case: &Case) -> (Option<String>, Vec<ProgressSample>) {
+    let graph = build_graph(case.n, &case.extra_edges);
+    let fault = (case.drop_rate > 0.0).then(|| FaultConfig {
+        p_drop: case.drop_rate,
+        seed: case.seed ^ 0x5eed,
+        ..Default::default()
+    });
+    let mut e = AnytimeEngine::new(
+        graph,
+        EngineConfig {
+            num_procs: case.procs,
+            seed: case.seed,
+            partitioner: case.partitioner,
+            fault,
+            ..Default::default()
+        },
+    );
+    e.initialize();
+    e.enable_progress_probe();
+    for &op in &case.ops {
+        apply(&mut e, op);
+        e.rc_step();
+    }
+    e.run_to_convergence(16 * case.procs + 128);
+    let samples = e.progress_samples().to_vec();
+    if !e.is_converged() {
+        return (Some("engine failed to converge".into()), samples);
+    }
+    if let Err(err) = e.check_invariants() {
+        return (Some(format!("invariant violated: {err}")), samples);
+    }
+    let dist = algo::apsp_dijkstra(e.graph());
+    let dense = e.distances_dense();
+    let snap = e.snapshot();
+    for v in e.graph().vertices() {
+        if dense[v as usize] != dist[v as usize] {
+            return (
+                Some(format!("distance row {v} differs from the oracle")),
+                samples,
+            );
+        }
+        let want = algo::closeness_from_distances(&dist[v as usize], v);
+        let got = snap.closeness[v as usize];
+        if (got - want).abs() > 1e-9 {
+            return (
+                Some(format!(
+                    "closeness mismatch at vertex {v}: got {got:.12}, oracle {want:.12}"
+                )),
+                samples,
+            );
+        }
+    }
+    (None, samples)
+}
+
+fn fails(case: &Case) -> bool {
+    run_case(case).0.is_some()
+}
+
+/// ddmin over a vector-valued field: greedily removes chunks (halving the
+/// chunk size) for as long as the case keeps failing.
+fn ddmin<T: Clone>(
+    case: &Case,
+    get: fn(&Case) -> &Vec<T>,
+    get_mut: fn(&mut Case) -> &mut Vec<T>,
+) -> Case {
+    let mut best = case.clone();
+    let mut chunk = (get(&best).len() / 2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < get(&best).len() {
+            let mut candidate = best.clone();
+            let upper = (i + chunk).min(get(&candidate).len());
+            get_mut(&mut candidate).drain(i..upper);
+            if fails(&candidate) {
+                best = candidate;
+                shrunk = true;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            if !shrunk {
+                return best;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+/// Minimizes a failing case: first the operation schedule, then the extra
+/// edge list of the base graph.
+fn shrink(case: &Case) -> Case {
+    let best = ddmin(case, |c| &c.ops, |c| &mut c.ops);
+    ddmin(&best, |c| &c.extra_edges, |c| &mut c.extra_edges)
+}
+
+/// Checks a case; on failure, prints the delta-debugged minimal schedule and
+/// its progress timeline, then fails the test.
+fn check_case(case: Case) -> Result<(), TestCaseError> {
+    let (failure, _) = run_case(&case);
+    let Some(msg) = failure else {
+        return Ok(());
+    };
+    let minimal = shrink(&case);
+    let (min_msg, timeline) = run_case(&minimal);
+    eprintln!("=== differential failure ===");
+    eprintln!("original failure: {msg}");
+    eprintln!(
+        "minimal failing case: n={} procs={} partitioner={:?} drop_rate={} seed={} extra_edges={:?}",
+        minimal.n, minimal.procs, minimal.partitioner, minimal.drop_rate, minimal.seed,
+        minimal.extra_edges
+    );
+    for (i, op) in minimal.ops.iter().enumerate() {
+        eprintln!("  op[{i}] = {op:?}");
+    }
+    eprintln!("progress timeline of the minimal case:");
+    for s in &timeline {
+        eprintln!(
+            "  RC{:<4} max_over={:<6.1} tau={:<6.3} conv_rows={:<6.3} outstanding={} down={} recovering={}",
+            s.rc_step,
+            s.max_overestimate,
+            s.kendall_tau,
+            s.converged_row_fraction,
+            s.outstanding_rows,
+            s.down_ranks,
+            s.recovering
+        );
+    }
+    prop_assert!(
+        false,
+        "differential mismatch ({}): minimal case printed above",
+        min_msg.unwrap_or(msg)
+    );
+    Ok(())
+}
+
+/// Alternate partitioners across cases so both exchange/ownership layouts
+/// face every op-mix (the issue requires >= 2 partitioners).
+fn partitioner_for(seed: u64) -> PartitionerKind {
+    if seed.is_multiple_of(2) {
+        PartitionerKind::Multilevel
+    } else {
+        PartitionerKind::RoundRobin
+    }
+}
+
+/// Strategy: an edge-churn op (no vertex ops).
+fn arb_edge_op() -> impl Strategy<Value = Op> {
+    (0u8..3, 0u32..64, 0u32..64, 1u32..6).prop_map(|(kind, a, b, w)| match kind {
+        0 => Op::AddEdge(a, b, w),
+        1 => Op::DeleteEdge(a),
+        _ => Op::ChangeWeight(a, w),
+    })
+}
+
+/// Strategy: a vertex-churn op (vertex add/delete plus occasional edge ops so
+/// deleted regions get re-stitched).
+fn arb_vertex_op() -> impl Strategy<Value = Op> {
+    (0u8..4, 0u32..64, 0u32..64, 1u32..6).prop_map(|(kind, a, b, w)| match kind {
+        0 => Op::AddVertex(a, w),
+        1 => Op::DeleteVertex(a),
+        2 => Op::AddEdge(a, b, w),
+        _ => Op::DeleteEdge(a),
+    })
+}
+
+fn arb_case<O: Strategy<Value = Op>>(op: O, drop_rate: f64) -> impl Strategy<Value = Case> {
+    (
+        4usize..20,
+        proptest::collection::vec((0u32..20, 0u32..20, 1u32..6), 0..12),
+        2usize..4,
+        0u64..10_000,
+        proptest::collection::vec(op, 1..6),
+    )
+        .prop_map(move |(n, extra_edges, procs, seed, ops)| Case {
+            n,
+            extra_edges,
+            procs,
+            partitioner: partitioner_for(seed),
+            drop_rate,
+            seed,
+            ops,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn edge_churn_matches_oracle_reliable_links(case in arb_case(arb_edge_op(), 0.0)) {
+        check_case(case)?;
+    }
+
+    #[test]
+    fn edge_churn_matches_oracle_lossy_links(case in arb_case(arb_edge_op(), 0.2)) {
+        check_case(case)?;
+    }
+
+    #[test]
+    fn vertex_churn_matches_oracle_reliable_links(case in arb_case(arb_vertex_op(), 0.0)) {
+        check_case(case)?;
+    }
+
+    #[test]
+    fn vertex_churn_matches_oracle_lossy_links(case in arb_case(arb_vertex_op(), 0.2)) {
+        check_case(case)?;
+    }
+}
+
+/// Tiny deterministic generator (xorshift64*) for the seeded replay test —
+/// independent of proptest so a seed pins exactly one schedule forever.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Replays one deterministic schedule derived from `AA_DIFF_SEED` (default
+/// 0xAA). CI pins this seed so every run exercises a stable schedule; set a
+/// different seed locally to explore.
+#[test]
+fn differential_seeded_replay() {
+    let seed: u64 = std::env::var("AA_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xAA);
+    let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1));
+    for round in 0..4u64 {
+        let n = 6 + rng.below(12) as usize;
+        let extra_edges: Vec<(u32, u32, u32)> = (0..rng.below(8))
+            .map(|_| {
+                (
+                    rng.below(n as u64) as u32,
+                    rng.below(n as u64) as u32,
+                    1 + rng.below(5) as u32,
+                )
+            })
+            .collect();
+        let ops: Vec<Op> = (0..1 + rng.below(5))
+            .map(|_| match rng.below(5) {
+                0 => Op::AddEdge(
+                    rng.below(64) as u32,
+                    rng.below(64) as u32,
+                    1 + rng.below(5) as u32,
+                ),
+                1 => Op::DeleteEdge(rng.below(64) as u32),
+                2 => Op::ChangeWeight(rng.below(64) as u32, 1 + rng.below(5) as u32),
+                3 => Op::AddVertex(rng.below(64) as u32, 1 + rng.below(5) as u32),
+                _ => Op::DeleteVertex(rng.below(64) as u32),
+            })
+            .collect();
+        let case = Case {
+            n,
+            extra_edges,
+            procs: 2 + (round % 2) as usize,
+            partitioner: partitioner_for(round),
+            drop_rate: if round % 2 == 0 { 0.0 } else { 0.2 },
+            seed: seed ^ round,
+            ops,
+        };
+        let (failure, _) = run_case(&case);
+        if let Some(msg) = failure {
+            let minimal = shrink(&case);
+            panic!("AA_DIFF_SEED={seed} round {round} failed ({msg}); minimal case: {minimal:?}");
+        }
+    }
+}
