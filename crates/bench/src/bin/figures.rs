@@ -12,11 +12,13 @@
 //! same fraction of |V| (the paper-scale size is shown alongside).
 
 use aa_bench::experiments::{self, AnytimeRow, Fig4Row, Fig8Row, ScalingRow, SingleStepRow};
+use aa_bench::ingest::{ingest_throughput, rows_to_json, IngestRow};
 use aa_bench::workload::ExperimentParams;
 
-fn parse_args() -> (Vec<String>, ExperimentParams) {
+fn parse_args() -> (Vec<String>, ExperimentParams, Option<String>) {
     let mut params = ExperimentParams::default();
     let mut figs = Vec::new();
+    let mut json_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -30,8 +32,9 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
                     .parse()
                     .expect("invalid scale")
             }
+            "--json" => json_out = Some(args.next().expect("--json PATH")),
             "all" => figs.extend(["fig4", "fig5", "fig6", "fig7", "fig8"].map(String::from)),
-            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime") => {
+            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime" | "ingest") => {
                 figs.push(f.to_string())
             }
             "replay" => {
@@ -40,7 +43,7 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X]");
+                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|ingest|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X] [--json PATH]");
                 // CLI entry point: a usage error is the one place an abrupt
                 // exit is the right interface.
                 #[allow(clippy::exit)]
@@ -59,7 +62,7 @@ fn parse_args() -> (Vec<String>, ExperimentParams) {
         ];
     }
     figs.dedup();
-    (figs, params)
+    (figs, params, json_out)
 }
 
 fn print_header(params: &ExperimentParams, title: &str) {
@@ -210,8 +213,53 @@ fn print_scaling(rows: &[ScalingRow]) {
     }
 }
 
+fn print_ingest(rows: &[IngestRow]) {
+    println!(
+        "{:<8} {:>6} {:>9} {:>14} {:>12} {:>10} {:>9} {:>6}",
+        "batch", "drop", "updates", "updates/sec", "speedup", "coalesce", "flushes", "shed"
+    );
+    for r in rows {
+        let baseline = rows
+            .iter()
+            .find(|b| b.batch == 1 && b.drop_rate == r.drop_rate)
+            .map_or(r.updates_per_cluster_sec, |b| b.updates_per_cluster_sec);
+        println!(
+            "{:<8} {:>6.2} {:>9} {:>14.1} {:>11.2}x {:>9.1}% {:>9} {:>6}",
+            r.batch,
+            r.drop_rate,
+            r.updates,
+            r.updates_per_cluster_sec,
+            r.updates_per_cluster_sec / baseline,
+            r.coalesce_ratio * 100.0,
+            r.flushes,
+            r.shed
+        );
+    }
+}
+
+fn run_ingest(params: &ExperimentParams, json_out: Option<&str>) {
+    let updates = (params.n / 2).clamp(128, 512);
+    let rows = match ingest_throughput(params, &[1, 8, 64, 256], &[0.0, 0.2], updates) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("ingest experiment failed: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    };
+    print_ingest(&rows);
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, rows_to_json(&rows)) {
+            eprintln!("cannot write {path}: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
-    let (figs, params) = parse_args();
+    let (figs, params, json_out) = parse_args();
     for f in figs {
         match f.as_str() {
             "fig4" => {
@@ -259,6 +307,13 @@ fn main() {
                     "Strong scaling of the static analysis (beyond-paper ablation)",
                 );
                 print_scaling(&experiments::scaling(&params));
+            }
+            "ingest" => {
+                print_header(
+                    &params,
+                    "Ingest throughput: coalesced batching vs one-at-a-time (beyond-paper)",
+                );
+                run_ingest(&params, json_out.as_deref());
             }
             replay if replay.starts_with("replay:") => {
                 print_replay(&replay["replay:".len()..]);

@@ -9,9 +9,11 @@
 //! the figures plot — with wall-clock time available alongside.
 
 pub mod experiments;
+pub mod ingest;
 pub mod workload;
 
 pub use experiments::{
     fig4, fig5, fig6, fig7, fig8, Fig4Row, Fig8Row, SingleStepRow, StrategyChoice,
 };
+pub use ingest::{churn_ops, ingest_throughput, rows_to_json, IngestRow};
 pub use workload::{community_vertex_batch, scaled, ExperimentParams};

@@ -3,6 +3,7 @@
 //! ```text
 //! aa analyze  <graph> [--format F] [--procs P] [--top K] [--strategy S]
 //!                     [--stream FILE] [--save-checkpoint FILE] [--resume FILE]
+//! aa stream   <graph> <updates> [--batch N] [--queue-cap N] [--drain-policy P]
 //! aa partition <graph> --parts K [--format F]
 //! aa convert  <in> <out> [--from F] [--to F]
 //! ```
@@ -11,7 +12,9 @@
 // shell contract, unlike in library code where the workspace denies them.
 #![allow(clippy::exit)]
 
-use aa_cli::commands::{analyze, convert, partition_report, AnalyzeOpts, Measure};
+use aa_cli::commands::{
+    analyze, convert, partition_report, stream_serve, AnalyzeOpts, Measure, StreamOpts,
+};
 use aa_cli::Format;
 use aa_core::AdditionStrategy;
 use std::path::PathBuf;
@@ -31,6 +34,12 @@ usage:
               [--metrics-out JSON]        (dump the metrics registry)
               [--progress-out JSONL]      (anytime progress probe samples)
               [--spans-out JSONL]         (phase spans: DD/IA/RC/recovery)
+  aa stream   <graph> <updates> [--format F] [--procs P] [--top K]
+              [--strategy roundrobin|cutedge|repartition|restart]
+              [--batch N]         (size-policy batch target, default 64)
+              [--queue-cap N]     (ingest queue hard capacity, default 4096)
+              [--drain-policy size|steps:K|adaptive]
+              [--drop-rate P] [--metrics-out JSON]
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -67,6 +76,7 @@ fn main() {
 
     let result = match sub.as_str() {
         "analyze" => run_analyze(rest),
+        "stream" => run_stream(rest),
         "partition" => run_partition(rest),
         "convert" => run_convert(rest),
         "--help" | "-h" | "help" => {
@@ -150,6 +160,46 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
         None => fail("analyze needs a graph file (or --resume)"),
     }
     analyze(&opts)
+}
+
+fn run_stream(args: &[String]) -> Result<String, String> {
+    let mut opts = StreamOpts::default();
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--format" => opts.format = Some(Format::parse(&value("--format"))?),
+            "--procs" => opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?,
+            "--top" => opts.top = value("--top").parse().map_err(|_| "invalid --top")?,
+            "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
+            "--batch" => opts.batch = value("--batch").parse().map_err(|_| "invalid --batch")?,
+            "--queue-cap" => {
+                opts.queue_cap = value("--queue-cap")
+                    .parse()
+                    .map_err(|_| "invalid --queue-cap")?
+            }
+            "--drain-policy" => opts.drain_policy = value("--drain-policy"),
+            "--drop-rate" => {
+                opts.drop_rate = value("--drop-rate")
+                    .parse()
+                    .map_err(|_| "invalid --drop-rate")?
+            }
+            "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if positional.len() != 2 {
+        fail("stream needs <graph> and <updates>");
+    }
+    opts.updates = positional.pop().unwrap_or_default();
+    opts.input = positional.pop().unwrap_or_default();
+    stream_serve(&opts)
 }
 
 fn run_partition(args: &[String]) -> Result<String, String> {

@@ -196,13 +196,18 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             .map_err(|e| format!("cannot read stream {}: {e}", stream_path.display()))?;
         let cmds = crate::stream::parse_stream(&text)?;
         out.push_str(&format!("applying {} stream commands…\n", cmds.len()));
-        for (lineno, cmd) in &cmds {
-            let lines = crate::stream::apply(&mut engine, cmd, opts.strategy)
-                .map_err(|e| format!("stream line {lineno}: {e}"))?;
-            for line in lines {
-                out.push_str(&line);
-                out.push('\n');
-            }
+        // Replay goes through the same ingest path as `aa stream`; a batch
+        // target of 1 keeps per-command semantics (every op flushes
+        // immediately, so warnings and effects land in command order).
+        let mut pipeline = aa_ingest::IngestPipeline::new(aa_ingest::IngestConfig {
+            policy: aa_ingest::DrainPolicy::SizeTriggered(1),
+            strategy: opts.strategy,
+            ..Default::default()
+        })?;
+        let lines = crate::stream::apply_batch(&mut engine, &mut pipeline, &cmds, opts.strategy)?;
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
         }
         engine.run_to_convergence(16 * opts.procs + 64);
     }
@@ -339,6 +344,167 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options for the `aa stream` subcommand.
+#[derive(Debug, Clone)]
+pub struct StreamOpts {
+    /// Graph file.
+    pub input: PathBuf,
+    /// Explicit input format (otherwise guessed from the extension).
+    pub format: Option<Format>,
+    /// Update stream file to serve.
+    pub updates: PathBuf,
+    /// Virtual processors.
+    pub procs: usize,
+    /// Ranking size to print after the stream drains.
+    pub top: usize,
+    /// Vertex-addition strategy for flushed vertex batches.
+    pub strategy: AdditionStrategy,
+    /// Batch target for the size-triggered drain policy (`--batch`).
+    pub batch: usize,
+    /// Hard ingest queue capacity (`--queue-cap`); ops beyond it are shed.
+    pub queue_cap: usize,
+    /// Drain policy spec (`--drain-policy size|steps:K|adaptive`).
+    pub drain_policy: String,
+    /// Probability of dropping each recombination transfer (lossy links).
+    pub drop_rate: f64,
+    /// Optional JSON file for the merged engine + ingest metrics registry.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for StreamOpts {
+    fn default() -> Self {
+        StreamOpts {
+            input: PathBuf::new(),
+            format: None,
+            updates: PathBuf::new(),
+            procs: 8,
+            top: 10,
+            strategy: AdditionStrategy::CutEdgePs,
+            batch: 64,
+            queue_cap: 4096,
+            drain_policy: "size".to_string(),
+            drop_rate: 0.0,
+            metrics_out: None,
+        }
+    }
+}
+
+/// Parses a `--drain-policy` spec. `size` drains at the `--batch` target,
+/// `steps:K` drains every K RC steps (driven by `step`/`converge` commands
+/// in the stream), `adaptive` drains when outstanding-row pressure is zero,
+/// forced at 4 batches of staleness.
+pub fn parse_drain_policy(
+    spec: &str,
+    batch: usize,
+    queue_cap: usize,
+) -> Result<aa_ingest::DrainPolicy, String> {
+    let lower = spec.to_ascii_lowercase();
+    if lower == "size" {
+        return Ok(aa_ingest::DrainPolicy::SizeTriggered(batch));
+    }
+    if let Some(k) = lower.strip_prefix("steps:") {
+        return k
+            .parse()
+            .ok()
+            .filter(|&k: &usize| k > 0)
+            .map(aa_ingest::DrainPolicy::RcStepInterleaved)
+            .ok_or_else(|| format!("invalid --drain-policy {spec:?} (expected steps:K, K >= 1)"));
+    }
+    if lower == "adaptive" {
+        return Ok(aa_ingest::DrainPolicy::Adaptive {
+            max_outstanding: 0,
+            max_pending: (4 * batch.max(1)).min(queue_cap),
+        });
+    }
+    Err(format!(
+        "unknown --drain-policy {spec:?} (size|steps:K|adaptive)"
+    ))
+}
+
+/// `aa stream`: serve an update stream through the ingestion pipeline —
+/// bounded admission queue, coalescing buffer, policy-driven batch flushes —
+/// then report the post-convergence ranking plus ingest statistics.
+pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
+    if !(0.0..1.0).contains(&opts.drop_rate) {
+        return Err(format!(
+            "drop rate {} must lie in [0, 1) — a network that drops everything can never converge",
+            opts.drop_rate
+        ));
+    }
+    let policy = parse_drain_policy(&opts.drain_policy, opts.batch, opts.queue_cap)?;
+    let fault = (opts.drop_rate > 0.0).then(|| FaultConfig {
+        p_drop: opts.drop_rate,
+        ..Default::default()
+    });
+    let config = EngineConfig {
+        num_procs: opts.procs,
+        fault,
+        ..Default::default()
+    };
+    let graph = load_graph(&opts.input, opts.format)?;
+    let mut engine = AnytimeEngine::new(graph, config);
+    engine.initialize();
+    let steps = engine.run_to_convergence(16 * opts.procs + 64);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "graph: {} vertices, {} edges — converged in {steps} RC steps\n",
+        engine.graph().vertex_count(),
+        engine.graph().edge_count()
+    ));
+
+    let text = std::fs::read_to_string(&opts.updates)
+        .map_err(|e| format!("cannot read stream {}: {e}", opts.updates.display()))?;
+    let cmds = crate::stream::parse_stream(&text)?;
+    let mut pipeline = aa_ingest::IngestPipeline::new(aa_ingest::IngestConfig {
+        queue_cap: opts.queue_cap,
+        high_watermark: opts.queue_cap - opts.queue_cap / 4,
+        policy,
+        strategy: opts.strategy,
+    })?;
+    out.push_str(&format!(
+        "serving {} stream commands (drain {policy}, queue cap {})…\n",
+        cmds.len(),
+        opts.queue_cap
+    ));
+    let lines = crate::stream::apply_batch(&mut engine, &mut pipeline, &cmds, opts.strategy)?;
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    engine.run_to_convergence(16 * opts.procs + 64);
+
+    let stats = pipeline.stats();
+    out.push_str(&format!(
+        "ingest: {} accepted, {} throttled, {} shed, {} no-ops, {} rejected\n",
+        stats.accepted, stats.throttled, stats.shed, stats.noops, stats.rejected
+    ));
+    out.push_str(&format!(
+        "coalescing: {} raw ops → {} engine actions in {} flushes (ratio {:.2})\n",
+        stats.raw_in,
+        stats.actions_out,
+        stats.flushes,
+        stats.coalesce_ratio()
+    ));
+    let snap = engine.snapshot();
+    out.push_str(&format!(
+        "\ntop-{} closeness (cluster time {:.1} ms over {} RC steps):\n",
+        opts.top,
+        snap.makespan_us / 1000.0,
+        engine.rc_steps()
+    ));
+    for (v, c) in snap.top_k(opts.top) {
+        out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut registry = engine.metrics_registry();
+        registry.merge(&pipeline.metrics_registry());
+        std::fs::write(path, registry.to_json())
+            .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
+        out.push_str(&format!("metrics written to {}\n", path.display()));
+    }
+    Ok(out)
+}
+
 /// Appends a top-k listing of a score vector to the report.
 fn push_top(out: &mut String, scores: &[f64], k: usize) {
     let mut idx: Vec<usize> = (0..scores.len()).filter(|&v| scores[v] > 0.0).collect();
@@ -463,6 +629,48 @@ mod tests {
         .unwrap();
         assert!(resumed.contains("51 vertices"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_serve_batches_and_reports_ingest_stats() {
+        let dir = temp_dir("stream_serve");
+        let input = write_test_graph(&dir);
+        let stream = dir.join("updates.txt");
+        // The add/delete pair cancels in the coalescer; av/dv exercise the
+        // vertex path; the snapshot is a barrier mid-stream.
+        std::fs::write(
+            &stream,
+            "ae 0 30 2\nde 0 30\nae 1 40 3\nav 1,2\nsnapshot 3\ndv 5\nconverge\n",
+        )
+        .unwrap();
+        let metrics = dir.join("metrics.json");
+        let report = stream_serve(&StreamOpts {
+            input,
+            updates: stream,
+            procs: 4,
+            top: 3,
+            batch: 4,
+            metrics_out: Some(metrics.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("added vertex 50"), "{report}");
+        assert!(report.contains("ingest:"), "{report}");
+        assert!(report.contains("coalescing:"), "{report}");
+        assert!(report.contains("top-3 closeness"), "{report}");
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("aa_ingest_batch_size"), "merged registry");
+        assert!(json.contains("aa_rc_steps_total"), "engine series present");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_serve_rejects_bad_drain_policies() {
+        assert!(parse_drain_policy("size", 64, 4096).is_ok());
+        assert!(parse_drain_policy("steps:3", 64, 4096).is_ok());
+        assert!(parse_drain_policy("adaptive", 64, 4096).is_ok());
+        assert!(parse_drain_policy("steps:0", 64, 4096).is_err());
+        assert!(parse_drain_policy("sometimes", 64, 4096).is_err());
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! fail r           # crash and recover processor r
 //! snapshot k       # print the current top-k closeness ranking
 //! ```
+//!
+//! Tokens may be double-quoted (`ae "0" 5 2`); inside quotes `#` and
+//! whitespace are literal. Streams replay through the shared ingest path
+//! ([`stream::apply_batch`]): `aa analyze --stream` flushes every command
+//! for per-op semantics, while `aa stream` coalesces and batches updates
+//! under a drain policy with bounded-queue backpressure (see `aa-ingest`).
 
 pub mod commands;
 pub mod stream;

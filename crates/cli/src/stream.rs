@@ -2,6 +2,7 @@
 
 use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, VertexBatch};
 use aa_graph::{VertexId, Weight};
+use aa_ingest::{Admission, IngestPipeline, UpdateOp};
 
 /// One parsed stream command.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +33,8 @@ pub enum Command {
 }
 
 /// Parses one numeric token of a stream line.
-fn num_arg<T: std::str::FromStr>(
-    toks: &mut std::str::SplitWhitespace,
+fn num_arg<'a, T: std::str::FromStr>(
+    toks: &mut impl Iterator<Item = &'a str>,
     lineno: usize,
     what: &str,
 ) -> Result<T, String> {
@@ -43,19 +44,61 @@ fn num_arg<T: std::str::FromStr>(
         .map_err(|_| format!("line {lineno}: invalid {what}"))
 }
 
+/// Splits one stream line into tokens. Double quotes group a run of
+/// characters into (part of) a token with whitespace and `#` taken
+/// literally; outside quotes `#` starts a comment that runs to end of line.
+/// A naive `split('#')` would truncate quoted arguments mid-token and make
+/// the remainder look like a comment instead of being rejected.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    let mut in_token = false;
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '#' => break,
+            '"' => {
+                in_token = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(inner) => cur.push(inner),
+                        None => return Err("unterminated quote".to_string()),
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                if in_token {
+                    toks.push(std::mem::take(&mut cur));
+                    in_token = false;
+                }
+            }
+            c => {
+                in_token = true;
+                cur.push(c);
+            }
+        }
+    }
+    if in_token {
+        toks.push(cur);
+    }
+    Ok(toks)
+}
+
 /// Parses a stream file's contents. Returns `(line number, command)` pairs —
 /// the line numbers let [`apply`] failures point back at the offending
 /// source line — or a message naming the line that failed to parse.
+/// Unconsumed tokens after a complete command are an error, never silently
+/// ignored.
 pub fn parse_stream(text: &str) -> Result<Vec<(usize, Command)>, String> {
     let mut out = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let tokens = tokenize(raw).map_err(|e| format!("line {lineno}: {e}"))?;
+        let mut toks = tokens.iter().map(String::as_str);
+        let Some(op) = toks.next() else {
             continue;
-        }
-        let mut toks = line.split_whitespace();
-        let op = toks.next().unwrap();
+        };
         let cmd = match op {
             "ae" => Command::AddEdge(
                 num_arg(&mut toks, lineno, "u")?,
@@ -243,6 +286,71 @@ pub fn apply(
     Ok(out)
 }
 
+/// Converts a mutation command into its ingest op; `None` for control
+/// commands (steps, barriers, chaos, snapshots), which don't buffer.
+fn to_update_op(cmd: &Command) -> Option<UpdateOp> {
+    match cmd {
+        Command::AddEdge(u, v, w) => Some(UpdateOp::AddEdge(*u, *v, *w)),
+        Command::DeleteEdge(u, v) => Some(UpdateOp::DeleteEdge(*u, *v)),
+        Command::ChangeWeight(u, v, w) => Some(UpdateOp::Reweight(*u, *v, *w)),
+        Command::DeleteVertex(v) => Some(UpdateOp::DeleteVertex(*v)),
+        Command::AddVertex(anchors) => Some(UpdateOp::AddVertex {
+            anchors: anchors.iter().map(|&a| (a, 1)).collect(),
+        }),
+        _ => None,
+    }
+}
+
+/// Applies a parsed command run through the shared ingest path — the single
+/// application route used by both `aa analyze --stream` replay and
+/// `aa stream` serving.
+///
+/// Mutation commands are pushed into `pipeline` (validated against the
+/// projected state, coalesced, and drained per its policy); control
+/// commands are barriers — the buffer is flushed before they run through
+/// [`apply`]. A trailing flush guarantees nothing stays buffered. Errors
+/// carry the offending stream line number; backpressure decisions surface
+/// as printed lines, never as errors.
+pub fn apply_batch(
+    engine: &mut AnytimeEngine,
+    pipeline: &mut IngestPipeline,
+    cmds: &[(usize, Command)],
+    strategy: AdditionStrategy,
+) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for (lineno, cmd) in cmds {
+        let ctx = |e: String| format!("stream line {lineno}: {e}");
+        match to_update_op(cmd) {
+            Some(op) => {
+                let outcome = pipeline.push(engine, op).map_err(ctx)?;
+                if let Some(id) = outcome.new_vertex {
+                    out.push(format!("added vertex {id}"));
+                }
+                out.extend(outcome.warnings);
+                match outcome.admission {
+                    Admission::Accepted => {}
+                    Admission::Throttled { retry_after } => out.push(format!(
+                        "backpressure: line {lineno} throttled — retry after {retry_after} ops drain"
+                    )),
+                    Admission::Shed => out.push(format!(
+                        "warning: line {lineno} shed — ingest queue at capacity ({})",
+                        pipeline.config().queue_cap
+                    )),
+                }
+                pipeline.maybe_flush(engine).map_err(ctx)?;
+            }
+            None => {
+                pipeline.flush(engine).map_err(ctx)?;
+                out.extend(apply(engine, cmd, strategy).map_err(ctx)?);
+            }
+        }
+    }
+    pipeline
+        .flush(engine)
+        .map_err(|e| format!("stream flush: {e}"))?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +393,92 @@ snapshot 10
             .unwrap_err()
             .contains("[0, 1]"));
         assert!(parse_stream("chaos 1.0 0").unwrap_err().contains("below 1"));
+    }
+
+    #[test]
+    fn parse_quoted_args_and_comment_stripping() {
+        // Quoted tokens parse like bare ones, and a `#` outside quotes still
+        // starts a comment.
+        let cmds = parse_stream("ae \"0\" 5 2 # comment\nsnapshot \"3\"\nav \"1,2\"\n").unwrap();
+        assert_eq!(cmds[0], (1, Command::AddEdge(0, 5, 2)));
+        assert_eq!(cmds[1], (2, Command::Snapshot(3)));
+        assert_eq!(cmds[2], (3, Command::AddVertex(vec![1, 2])));
+        // `#` inside quotes belongs to the token: the bad weight is reported
+        // instead of the argument being truncated into a phantom comment.
+        assert!(parse_stream("ae 0 5 \"2#x\"")
+            .unwrap_err()
+            .contains("invalid w"));
+        // Unterminated quotes and junk after a command are line-numbered errors.
+        let err = parse_stream("\nae 0 1 \"2").unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("unterminated"),
+            "{err}"
+        );
+        assert!(parse_stream("snapshot \"5\" junk")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(parse_stream("step 1").unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn apply_batch_coalesces_and_matches_unbatched_replay() {
+        let text = "\
+ae 0 30 2
+de 0 30      # cancels the add above
+cw 1 2 7
+cw 1 2 4     # last-wins
+av 3,4
+dv 5
+converge
+snapshot 3
+";
+        let cmds = parse_stream(text).unwrap();
+        let build = || {
+            // A path graph pins the edge set: (0,30) is absent, (1,2) exists.
+            let g = generators::path(40);
+            let mut e = AnytimeEngine::new(
+                g,
+                EngineConfig {
+                    num_procs: 3,
+                    ..Default::default()
+                },
+            );
+            e.initialize();
+            e.run_to_convergence(256);
+            e
+        };
+        // Unbatched replay: one `apply` per command.
+        let mut unbatched = build();
+        for (_, cmd) in &cmds {
+            apply(&mut unbatched, cmd, AdditionStrategy::RoundRobinPs).unwrap();
+        }
+        unbatched.run_to_convergence(256);
+        // Batched replay through the shared ingest path.
+        let mut batched = build();
+        let mut pipeline = aa_ingest::IngestPipeline::new(aa_ingest::IngestConfig {
+            strategy: AdditionStrategy::RoundRobinPs,
+            ..Default::default()
+        })
+        .unwrap();
+        let printed = apply_batch(
+            &mut batched,
+            &mut pipeline,
+            &cmds,
+            AdditionStrategy::RoundRobinPs,
+        )
+        .unwrap();
+        batched.run_to_convergence(256);
+        assert!(printed.iter().any(|l| l.contains("added vertex 40")));
+        // The coalescer absorbed the add/delete pair and one reweight.
+        assert!(pipeline.stats().coalesce_ratio() > 0.0);
+        // Same final graph, same exact distances.
+        let (du, db) = (unbatched.distances_dense(), batched.distances_dense());
+        let oracle = aa_graph::algo::apsp_dijkstra(unbatched.graph());
+        for v in unbatched.graph().vertices() {
+            assert_eq!(du[v as usize], oracle[v as usize]);
+            assert_eq!(db[v as usize], oracle[v as usize]);
+        }
+        assert_eq!(unbatched.graph().edge_count(), batched.graph().edge_count());
     }
 
     #[test]

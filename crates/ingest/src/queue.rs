@@ -1,0 +1,107 @@
+//! Bounded admission queue with explicit backpressure.
+//!
+//! The queue tracks the *raw* (pre-coalescing) ops admitted since the last
+//! flush: its depth is what admission control and the backpressure contract
+//! are defined over, and its per-op enqueue timestamps (LogP virtual
+//! microseconds) feed the end-to-end apply-latency histogram.
+
+use std::collections::VecDeque;
+
+/// Admission decision for one pushed op — the backpressure contract.
+///
+/// - [`Admission::Accepted`]: op is buffered and will be applied at the next
+///   flush.
+/// - [`Admission::Throttled`]: op is buffered, but the queue is above its
+///   high watermark; the producer should back off until roughly
+///   `retry_after` ops have drained (at least one flush).
+/// - [`Admission::Shed`]: the queue is at hard capacity and the op was
+///   **dropped**. Shedding trades exactness for liveness; producers that
+///   need the replayed state to match must re-submit shed ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Buffered below the high watermark.
+    Accepted,
+    /// Buffered above the high watermark; advisory back-off.
+    Throttled {
+        /// How many buffered ops must drain before the queue drops back
+        /// below the high watermark.
+        retry_after: u64,
+    },
+    /// Dropped at hard capacity.
+    Shed,
+}
+
+impl Admission {
+    /// True unless the op was dropped.
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, Admission::Shed)
+    }
+}
+
+/// Bounded queue bookkeeping: depth, watermarks, enqueue timestamps.
+#[derive(Debug, Clone)]
+pub struct IngestQueue {
+    cap: usize,
+    high_watermark: usize,
+    /// Enqueue makespan (LogP µs) of each admitted, not-yet-flushed op.
+    enqueued_at_us: VecDeque<f64>,
+}
+
+impl IngestQueue {
+    /// Builds a queue; `high_watermark` must not exceed `cap` and `cap`
+    /// must be positive.
+    pub fn new(cap: usize, high_watermark: usize) -> Result<Self, String> {
+        if cap == 0 {
+            return Err("ingest queue capacity must be positive".to_string());
+        }
+        if high_watermark > cap {
+            return Err(format!(
+                "ingest high watermark {high_watermark} exceeds queue capacity {cap}"
+            ));
+        }
+        Ok(IngestQueue {
+            cap,
+            high_watermark,
+            enqueued_at_us: VecDeque::new(),
+        })
+    }
+
+    /// Raw ops admitted since the last flush.
+    pub fn depth(&self) -> usize {
+        self.enqueued_at_us.len()
+    }
+
+    /// Hard capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Throttling threshold.
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Admits one op stamped with the current cluster makespan, or sheds it
+    /// if the queue is full. Never stores anything on `Shed`.
+    pub fn admit(&mut self, now_us: f64) -> Admission {
+        if self.enqueued_at_us.len() >= self.cap {
+            return Admission::Shed;
+        }
+        self.enqueued_at_us.push_back(now_us);
+        let depth = self.enqueued_at_us.len() as u64;
+        let hwm = self.high_watermark as u64;
+        if depth > hwm {
+            Admission::Throttled {
+                retry_after: depth - hwm,
+            }
+        } else {
+            Admission::Accepted
+        }
+    }
+
+    /// Drains all enqueue timestamps (the flush path), returning them in
+    /// admission order.
+    pub fn drain(&mut self) -> Vec<f64> {
+        self.enqueued_at_us.drain(..).collect()
+    }
+}

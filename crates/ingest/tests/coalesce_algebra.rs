@@ -1,0 +1,149 @@
+//! Property tests for the coalescing algebra.
+//!
+//! The coalescer folds an op sequence into a per-key transfer function
+//! ([`EdgeNet`]). Two laws make that sound:
+//!
+//! 1. **Order-respecting**: for any interleaving of add/delete/reweight ops
+//!    on a key and any pre-state, evaluating the folded net equals applying
+//!    the ops one at a time with engine semantics (duplicate add, delete of
+//!    a missing edge, and reweight of a missing edge are no-ops).
+//! 2. **Idempotent**: materializing the net against a pre-state and folding
+//!    the materialized ops back in reproduces the same outcome, and a second
+//!    materialization round is a fixpoint (re-coalescing changes nothing).
+
+use aa_ingest::{EdgeKey, EdgeNet};
+use proptest::prelude::*;
+
+/// One op against a single edge key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KeyOp {
+    Add(u32),
+    Delete,
+    Reweight(u32),
+}
+
+/// Engine semantics, one op at a time.
+fn seq_apply(state: Option<u32>, op: KeyOp) -> Option<u32> {
+    match op {
+        KeyOp::Add(w) => match state {
+            None => Some(w),
+            present => present,
+        },
+        KeyOp::Delete => None,
+        KeyOp::Reweight(w) => state.map(|_| w),
+    }
+}
+
+fn fold(net: &mut EdgeNet, op: KeyOp) {
+    match op {
+        KeyOp::Add(w) => net.then_add(w),
+        KeyOp::Delete => net.then_delete(),
+        KeyOp::Reweight(w) => net.then_reweight(w),
+    }
+}
+
+/// The single op the net boils down to for a concrete pre-state, if any.
+fn materialize(pre: Option<u32>, post: Option<u32>) -> Option<KeyOp> {
+    match (pre, post) {
+        (None, Some(w)) => Some(KeyOp::Add(w)),
+        (Some(_), None) => Some(KeyOp::Delete),
+        (Some(w0), Some(w)) if w0 != w => Some(KeyOp::Reweight(w)),
+        _ => None,
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = KeyOp> {
+    (0u8..3, 1u32..9).prop_map(|(kind, w)| match kind {
+        0 => KeyOp::Add(w),
+        1 => KeyOp::Delete,
+        _ => KeyOp::Reweight(w),
+    })
+}
+
+/// Pre-state: absent, or present with a small weight.
+fn arb_pre() -> impl Strategy<Value = Option<u32>> {
+    (0u32..9).prop_map(|w| if w == 0 { None } else { Some(w) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn coalesce_is_order_respecting(
+        pre in arb_pre(),
+        ops in proptest::collection::vec(arb_op(), 0..12),
+    ) {
+        let mut net = EdgeNet::identity();
+        let mut state = pre;
+        for &op in &ops {
+            fold(&mut net, op);
+            state = seq_apply(state, op);
+        }
+        prop_assert_eq!(net.eval(pre), state,
+            "net {:?} disagrees with sequential application of {:?} from {:?}",
+            net, ops, pre);
+    }
+
+    #[test]
+    fn coalesce_is_idempotent(
+        pre in arb_pre(),
+        ops in proptest::collection::vec(arb_op(), 0..12),
+    ) {
+        let mut net = EdgeNet::identity();
+        for &op in &ops {
+            fold(&mut net, op);
+        }
+        let post = net.eval(pre);
+        // Fold the materialized op back into a fresh net: same outcome.
+        let mut renet = EdgeNet::identity();
+        if let Some(op) = materialize(pre, post) {
+            fold(&mut renet, op);
+        }
+        prop_assert_eq!(renet.eval(pre), post);
+        // And the second round is a fixpoint: nothing left to materialize.
+        prop_assert_eq!(materialize(post, renet.eval(post)), None);
+    }
+}
+
+/// The canonical conflicting interleavings, pinned as table tests so the
+/// contract in the docs stays executable even without the proptest sweep.
+#[test]
+fn conflicting_interleavings_net_out() {
+    let key = EdgeKey::new(7, 3);
+    assert_eq!((key.lo, key.hi), (3, 7), "keys canonicalize endpoint order");
+
+    // add then delete cancels.
+    let mut net = EdgeNet::identity();
+    net.then_add(5);
+    net.then_delete();
+    assert_eq!(net.eval(None), None);
+    // ... and still deletes a pre-existing edge.
+    assert_eq!(net.eval(Some(2)), None);
+
+    // delete then add nets to a reweight on a present edge.
+    let mut net = EdgeNet::identity();
+    net.then_delete();
+    net.then_add(4);
+    assert_eq!(net.eval(Some(9)), Some(4));
+    assert_eq!(net.eval(None), Some(4));
+
+    // repeated reweights are last-wins.
+    let mut net = EdgeNet::identity();
+    net.then_reweight(2);
+    net.then_reweight(8);
+    net.then_reweight(3);
+    assert_eq!(net.eval(Some(1)), Some(3));
+    assert_eq!(
+        net.eval(None),
+        None,
+        "reweight of an absent edge is a no-op"
+    );
+
+    // duplicate add keeps the first weight only when the edge was absent,
+    // and never clobbers a pre-existing weight.
+    let mut net = EdgeNet::identity();
+    net.then_add(6);
+    net.then_add(2);
+    assert_eq!(net.eval(None), Some(6));
+    assert_eq!(net.eval(Some(1)), Some(1));
+}
