@@ -13,6 +13,7 @@
 
 use aa_bench::experiments::{self, AnytimeRow, Fig4Row, Fig8Row, ScalingRow, SingleStepRow};
 use aa_bench::ingest::{ingest_throughput, rows_to_json, IngestRow};
+use aa_bench::serve::{serve_load, serve_rows_to_json, ServeRow};
 use aa_bench::workload::ExperimentParams;
 
 fn parse_args() -> (Vec<String>, ExperimentParams, Option<String>) {
@@ -34,16 +35,15 @@ fn parse_args() -> (Vec<String>, ExperimentParams, Option<String>) {
             }
             "--json" => json_out = Some(args.next().expect("--json PATH")),
             "all" => figs.extend(["fig4", "fig5", "fig6", "fig7", "fig8"].map(String::from)),
-            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime" | "ingest") => {
-                figs.push(f.to_string())
-            }
+            f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime" | "ingest"
+            | "serve") => figs.push(f.to_string()),
             "replay" => {
                 let path = args.next().expect("replay <progress.jsonl>");
                 figs.push(format!("replay:{path}"));
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|ingest|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X] [--json PATH]");
+                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|ingest|serve|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X] [--json PATH]");
                 // CLI entry point: a usage error is the one place an abrupt
                 // exit is the right interface.
                 #[allow(clippy::exit)]
@@ -237,6 +237,57 @@ fn print_ingest(rows: &[IngestRow]) {
     }
 }
 
+fn print_serve(rows: &[ServeRow]) {
+    println!(
+        "{:<9} {:>6} {:>9} {:>8} {:>9} {:>7} {:>12} {:>12} {:>9} {:>9}",
+        "offered",
+        "reads",
+        "served",
+        "shed",
+        "throttle",
+        "w.shed",
+        "p50 (us)",
+        "p99 (us)",
+        "shed%",
+        "degraded"
+    );
+    for r in rows {
+        println!(
+            "{:<9} {:>5.0}% {:>9} {:>8} {:>9} {:>7} {:>12.1} {:>12.1} {:>8.2}% {:>9}",
+            r.offered_per_turn,
+            r.read_fraction * 100.0,
+            r.reads_served,
+            r.reads_shed,
+            r.reads_throttled,
+            r.writes_shed,
+            r.p50_us,
+            r.p99_us,
+            r.shed_rate * 100.0,
+            r.degraded_turns
+        );
+    }
+}
+
+fn run_serve(params: &ExperimentParams, json_out: Option<&str>) {
+    let rows = match serve_load(params, &[16, 64, 256], &[0.5, 0.8, 0.95], 32) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("serve experiment failed: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    };
+    print_serve(&rows);
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, serve_rows_to_json(&rows)) {
+            eprintln!("cannot write {path}: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
 fn run_ingest(params: &ExperimentParams, json_out: Option<&str>) {
     let updates = (params.n / 2).clamp(128, 512);
     let rows = match ingest_throughput(params, &[1, 8, 64, 256], &[0.0, 0.2], updates) {
@@ -314,6 +365,13 @@ fn main() {
                     "Ingest throughput: coalesced batching vs one-at-a-time (beyond-paper)",
                 );
                 run_ingest(&params, json_out.as_deref());
+            }
+            "serve" => {
+                print_header(
+                    &params,
+                    "Serving under load: latency and shed rate vs offered load (beyond-paper)",
+                );
+                run_serve(&params, json_out.as_deref());
             }
             replay if replay.starts_with("replay:") => {
                 print_replay(&replay["replay:".len()..]);

@@ -13,7 +13,8 @@
 #![allow(clippy::exit)]
 
 use aa_cli::commands::{
-    analyze, convert, partition_report, stream_serve, AnalyzeOpts, Measure, StreamOpts,
+    analyze, convert, partition_report, serve_cmd, stream_serve, AnalyzeOpts, Measure, ServeOpts,
+    StreamOpts,
 };
 use aa_cli::Format;
 use aa_core::AdditionStrategy;
@@ -40,6 +41,14 @@ usage:
               [--queue-cap N]     (ingest queue hard capacity, default 4096)
               [--drain-policy size|steps:K|adaptive]
               [--drop-rate P] [--metrics-out JSON]
+  aa serve    <graph> [--format F] [--procs P] [--top K]
+              [--turns N]         (serving turns to drive, default 64)
+              [--offered N]       (requests offered per turn, default 32)
+              [--read-fraction R] (read share of offered load, default 0.8)
+              [--deadline-us D]   (read deadline in virtual microseconds)
+              [--seed S]          (workload seed)
+              [--drop-rate P] [--crash-at STEP:RANK]... [--straggler RANK:SCALE]...
+              [--metrics-out JSON]
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -77,6 +86,7 @@ fn main() {
     let result = match sub.as_str() {
         "analyze" => run_analyze(rest),
         "stream" => run_stream(rest),
+        "serve" => run_serve(rest),
         "partition" => run_partition(rest),
         "convert" => run_convert(rest),
         "--help" | "-h" | "help" => {
@@ -200,6 +210,63 @@ fn run_stream(args: &[String]) -> Result<String, String> {
     opts.updates = positional.pop().unwrap_or_default();
     opts.input = positional.pop().unwrap_or_default();
     stream_serve(&opts)
+}
+
+fn run_serve(args: &[String]) -> Result<String, String> {
+    let mut opts = ServeOpts::default();
+    let mut positional: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--format" => opts.format = Some(Format::parse(&value("--format"))?),
+            "--procs" => opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?,
+            "--top" => opts.top = value("--top").parse().map_err(|_| "invalid --top")?,
+            "--turns" => opts.turns = value("--turns").parse().map_err(|_| "invalid --turns")?,
+            "--offered" => {
+                opts.offered = value("--offered")
+                    .parse()
+                    .map_err(|_| "invalid --offered")?
+            }
+            "--read-fraction" => {
+                opts.read_fraction = value("--read-fraction")
+                    .parse()
+                    .map_err(|_| "invalid --read-fraction")?
+            }
+            "--deadline-us" => {
+                opts.deadline_us = value("--deadline-us")
+                    .parse()
+                    .map_err(|_| "invalid --deadline-us")?
+            }
+            "--seed" => opts.seed = value("--seed").parse().map_err(|_| "invalid --seed")?,
+            "--drop-rate" => {
+                opts.drop_rate = value("--drop-rate")
+                    .parse()
+                    .map_err(|_| "invalid --drop-rate")?
+            }
+            "--crash-at" => {
+                let v = value("--crash-at");
+                let (step, rank) = parse_pair(&v)
+                    .ok_or_else(|| format!("invalid --crash-at {v:?} (expected STEP:RANK)"))?;
+                opts.crash_at.push((step, rank));
+            }
+            "--straggler" => {
+                let v = value("--straggler");
+                let (rank, scale) = parse_pair(&v)
+                    .ok_or_else(|| format!("invalid --straggler {v:?} (expected RANK:SCALE)"))?;
+                opts.stragglers.push((rank, scale));
+            }
+            "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts.input = positional.unwrap_or_else(|| fail("serve needs a graph file"));
+    serve_cmd(&opts)
 }
 
 fn run_partition(args: &[String]) -> Result<String, String> {

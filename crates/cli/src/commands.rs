@@ -505,6 +505,211 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Options for the `aa serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Graph file.
+    pub input: PathBuf,
+    /// Explicit input format (otherwise guessed from the extension).
+    pub format: Option<Format>,
+    /// Virtual processors.
+    pub procs: usize,
+    /// Ranking size to print when the run drains.
+    pub top: usize,
+    /// Serving turns to drive with offered load.
+    pub turns: usize,
+    /// Requests offered per turn.
+    pub offered: usize,
+    /// Fraction of offered requests that are reads.
+    pub read_fraction: f64,
+    /// Read deadline relative to submission (virtual µs).
+    pub deadline_us: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Probability of dropping each recombination transfer (lossy links).
+    pub drop_rate: f64,
+    /// Scheduled fail-stop crashes: `(step, rank)` pairs.
+    pub crash_at: Vec<(u64, usize)>,
+    /// Injected stragglers: `(rank, scale)` pairs.
+    pub stragglers: Vec<(usize, f64)>,
+    /// Optional JSON file for the merged engine + ingest + serve metrics.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            input: PathBuf::new(),
+            format: None,
+            procs: 8,
+            top: 10,
+            turns: 64,
+            offered: 32,
+            read_fraction: 0.8,
+            deadline_us: 5_000_000.0,
+            seed: 42,
+            drop_rate: 0.0,
+            crash_at: Vec::new(),
+            stragglers: Vec::new(),
+            metrics_out: None,
+        }
+    }
+}
+
+/// `aa serve`: run the resident server under a deterministic mixed
+/// read/write workload — snapshot-isolated reads, admission-controlled
+/// writes, degraded-mode service under injected faults — then report
+/// latency quantiles, outcome totals, and the final ranking.
+pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
+    if !(0.0..1.0).contains(&opts.drop_rate) {
+        return Err(format!(
+            "drop rate {} must lie in [0, 1) — a network that drops everything can never converge",
+            opts.drop_rate
+        ));
+    }
+    if !(0.0..=1.0).contains(&opts.read_fraction) {
+        return Err(format!(
+            "read fraction {} must lie in [0, 1]",
+            opts.read_fraction
+        ));
+    }
+    for &(step, rank) in &opts.crash_at {
+        if rank >= opts.procs {
+            return Err(format!(
+                "--crash-at {step}:{rank}: rank {rank} out of range (cluster has {} processors)",
+                opts.procs
+            ));
+        }
+    }
+    for &(rank, scale) in &opts.stragglers {
+        if rank >= opts.procs {
+            return Err(format!(
+                "--straggler {rank}:{scale}: rank {rank} out of range (cluster has {} processors)",
+                opts.procs
+            ));
+        }
+        if scale <= 0.0 || scale.is_nan() {
+            return Err(format!(
+                "--straggler {rank}:{scale}: scale must be positive"
+            ));
+        }
+    }
+    let fault = (opts.drop_rate > 0.0).then(|| FaultConfig {
+        p_drop: opts.drop_rate,
+        ..Default::default()
+    });
+    let proc_fault =
+        (!opts.crash_at.is_empty() || !opts.stragglers.is_empty()).then(|| ProcFaultConfig {
+            crashes: opts.crash_at.clone(),
+            stragglers: opts.stragglers.clone(),
+        });
+    let config = EngineConfig {
+        num_procs: opts.procs,
+        fault,
+        proc_fault,
+        ..Default::default()
+    };
+    let graph = load_graph(&opts.input, opts.format)?;
+    let mut engine = AnytimeEngine::new(graph, config);
+    engine.initialize();
+    let mut server = aa_serve::Server::new(
+        engine,
+        aa_serve::ServeConfig {
+            default_deadline_us: opts.deadline_us,
+            ..Default::default()
+        },
+    )?;
+    let mut gen = aa_serve::LoadGen::new(aa_serve::WorkloadConfig {
+        seed: opts.seed,
+        offered_per_turn: opts.offered,
+        read_fraction: opts.read_fraction,
+        top_k: opts.top,
+    });
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "graph: {} vertices, {} edges — serving {} turns × {} offered ({}% reads)\n",
+        server.engine().graph().vertex_count(),
+        server.engine().graph().edge_count(),
+        opts.turns,
+        opts.offered,
+        (opts.read_fraction * 100.0).round()
+    ));
+    let mut degraded_turns = 0usize;
+    for _ in 0..opts.turns {
+        for op in gen.turn_ops(server.engine()) {
+            match op {
+                aa_serve::ClientOp::Read(kind) => {
+                    server.submit_read(kind);
+                }
+                aa_serve::ClientOp::Write(op) => {
+                    server.submit_write(op);
+                }
+            }
+        }
+        let report = server.turn()?;
+        if report.mode == aa_serve::ServeMode::Degraded {
+            degraded_turns += 1;
+        }
+    }
+    // Resolve everything still queued; nothing may hang.
+    server.drain(16 * opts.procs + 256)?;
+
+    let stats = server.stats();
+    out.push_str(&format!(
+        "reads:  {} submitted, {} served, {} throttled, {} shed (capacity {}, deadline {})\n",
+        stats.reads_submitted,
+        stats.reads_served,
+        stats.reads_throttled,
+        stats.reads_shed_capacity + stats.reads_shed_deadline,
+        stats.reads_shed_capacity,
+        stats.reads_shed_deadline
+    ));
+    out.push_str(&format!(
+        "writes: {} submitted, {} accepted, {} throttled, {} shed (queue {}, budget {}), {} rejected\n",
+        stats.writes_submitted,
+        stats.writes_accepted,
+        stats.writes_throttled,
+        stats.writes_shed_queue + stats.writes_shed_budget,
+        stats.writes_shed_queue,
+        stats.writes_shed_budget,
+        stats.writes_rejected
+    ));
+    if let Some((p50, p99)) = server.latency_quantiles() {
+        out.push_str(&format!(
+            "read latency: p50 {:.1} µs, p99 {:.1} µs (virtual); shed rate {:.4}\n",
+            p50,
+            p99,
+            stats.read_shed_rate()
+        ));
+    }
+    out.push_str(&format!(
+        "mode: {} degraded turns over {} total; {} degraded entries; {} recoveries\n",
+        degraded_turns,
+        stats.turns,
+        stats.degraded_entries,
+        server.engine().recovery_log().len()
+    ));
+    let frame = server.frame();
+    out.push_str(&format!(
+        "final frame: epoch {}, fresh {}, quiescent rows {:.2}, bound {:.1}\n",
+        frame.meta.epoch,
+        frame.meta.fresh,
+        frame.meta.quiescent_row_fraction,
+        frame.meta.max_overestimate_bound
+    ));
+    out.push_str(&format!("\ntop-{} closeness:\n", opts.top));
+    for (v, c) in frame.snapshot.top_k(opts.top) {
+        out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, server.metrics_registry().to_json())
+            .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
+        out.push_str(&format!("metrics written to {}\n", path.display()));
+    }
+    Ok(out)
+}
+
 /// Appends a top-k listing of a score vector to the report.
 fn push_top(out: &mut String, scores: &[f64], k: usize) {
     let mut idx: Vec<usize> = (0..scores.len()).filter(|&v| scores[v] > 0.0).collect();
@@ -825,6 +1030,83 @@ mod tests {
         let g = load_graph(&out, None).unwrap();
         assert_eq!(g.vertex_count(), 50);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_reports_latency_and_final_ranking() {
+        let dir = temp_dir("serve");
+        let input = write_test_graph(&dir);
+        let metrics = dir.join("serve_metrics.json");
+        let report = serve_cmd(&ServeOpts {
+            input,
+            procs: 4,
+            top: 3,
+            turns: 24,
+            offered: 16,
+            metrics_out: Some(metrics.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(
+            report.contains("read latency: p50"),
+            "no quantiles in:\n{report}"
+        );
+        assert!(
+            report.contains("top-3 closeness"),
+            "no ranking in:\n{report}"
+        );
+        assert!(
+            report.contains("fresh true"),
+            "drain must end fresh:\n{report}"
+        );
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("aa_serve_requests_total"));
+        assert!(json.contains("aa_snapshot_publications_total"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_under_faults_reports_degraded_turns() {
+        let dir = temp_dir("serve_faults");
+        let input = write_test_graph(&dir);
+        let report = serve_cmd(&ServeOpts {
+            input,
+            procs: 4,
+            top: 3,
+            turns: 32,
+            offered: 16,
+            drop_rate: 0.2,
+            crash_at: vec![(3, 1)],
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(
+            report.contains("recoveries"),
+            "no recovery line in:\n{report}"
+        );
+        assert!(
+            report.contains("fresh true"),
+            "drain must end fresh:\n{report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_rates() {
+        let err = serve_cmd(&ServeOpts {
+            input: PathBuf::from("/nope.txt"),
+            drop_rate: 1.0,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("drop rate"));
+        let err = serve_cmd(&ServeOpts {
+            input: PathBuf::from("/nope.txt"),
+            crash_at: vec![(1, 99)],
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("out of range"));
     }
 
     #[test]

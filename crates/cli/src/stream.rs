@@ -328,16 +328,30 @@ pub fn apply_batch(
                 }
                 out.extend(outcome.warnings);
                 match outcome.admission {
-                    Admission::Accepted => {}
-                    Admission::Throttled { retry_after } => out.push(format!(
-                        "backpressure: line {lineno} throttled — retry after {retry_after} ops drain"
-                    )),
-                    Admission::Shed => out.push(format!(
-                        "warning: line {lineno} shed — ingest queue at capacity ({})",
-                        pipeline.config().queue_cap
-                    )),
+                    Admission::Accepted => {
+                        pipeline.maybe_flush(engine).map_err(ctx)?;
+                    }
+                    Admission::Throttled { retry_after } => {
+                        out.push(format!(
+                            "backpressure: line {lineno} throttled — backing off until \
+                             {retry_after} ops drain"
+                        ));
+                        // Honor the retry hint instead of busy-resubmitting
+                        // into a queue above its watermark: one barrier
+                        // flush drains the whole buffer (≥ retry_after
+                        // ops), so the next push is admitted below the
+                        // watermark again. Bounded backoff — at most one
+                        // flush per throttle decision.
+                        pipeline.flush(engine).map_err(ctx)?;
+                    }
+                    Admission::Shed => {
+                        out.push(format!(
+                            "warning: line {lineno} shed — ingest queue at capacity ({})",
+                            pipeline.config().queue_cap
+                        ));
+                        pipeline.maybe_flush(engine).map_err(ctx)?;
+                    }
                 }
-                pipeline.maybe_flush(engine).map_err(ctx)?;
             }
             None => {
                 pipeline.flush(engine).map_err(ctx)?;
@@ -479,6 +493,47 @@ snapshot 3
             assert_eq!(db[v as usize], oracle[v as usize]);
         }
         assert_eq!(unbatched.graph().edge_count(), batched.graph().edge_count());
+    }
+
+    #[test]
+    fn apply_batch_backs_off_on_throttle_instead_of_shedding() {
+        let g = generators::path(40);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 3,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e.run_to_convergence(256);
+        // Tiny queue, drain policy that never triggers on its own: without
+        // the backoff, pushes 9..12 would hit hard capacity and be shed.
+        let mut pipeline = aa_ingest::IngestPipeline::new(aa_ingest::IngestConfig {
+            queue_cap: 8,
+            high_watermark: 4,
+            policy: aa_ingest::DrainPolicy::SizeTriggered(64),
+            strategy: AdditionStrategy::RoundRobinPs,
+        })
+        .unwrap();
+        let cmds: Vec<(usize, Command)> = (0..12)
+            .map(|i| (i + 1, Command::AddEdge(i as u32, i as u32 + 2, 1)))
+            .collect();
+        let printed =
+            apply_batch(&mut e, &mut pipeline, &cmds, AdditionStrategy::RoundRobinPs).unwrap();
+        let stats = pipeline.stats();
+        assert_eq!(stats.shed, 0, "backoff must prevent shedding");
+        assert!(stats.throttled >= 1, "the tiny watermark must throttle");
+        assert!(
+            stats.flushes >= 2,
+            "each throttle decision must drain early, not just the final barrier"
+        );
+        assert!(printed.iter().any(|l| l.contains("backing off")));
+        // Nothing was lost: every edge made it into the engine.
+        e.run_to_convergence(256);
+        for i in 0..12u32 {
+            assert!(e.graph().edge_weight(i, i + 2).is_some(), "edge ({i},..)");
+        }
     }
 
     #[test]

@@ -501,6 +501,12 @@ impl AnytimeEngine {
         self.converged
     }
 
+    /// Whether [`AnytimeEngine::initialize`] has run (domain decomposition
+    /// and initial approximation are done, `rc_step` is legal).
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
     /// Row sends that are currently unacknowledged (dropped by the network
     /// and awaiting retransmission), totalled across processors. While this
     /// is non-zero the convergence test cannot report convergence.

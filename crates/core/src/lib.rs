@@ -55,6 +55,7 @@ pub mod engine;
 pub mod measures;
 pub mod obs;
 pub mod proc_state;
+pub mod publish;
 pub mod rebalance;
 pub mod resilience;
 pub mod strategy;
@@ -71,6 +72,7 @@ pub use config::{
 };
 pub use dynamic::{Endpoint, VertexBatch};
 pub use engine::AnytimeEngine;
+pub use publish::{SnapshotFrame, SnapshotMeta};
 pub use rebalance::ImbalanceReport;
 pub use resilience::{RecoveryError, RecoveryMethod, RecoveryReport};
 pub use strategy::AdditionStrategy;

@@ -57,6 +57,16 @@ pub(crate) struct EngineObs {
     prev_dense: Option<Vec<Vec<Weight>>>,
     /// A recovery ran at or since the previous sample.
     recovering: bool,
+    /// Monotone version bumped on every mutation or recovery; part of the
+    /// snapshot publication cache key (the invalidation epoch alone misses
+    /// relaxing changes, and the RC-step counter misses between-step ops).
+    pub(crate) state_version: u64,
+    /// Cached snapshot publication (see `publish.rs`).
+    pub(crate) published: Option<crate::publish::PublishedFrame>,
+    /// Publications that rebuilt the frame.
+    pub(crate) publish_fresh: u64,
+    /// Publications served from the cached frame (allocation-stable).
+    pub(crate) publish_reused: u64,
 }
 
 impl EngineObs {
@@ -66,12 +76,14 @@ impl EngineObs {
     pub(crate) fn note_mutation(&mut self) {
         self.oracle = None;
         self.prev_dense = None;
+        self.state_version += 1;
     }
 
     /// A recovery ladder invocation ran; the next probe sample is flagged so
     /// monotonicity assertions skip it (restores may legitimately regress).
     pub(crate) fn note_recovery(&mut self) {
         self.recovering = true;
+        self.state_version += 1;
     }
 }
 
@@ -320,6 +332,10 @@ impl AnytimeEngine {
         r.set_help("aa_graph_vertices", "Live vertices in the world graph");
         r.set_help("aa_graph_edges", "Edges in the world graph");
         r.set_help(
+            "aa_snapshot_publications_total",
+            "Snapshot frame publications, by kind (fresh rebuild vs reused Arc)",
+        );
+        r.set_help(
             "aa_rc_step_bytes",
             "Payload bytes per recombination step (from spans)",
         );
@@ -347,6 +363,16 @@ impl AnytimeEngine {
         );
         r.inc_counter("aa_rc_steps_total", &[], self.rc_steps_done as u64);
         r.inc_counter("aa_retransmits_total", &[], self.obs.retransmit_sends);
+        r.inc_counter(
+            "aa_snapshot_publications_total",
+            &[("kind", "fresh")],
+            self.obs.publish_fresh,
+        );
+        r.inc_counter(
+            "aa_snapshot_publications_total",
+            &[("kind", "reused")],
+            self.obs.publish_reused,
+        );
         r.inc_counter("aa_acked_sends_total", &[], self.obs.acked_sends);
         r.inc_counter("aa_failed_sends_total", &[], self.obs.failed_sends);
 

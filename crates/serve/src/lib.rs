@@ -1,0 +1,42 @@
+#![forbid(unsafe_code)]
+//! `aa-serve` — an overload-safe resident query/update server over the
+//! anytime engine.
+//!
+//! The paper's *anytime* property promises centrality estimates with
+//! bounded error at any point mid-computation; this crate is where that
+//! promise meets concurrent load. A [`Server`] owns an
+//! [`AnytimeEngine`](aa_core::AnytimeEngine) plus an
+//! [`IngestPipeline`](aa_ingest::IngestPipeline) and advances in
+//! deterministic turns, giving three guarantees:
+//!
+//! * **Snapshot isolation** — every read is answered from a published
+//!   [`SnapshotFrame`](aa_core::SnapshotFrame): an `Arc`-shared, epoch-
+//!   stamped snapshot rebuilt only when engine state changes (double-
+//!   buffered publication, allocation-stable on reuse). A reader can never
+//!   observe a torn mid-`rc_step` state or a frame claiming freshness
+//!   while rows are in flight.
+//! * **Admission control** — reads and writes share the aa-ingest
+//!   `Accepted / Throttled{retry_after} / Shed` backpressure contract,
+//!   with per-class token budgets, queue watermarks, and deadline-aware
+//!   shedding. Every admitted request resolves at a turn boundary;
+//!   nothing hangs.
+//! * **Graceful degradation** — under overload or with ranks down the
+//!   server enters an explicit degraded mode: reads keep being served
+//!   from stale-but-bounded frames (finite max-overestimate bound, epoch
+//!   consistency preserved), the write budget tightens, and recovery is
+//!   visible to clients only as widened staleness bounds.
+//!
+//! [`LoadGen`] provides the deterministic mixed-workload generator used by
+//! the `figures serve` bench and the `aa serve` CLI subcommand.
+
+mod admission;
+mod request;
+mod server;
+mod workload;
+
+pub use admission::{ServeConfig, TokenBucket};
+pub use request::{
+    ClientOp, ReadKind, ReadOutcome, ReadTicket, ReadValue, ShedReason, WriteOutcome,
+};
+pub use server::{ServeMode, ServeStats, Server, TurnReport};
+pub use workload::{LoadGen, WorkloadConfig};

@@ -1,0 +1,745 @@
+//! The resident server: one process owning the engine, serving reads from
+//! published snapshot frames while the ingest pipeline folds writes in.
+//!
+//! # Turn loop
+//!
+//! The server advances in deterministic *turns* ([`Server::turn`]); a turn
+//!
+//! 1. refills the per-class token budgets (the write refill is divided by
+//!    [`ServeConfig::degraded_write_divisor`] in degraded mode),
+//! 2. lets the ingest pipeline drain if its policy is due,
+//! 3. runs up to [`ServeConfig::steps_per_turn`] recombination steps while
+//!    unconverged,
+//! 4. updates the degraded-mode state machine,
+//! 5. publishes a snapshot frame (allocation-stable when nothing changed),
+//! 6. sheds queued reads whose deadline passed, then serves the front of
+//!    the read queue from the published frame under the read token budget.
+//!
+//! Every admitted request resolves at a turn boundary — served or shed —
+//! so nothing ever hangs, and every served response carries the frame's
+//! [`SnapshotMeta`](aa_core::SnapshotMeta) stamp (epoch, freshness,
+//! quiescent-row fraction, finite max-overestimate bound).
+//!
+//! # Degraded mode
+//!
+//! The server enters degraded mode immediately when a rank is down, or
+//! after [`ServeConfig::overload_turns`] consecutive turns with the ingest
+//! queue or read queue above its high watermark; it leaves after
+//! [`ServeConfig::recovery_turns`] consecutive clear turns. Degraded mode
+//! never stops serving: reads are answered from the latest published frame
+//! (stale but epoch-consistent, with finite bounds) and the write budget is
+//! tightened so recovery and refinement work is not starved.
+
+use crate::admission::{ServeConfig, TokenBucket};
+use crate::request::{ReadKind, ReadOutcome, ReadTicket, ReadValue, ShedReason, WriteOutcome};
+use aa_core::{AnytimeEngine, SnapshotFrame};
+use aa_ingest::{Admission, FlushReport, IngestPipeline, IngestStats, UpdateOp};
+use aa_obs::MetricsRegistry;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Serving state: normal, or degraded (overloaded / ranks down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Full service.
+    Normal,
+    /// Stale-but-bounded service under overload or recovery.
+    Degraded,
+}
+
+impl ServeMode {
+    /// Metric/report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeMode::Normal => "normal",
+            ServeMode::Degraded => "degraded",
+        }
+    }
+}
+
+/// Lifetime counters, one per admission/resolution outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Turns executed.
+    pub turns: u64,
+    /// Turns spent in degraded mode.
+    pub degraded_turns: u64,
+    /// Times the server entered degraded mode.
+    pub degraded_entries: u64,
+    /// Reads submitted.
+    pub reads_submitted: u64,
+    /// Reads served from a published frame.
+    pub reads_served: u64,
+    /// Reads admitted above the read-queue high watermark.
+    pub reads_throttled: u64,
+    /// Reads shed at read-queue hard capacity.
+    pub reads_shed_capacity: u64,
+    /// Reads shed because the deadline passed (or provably could not be
+    /// met at admission).
+    pub reads_shed_deadline: u64,
+    /// Writes submitted.
+    pub writes_submitted: u64,
+    /// Writes accepted below the ingest high watermark.
+    pub writes_accepted: u64,
+    /// Writes admitted above the ingest high watermark.
+    pub writes_throttled: u64,
+    /// Writes shed at ingest hard capacity.
+    pub writes_shed_queue: u64,
+    /// Writes shed by the per-turn token budget.
+    pub writes_shed_budget: u64,
+    /// Writes rejected as invalid.
+    pub writes_rejected: u64,
+}
+
+impl ServeStats {
+    /// Reads resolved (served or shed after admission).
+    pub fn reads_resolved(&self) -> u64 {
+        self.reads_served + self.reads_shed_deadline + self.reads_shed_capacity
+    }
+
+    /// Fraction of submitted reads shed (any reason).
+    pub fn read_shed_rate(&self) -> f64 {
+        if self.reads_submitted == 0 {
+            0.0
+        } else {
+            (self.reads_shed_capacity + self.reads_shed_deadline) as f64
+                / self.reads_submitted as f64
+        }
+    }
+}
+
+/// What one turn did.
+#[derive(Debug, Clone)]
+pub struct TurnReport {
+    /// Reads resolved this turn (served or deadline-shed), in order.
+    pub served: Vec<ReadOutcome>,
+    /// The ingest flush this turn performed, if its policy was due.
+    pub flushed: Option<FlushReport>,
+    /// Mode after the turn's state-machine update.
+    pub mode: ServeMode,
+    /// Recombination steps run this turn.
+    pub rc_steps: usize,
+}
+
+/// A queued (admitted, not yet resolved) read.
+#[derive(Debug, Clone, Copy)]
+struct QueuedRead {
+    id: u64,
+    kind: ReadKind,
+    submitted_us: f64,
+    deadline_us: f64,
+}
+
+/// The resident query/update server. See the module docs.
+pub struct Server {
+    engine: AnytimeEngine,
+    pipeline: IngestPipeline,
+    config: ServeConfig,
+    read_q: VecDeque<QueuedRead>,
+    read_tokens: TokenBucket,
+    write_tokens: TokenBucket,
+    mode: ServeMode,
+    pressured_turns: usize,
+    clear_turns: usize,
+    next_id: u64,
+    /// EWMA of per-turn virtual duration, for deadline feasibility
+    /// estimates; zero until the first turn completes.
+    ewma_turn_us: f64,
+    latencies: Vec<f64>,
+    stats: ServeStats,
+    metrics: MetricsRegistry,
+}
+
+impl Server {
+    /// Builds a server around an engine, initializing it if the caller has
+    /// not. Validates the configuration.
+    pub fn new(mut engine: AnytimeEngine, config: ServeConfig) -> Result<Self, String> {
+        config.validate()?;
+        let pipeline = IngestPipeline::new(config.ingest)?;
+        if !engine.is_initialized() {
+            engine.initialize();
+        }
+        let mut metrics = MetricsRegistry::new();
+        metrics.set_help(
+            "aa_serve_requests_total",
+            "Requests by class and admission/resolution outcome",
+        );
+        metrics.set_help(
+            "aa_serve_read_latency_us",
+            "Submit-to-serve read latency in LogP virtual microseconds",
+        );
+        metrics.declare_histogram(
+            "aa_serve_read_latency_us",
+            &[10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8],
+        );
+        metrics.set_help(
+            "aa_serve_read_queue_depth",
+            "Admitted reads awaiting service",
+        );
+        metrics.set_help("aa_serve_mode", "Serving mode (0 = normal, 1 = degraded)");
+        metrics.set_help(
+            "aa_serve_degraded_turns_total",
+            "Turns spent in degraded mode",
+        );
+        metrics.set_help(
+            "aa_serve_degraded_entries_total",
+            "Transitions into degraded mode",
+        );
+        metrics.set_help(
+            "aa_serve_read_latency_p50_us",
+            "Median served read latency (virtual µs)",
+        );
+        metrics.set_help(
+            "aa_serve_read_latency_p99_us",
+            "99th-percentile served read latency (virtual µs)",
+        );
+        Ok(Server {
+            read_tokens: TokenBucket::new(config.read_tokens_per_turn, config.read_burst),
+            write_tokens: TokenBucket::new(config.write_tokens_per_turn, config.write_burst),
+            engine,
+            pipeline,
+            config,
+            read_q: VecDeque::new(),
+            mode: ServeMode::Normal,
+            pressured_turns: 0,
+            clear_turns: 0,
+            next_id: 0,
+            ewma_turn_us: 0.0,
+            latencies: Vec::new(),
+            stats: ServeStats::default(),
+            metrics,
+        })
+    }
+
+    /// Submits a read with the default deadline.
+    pub fn submit_read(&mut self, kind: ReadKind) -> ReadTicket {
+        self.submit_read_with_deadline(kind, self.config.default_deadline_us)
+    }
+
+    /// Submits a read that must be served within `deadline_us` virtual µs
+    /// of now. Admission control may shed it immediately (queue at hard
+    /// capacity, or the deadline is provably unmeetable given the queue
+    /// depth and the measured turn duration); a shed read is never queued.
+    pub fn submit_read_with_deadline(&mut self, kind: ReadKind, deadline_us: f64) -> ReadTicket {
+        let now = self.engine.makespan_us();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.reads_submitted += 1;
+        if self.read_q.len() >= self.config.read_queue_cap {
+            self.stats.reads_shed_capacity += 1;
+            self.count_read("shed-capacity");
+            return ReadTicket {
+                id,
+                admission: Admission::Shed,
+            };
+        }
+        let deadline = now + deadline_us.max(0.0);
+        if let Some(est) = self.estimated_service_us(now) {
+            if est > deadline {
+                self.stats.reads_shed_deadline += 1;
+                self.count_read("shed-deadline");
+                return ReadTicket {
+                    id,
+                    admission: Admission::Shed,
+                };
+            }
+        }
+        self.read_q.push_back(QueuedRead {
+            id,
+            kind,
+            submitted_us: now,
+            deadline_us: deadline,
+        });
+        let depth = self.read_q.len();
+        self.metrics
+            .set_gauge("aa_serve_read_queue_depth", &[], depth as f64);
+        if depth > self.config.read_queue_hwm {
+            self.stats.reads_throttled += 1;
+            self.count_read("throttled");
+            ReadTicket {
+                id,
+                admission: Admission::Throttled {
+                    retry_after: (depth - self.config.read_queue_hwm) as u64,
+                },
+            }
+        } else {
+            self.count_read("accepted");
+            ReadTicket {
+                id,
+                admission: Admission::Accepted,
+            }
+        }
+    }
+
+    /// Submits a write. The op first passes the per-turn write token budget
+    /// (shed on exhaustion — tightened in degraded mode), then the ingest
+    /// pipeline's own admission queue.
+    pub fn submit_write(&mut self, op: UpdateOp) -> WriteOutcome {
+        self.stats.writes_submitted += 1;
+        if !self.write_tokens.take() {
+            self.stats.writes_shed_budget += 1;
+            self.count_write("shed-budget");
+            return WriteOutcome::Shed(ShedReason::WriteBudget);
+        }
+        match self.pipeline.push(&self.engine, op) {
+            Ok(outcome) => {
+                match outcome.admission {
+                    Admission::Accepted => {
+                        self.stats.writes_accepted += 1;
+                        self.count_write("accepted");
+                    }
+                    Admission::Throttled { .. } => {
+                        self.stats.writes_throttled += 1;
+                        self.count_write("throttled");
+                    }
+                    Admission::Shed => {
+                        self.stats.writes_shed_queue += 1;
+                        self.count_write("shed-queue");
+                    }
+                }
+                WriteOutcome::Ingest(outcome.admission)
+            }
+            Err(e) => {
+                self.stats.writes_rejected += 1;
+                self.count_write("rejected");
+                WriteOutcome::Rejected(e)
+            }
+        }
+    }
+
+    /// Runs one turn; see the module docs for the sequence.
+    pub fn turn(&mut self) -> Result<TurnReport, String> {
+        let t0 = self.engine.makespan_us();
+        self.stats.turns += 1;
+        self.read_tokens.refill();
+        let write_refill = match self.mode {
+            ServeMode::Normal => self.config.write_tokens_per_turn,
+            ServeMode::Degraded => {
+                self.config.write_tokens_per_turn / self.config.degraded_write_divisor
+            }
+        };
+        self.write_tokens.refill_by(write_refill);
+
+        let flushed = self.pipeline.maybe_flush(&mut self.engine)?;
+
+        let mut rc_steps = 0usize;
+        if !self.engine.is_converged() {
+            for _ in 0..self.config.steps_per_turn {
+                rc_steps += 1;
+                if self.engine.rc_step() {
+                    break;
+                }
+            }
+        }
+
+        self.update_mode();
+        if self.mode == ServeMode::Degraded {
+            self.stats.degraded_turns += 1;
+            self.metrics
+                .inc_counter("aa_serve_degraded_turns_total", &[], 1);
+        }
+
+        let frame = self.engine.publish_snapshot();
+        let served = self.serve_reads(&frame);
+
+        let dt = (self.engine.makespan_us() - t0).max(0.0);
+        self.ewma_turn_us = if self.ewma_turn_us > 0.0 {
+            0.75 * self.ewma_turn_us + 0.25 * dt
+        } else {
+            dt
+        };
+        self.metrics
+            .set_gauge("aa_serve_read_queue_depth", &[], self.read_q.len() as f64);
+        self.metrics.set_gauge(
+            "aa_serve_mode",
+            &[],
+            match self.mode {
+                ServeMode::Normal => 0.0,
+                ServeMode::Degraded => 1.0,
+            },
+        );
+        Ok(TurnReport {
+            served,
+            flushed,
+            mode: self.mode,
+            rc_steps,
+        })
+    }
+
+    /// Runs turns until the read queue and ingest buffer are empty and the
+    /// engine has converged, or `max_turns` is hit. Pending writes are
+    /// barrier-flushed so they cannot stall behind an un-triggered drain
+    /// policy. Returns every read outcome resolved along the way.
+    pub fn drain(&mut self, max_turns: usize) -> Result<Vec<ReadOutcome>, String> {
+        let mut out = Vec::new();
+        for _ in 0..max_turns {
+            if self.read_q.is_empty()
+                && self.pipeline.pending_ops() == 0
+                && self.engine.is_converged()
+            {
+                break;
+            }
+            if self.pipeline.pending_ops() > 0 {
+                self.pipeline.flush(&mut self.engine)?;
+            }
+            out.extend(self.turn()?.served);
+        }
+        Ok(out)
+    }
+
+    /// Publishes (or reuses) the current snapshot frame.
+    pub fn frame(&mut self) -> Arc<SnapshotFrame> {
+        self.engine.publish_snapshot()
+    }
+
+    /// Current serving mode.
+    pub fn mode(&self) -> ServeMode {
+        self.mode
+    }
+
+    /// Lifetime serve counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Lifetime ingest counters.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.pipeline.stats()
+    }
+
+    /// Admitted reads awaiting service.
+    pub fn read_queue_depth(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The owned engine.
+    pub fn engine(&self) -> &AnytimeEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access (chaos injection in tests and the CLI; the
+    /// server re-observes engine state at the next turn boundary).
+    pub fn engine_mut(&mut self) -> &mut AnytimeEngine {
+        &mut self.engine
+    }
+
+    /// Served-read latency quantiles `(p50, p99)` in virtual µs, when at
+    /// least one read has been served.
+    pub fn latency_quantiles(&self) -> Option<(f64, f64)> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some((quantile(&sorted, 0.50), quantile(&sorted, 0.99)))
+    }
+
+    /// Merged metrics: engine + ingest + serve registries, with the read
+    /// latency quantile gauges computed from every served read so far.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut r = self.engine.metrics_registry();
+        r.merge(&self.pipeline.metrics_registry());
+        let mut s = self.metrics.clone();
+        if let Some((p50, p99)) = self.latency_quantiles() {
+            s.set_gauge("aa_serve_read_latency_p50_us", &[], p50);
+            s.set_gauge("aa_serve_read_latency_p99_us", &[], p99);
+        }
+        r.merge(&s);
+        r
+    }
+
+    /// Estimated virtual time at which a read submitted now would be
+    /// served, given the queue ahead of it and the measured turn duration.
+    /// `None` until a turn has run (no duration measurement yet).
+    fn estimated_service_us(&self, now: f64) -> Option<f64> {
+        if self.ewma_turn_us > 0.0 {
+            let per_turn = self.config.read_tokens_per_turn.max(1) as usize;
+            let turns_ahead = self.read_q.len() / per_turn + 1;
+            Some(now + turns_ahead as f64 * self.ewma_turn_us)
+        } else {
+            None
+        }
+    }
+
+    fn update_mode(&mut self) {
+        let down = !self.engine.cluster().down_ranks().is_empty();
+        let ingest_over = self.pipeline.pending_ops() > self.pipeline.config().high_watermark;
+        let read_over = self.read_q.len() > self.config.read_queue_hwm;
+        let pressured = down || ingest_over || read_over;
+        match self.mode {
+            ServeMode::Normal => {
+                if pressured {
+                    self.pressured_turns += 1;
+                }
+                if down || self.pressured_turns >= self.config.overload_turns {
+                    self.mode = ServeMode::Degraded;
+                    self.clear_turns = 0;
+                    self.stats.degraded_entries += 1;
+                    self.metrics
+                        .inc_counter("aa_serve_degraded_entries_total", &[], 1);
+                }
+                if !pressured {
+                    self.pressured_turns = 0;
+                }
+            }
+            ServeMode::Degraded => {
+                if pressured {
+                    self.clear_turns = 0;
+                } else {
+                    self.clear_turns += 1;
+                    if self.clear_turns >= self.config.recovery_turns {
+                        self.mode = ServeMode::Normal;
+                        self.pressured_turns = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sheds expired reads, then serves the queue front under the token
+    /// budget, all from the one published frame.
+    fn serve_reads(&mut self, frame: &SnapshotFrame) -> Vec<ReadOutcome> {
+        let now = self.engine.makespan_us();
+        let mut out = Vec::new();
+        let mut still_queued = VecDeque::with_capacity(self.read_q.len());
+        while let Some(req) = self.read_q.pop_front() {
+            if req.deadline_us < now {
+                self.stats.reads_shed_deadline += 1;
+                self.count_read("shed-deadline");
+                out.push(ReadOutcome::Shed {
+                    id: req.id,
+                    reason: ShedReason::Deadline,
+                });
+            } else {
+                still_queued.push_back(req);
+            }
+        }
+        self.read_q = still_queued;
+        let degraded = self.mode == ServeMode::Degraded;
+        while !self.read_q.is_empty() && self.read_tokens.take() {
+            if let Some(req) = self.read_q.pop_front() {
+                let latency_us = (now - req.submitted_us).max(0.0);
+                self.stats.reads_served += 1;
+                self.count_read("served");
+                self.metrics
+                    .observe("aa_serve_read_latency_us", &[], latency_us);
+                self.latencies.push(latency_us);
+                out.push(ReadOutcome::Served {
+                    id: req.id,
+                    latency_us,
+                    degraded,
+                    meta: frame.meta,
+                    value: answer(frame, req.kind),
+                });
+            }
+        }
+        out
+    }
+
+    fn count_read(&mut self, outcome: &str) {
+        self.metrics.inc_counter(
+            "aa_serve_requests_total",
+            &[("class", "read"), ("outcome", outcome)],
+            1,
+        );
+    }
+
+    fn count_write(&mut self, outcome: &str) {
+        self.metrics.inc_counter(
+            "aa_serve_requests_total",
+            &[("class", "write"), ("outcome", outcome)],
+            1,
+        );
+    }
+}
+
+/// Computes a read's value from a published frame.
+fn answer(frame: &SnapshotFrame, kind: ReadKind) -> ReadValue {
+    let snap = &frame.snapshot;
+    match kind {
+        ReadKind::TopK(k) => ReadValue::TopK(snap.top_k(k)),
+        ReadKind::Vertex(v) => {
+            let slot = v as usize;
+            ReadValue::Vertex {
+                closeness: snap.closeness.get(slot).copied().unwrap_or(0.0),
+                harmonic: snap.harmonic.get(slot).copied().unwrap_or(0.0),
+                stale: snap.stale.get(slot).copied().unwrap_or(false),
+            }
+        }
+    }
+}
+
+/// Nearest-rank quantile over an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::EngineConfig;
+    use aa_graph::generators;
+
+    fn server(n: usize, procs: usize, config: ServeConfig) -> Server {
+        let g = generators::barabasi_albert(n, 2, 1, 7);
+        let e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: procs,
+                ..Default::default()
+            },
+        );
+        Server::new(e, config).unwrap()
+    }
+
+    #[test]
+    fn reads_resolve_within_a_drain_and_match_engine_state() {
+        let mut s = server(60, 3, ServeConfig::default());
+        s.drain(64).unwrap(); // converge first so the frame is fresh
+        let t = s.submit_read(ReadKind::TopK(5));
+        assert_eq!(t.admission, Admission::Accepted);
+        let out = s.drain(64).unwrap();
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            ReadOutcome::Served { meta, value, .. } => {
+                assert!(meta.fresh);
+                assert_eq!(meta.outstanding_rows, 0);
+                match value {
+                    ReadValue::TopK(ranked) => assert_eq!(ranked.len(), 5),
+                    other => panic!("wrong value: {other:?}"),
+                }
+            }
+            other => panic!("read was not served: {other:?}"),
+        }
+        assert_eq!(s.stats().reads_served, 1);
+    }
+
+    #[test]
+    fn read_queue_capacity_sheds_and_hwm_throttles() {
+        let cfg = ServeConfig {
+            read_queue_cap: 4,
+            read_queue_hwm: 2,
+            ..Default::default()
+        };
+        let mut s = server(60, 3, cfg);
+        let mut admissions = Vec::new();
+        for _ in 0..6 {
+            admissions.push(s.submit_read(ReadKind::TopK(1)).admission);
+        }
+        assert_eq!(admissions[0], Admission::Accepted);
+        assert_eq!(admissions[1], Admission::Accepted);
+        assert!(matches!(admissions[2], Admission::Throttled { .. }));
+        assert!(matches!(admissions[3], Admission::Throttled { .. }));
+        assert_eq!(admissions[4], Admission::Shed);
+        assert_eq!(admissions[5], Admission::Shed);
+        assert_eq!(s.stats().reads_shed_capacity, 2);
+        // The four queued reads all resolve.
+        let out = s.drain(64).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn write_budget_sheds_when_exhausted() {
+        let cfg = ServeConfig {
+            write_tokens_per_turn: 2,
+            write_burst: 2,
+            ..Default::default()
+        };
+        let mut s = server(60, 3, cfg);
+        let ids: Vec<u32> = s.engine().graph().vertices().collect();
+        let mut shed = 0;
+        for i in 0..4u32 {
+            let op = UpdateOp::AddEdge(ids[i as usize], ids[(i + 20) as usize], 1);
+            if matches!(
+                s.submit_write(op),
+                WriteOutcome::Shed(ShedReason::WriteBudget)
+            ) {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 2, "two tokens, four writes");
+        s.turn().unwrap();
+        // Refill makes room again.
+        let op = UpdateOp::AddEdge(ids[40], ids[41], 1);
+        assert!(s.submit_write(op).is_admitted());
+    }
+
+    #[test]
+    fn degraded_mode_enters_on_down_rank_and_recovers_with_hysteresis() {
+        let mut s = server(80, 4, ServeConfig::default());
+        assert_eq!(s.mode(), ServeMode::Normal);
+        // Crash fires inside an upcoming rc_step (while unconverged);
+        // detection + recovery happen via the supervisor.
+        s.engine_mut().schedule_crash(1, 1);
+        let mut saw_degraded = false;
+        for _ in 0..40 {
+            s.submit_read(ReadKind::TopK(3));
+            let rep = s.turn().unwrap();
+            if rep.mode == ServeMode::Degraded {
+                saw_degraded = true;
+            }
+            if saw_degraded && rep.mode == ServeMode::Normal {
+                break;
+            }
+        }
+        assert!(
+            saw_degraded,
+            "crash must push the server into degraded mode"
+        );
+        assert_eq!(
+            s.mode(),
+            ServeMode::Normal,
+            "recovery must bring the server back to normal"
+        );
+        assert!(s.stats().degraded_entries >= 1);
+        assert!(s.stats().degraded_turns >= 1);
+    }
+
+    #[test]
+    fn unmeetable_deadline_is_shed_at_admission() {
+        let mut s = server(60, 3, ServeConfig::default());
+        s.submit_read(ReadKind::TopK(1));
+        s.turn().unwrap(); // measure a turn duration
+        let t = s.submit_read_with_deadline(ReadKind::TopK(1), 0.001);
+        assert_eq!(t.admission, Admission::Shed);
+        assert!(s.stats().reads_shed_deadline >= 1);
+    }
+
+    #[test]
+    fn metrics_merge_engine_ingest_and_serve_families() {
+        let mut s = server(60, 3, ServeConfig::default());
+        s.submit_read(ReadKind::TopK(3));
+        let ids: Vec<u32> = s.engine().graph().vertices().collect();
+        s.submit_write(UpdateOp::AddEdge(ids[0], ids[30], 2));
+        s.drain(64).unwrap();
+        let r = s.metrics_registry();
+        assert!(r.counter_value("aa_rc_steps_total", &[]) > 0);
+        assert!(
+            r.counter_value(
+                "aa_serve_requests_total",
+                &[("class", "read"), ("outcome", "served")]
+            ) >= 1
+        );
+        assert!(r.counter_value("aa_snapshot_publications_total", &[("kind", "fresh")]) >= 1);
+        assert!(r.gauge_value("aa_serve_read_latency_p50_us", &[]).is_some());
+        assert_eq!(r.gauge_value("aa_serve_mode", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.5), 2.0);
+        assert_eq!(quantile(&v, 0.99), 4.0);
+        assert_eq!(quantile(&v, 0.25), 1.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

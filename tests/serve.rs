@@ -1,0 +1,343 @@
+//! Serving-layer integration tests: torn-read regression at every superstep
+//! boundary (including mid-recovery), the chaos-under-load soak the issue's
+//! acceptance criteria name, allocation-stable snapshot publication, and
+//! end-to-end backpressure behavior under read overload.
+
+use aa_core::{AnytimeEngine, EngineConfig, FaultConfig, ProcFaultConfig, SnapshotMeta};
+use aa_graph::{algo, generators};
+use aa_ingest::Admission;
+use aa_serve::{ClientOp, LoadGen, ReadKind, ReadOutcome, ServeConfig, Server, WorkloadConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn assert_oracle(e: &AnytimeEngine) {
+    let dense = e.distances_dense();
+    let oracle = algo::apsp_dijkstra(e.graph());
+    for v in e.graph().vertices() {
+        assert_eq!(dense[v as usize], oracle[v as usize], "row {v}");
+    }
+}
+
+/// The frame-level consistency contract every served response must satisfy:
+/// a frame never claims freshness while rows are in flight or ranks are
+/// down, freshness means a zero error bound, staleness means a finite
+/// positive one, and the quiescent-row fraction is a real fraction.
+fn assert_meta_consistent(meta: &SnapshotMeta) {
+    assert!(
+        !(meta.fresh && meta.outstanding_rows > 0),
+        "frame claims fresh with {} rows in flight (epoch {})",
+        meta.outstanding_rows,
+        meta.epoch
+    );
+    assert!(
+        !(meta.fresh && meta.down_ranks > 0),
+        "frame claims fresh with {} ranks down (epoch {})",
+        meta.down_ranks,
+        meta.epoch
+    );
+    assert!(
+        meta.max_overestimate_bound.is_finite(),
+        "error bound must be finite, got {}",
+        meta.max_overestimate_bound
+    );
+    if meta.fresh {
+        assert!(meta.converged);
+        assert!(
+            meta.max_overestimate_bound.abs() < f64::EPSILON,
+            "fresh frame must have a zero bound, got {}",
+            meta.max_overestimate_bound
+        );
+    } else {
+        assert!(
+            meta.max_overestimate_bound > 0.0,
+            "stale frame must carry a positive bound"
+        );
+    }
+    assert!(
+        (0.0..=1.0).contains(&meta.quiescent_row_fraction),
+        "quiescent fraction {} out of range",
+        meta.quiescent_row_fraction
+    );
+}
+
+/// A reader turning at *every* superstep boundary — including the recovery
+/// ladder after a mid-run crash on lossy links — never observes a torn
+/// frame: epochs are monotone, freshness never coexists with in-flight
+/// rows, and every bound stays finite.
+#[test]
+fn torn_read_regression_at_every_superstep_boundary() {
+    let graph = generators::barabasi_albert(80, 2, 2, 19);
+    let engine = AnytimeEngine::new(
+        graph,
+        EngineConfig {
+            num_procs: 4,
+            seed: 19,
+            fault: Some(FaultConfig {
+                p_drop: 0.2,
+                ..Default::default()
+            }),
+            proc_fault: Some(ProcFaultConfig {
+                crashes: vec![(5, 2)],
+                stragglers: vec![],
+            }),
+            ..Default::default()
+        },
+    );
+    let mut s = Server::new(engine, ServeConfig::default()).unwrap();
+
+    let mut last_epoch = 0u64;
+    let mut served = 0usize;
+    let mut saw_unfresh = false;
+    let mut saw_down = false;
+    for turn in 0..200 {
+        // One read per superstep boundary: the reader races every rc_step,
+        // the crash at step 5, and the whole recovery ladder.
+        s.submit_read(ReadKind::TopK(5));
+        let rep = s.turn().unwrap();
+        for out in &rep.served {
+            if let ReadOutcome::Served { meta, .. } = out {
+                assert_meta_consistent(meta);
+                assert!(
+                    meta.epoch >= last_epoch,
+                    "epoch went backwards at turn {turn}: {} < {last_epoch}",
+                    meta.epoch
+                );
+                last_epoch = meta.epoch;
+                saw_unfresh |= !meta.fresh;
+                saw_down |= meta.down_ranks > 0;
+                served += 1;
+            }
+        }
+        if s.engine().is_converged() && s.read_queue_depth() == 0 {
+            break;
+        }
+    }
+    assert!(served > 0, "no reads were served");
+    assert!(saw_unfresh, "the race never caught an unconverged frame");
+    assert!(
+        saw_down || !s.engine().recovery_log().is_empty(),
+        "the crash left no visible trace"
+    );
+    s.drain(128).unwrap();
+    assert!(s.engine().is_converged());
+    assert_oracle(s.engine());
+}
+
+/// The issue's acceptance soak: drop-rate 0.2 links plus a fail-stop crash
+/// injected mid-run, under sustained mixed read/write traffic. Every served
+/// snapshot must be epoch-consistent, degraded-mode responses must carry
+/// finite staleness/error bounds, and zero requests hang — every admitted
+/// read resolves (served or shed) by the final drain.
+#[test]
+fn chaos_under_load_soak() {
+    let graph = generators::barabasi_albert(90, 2, 3, 47);
+    let engine = AnytimeEngine::new(
+        graph,
+        EngineConfig {
+            num_procs: 5,
+            seed: 47,
+            fault: Some(FaultConfig {
+                p_drop: 0.2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    let mut s = Server::new(engine, ServeConfig::default()).unwrap();
+    let mut gen = LoadGen::new(WorkloadConfig {
+        seed: 0xC4A05,
+        offered_per_turn: 24,
+        read_fraction: 0.75,
+        top_k: 6,
+    });
+
+    let mut admitted: BTreeSet<u64> = BTreeSet::new();
+    let mut resolved: BTreeSet<u64> = BTreeSet::new();
+    let mut last_epoch = 0u64;
+    let mut degraded_served = 0usize;
+
+    let note = |outcomes: &[ReadOutcome],
+                resolved: &mut BTreeSet<u64>,
+                last_epoch: &mut u64,
+                degraded_served: &mut usize| {
+        for out in outcomes {
+            assert!(
+                resolved.insert(out.id()),
+                "read {} resolved twice",
+                out.id()
+            );
+            if let ReadOutcome::Served { meta, degraded, .. } = out {
+                assert_meta_consistent(meta);
+                assert!(meta.epoch >= *last_epoch, "epoch regressed mid-soak");
+                *last_epoch = meta.epoch;
+                if *degraded {
+                    // Degraded service must still be bounded, never torn.
+                    assert!(meta.max_overestimate_bound.is_finite());
+                    assert!(!meta.fresh || meta.outstanding_rows == 0);
+                    *degraded_served += 1;
+                }
+            }
+        }
+    };
+
+    for turn in 0..60u64 {
+        if turn == 12 {
+            // Fail-stop crash injected mid-run, while traffic keeps coming.
+            let at = s.engine().rc_steps() as u64 + 2;
+            s.engine_mut().schedule_crash(at, 1);
+        }
+        for op in gen.turn_ops(s.engine()) {
+            match op {
+                ClientOp::Read(kind) => {
+                    let t = s.submit_read(kind);
+                    match t.admission {
+                        Admission::Accepted | Admission::Throttled { .. } => {
+                            admitted.insert(t.id);
+                        }
+                        Admission::Shed => {
+                            // Resolved at admission: an explicit answer
+                            // within the deadline, not a hang.
+                        }
+                    }
+                }
+                ClientOp::Write(op) => {
+                    // Every write gets an explicit outcome too.
+                    s.submit_write(op);
+                }
+            }
+        }
+        let rep = s.turn().unwrap();
+        note(
+            &rep.served,
+            &mut resolved,
+            &mut last_epoch,
+            &mut degraded_served,
+        );
+    }
+    let tail = s.drain(512).unwrap();
+    note(&tail, &mut resolved, &mut last_epoch, &mut degraded_served);
+
+    // Zero hangs: everything admitted resolved exactly once.
+    assert_eq!(
+        admitted, resolved,
+        "admitted reads left unresolved after the drain"
+    );
+    let stats = s.stats();
+    assert_eq!(
+        stats.reads_submitted,
+        stats.reads_resolved(),
+        "submitted = served + shed must balance after the drain"
+    );
+    assert!(stats.reads_served > 0);
+    assert!(
+        !s.engine().recovery_log().is_empty(),
+        "the injected crash must have been detected and recovered"
+    );
+    assert!(
+        stats.degraded_turns > 0 && degraded_served > 0,
+        "recovery must be visible as degraded (stale-but-bounded) service"
+    );
+
+    // After the storm the engine is exact again.
+    assert!(s.engine().is_converged(), "soak must converge after drain");
+    assert_oracle(s.engine());
+    let frame = s.frame();
+    assert!(frame.meta.fresh);
+    assert!(frame.meta.max_overestimate_bound.abs() < f64::EPSILON);
+}
+
+/// Satellite 2: repeated reads of an unchanged engine reuse the same
+/// published frame allocation (same `Arc`), asserted through both the
+/// engine counter pair and the metrics registry.
+#[test]
+fn snapshot_publication_is_allocation_stable_across_reads() {
+    let graph = generators::barabasi_albert(60, 2, 1, 7);
+    let engine = AnytimeEngine::new(
+        graph,
+        EngineConfig {
+            num_procs: 3,
+            ..Default::default()
+        },
+    );
+    let mut s = Server::new(engine, ServeConfig::default()).unwrap();
+    s.drain(64).unwrap();
+
+    let a = s.frame();
+    for _ in 0..10 {
+        s.submit_read(ReadKind::TopK(3));
+        s.turn().unwrap();
+    }
+    let b = s.frame();
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "ten read-only turns must not re-gather or re-allocate the frame"
+    );
+    let (fresh, reused) = s.engine().snapshot_publication_counts();
+    assert!(fresh >= 1);
+    assert!(reused >= 10, "expected >= 10 reuses, got {reused}");
+    let r = s.metrics_registry();
+    assert_eq!(
+        r.counter_value("aa_snapshot_publications_total", &[("kind", "reused")]),
+        reused
+    );
+    assert_eq!(
+        r.counter_value("aa_snapshot_publications_total", &[("kind", "fresh")]),
+        fresh
+    );
+
+    // A real mutation invalidates the cached frame.
+    let ids: Vec<u32> = s.engine().graph().vertices().collect();
+    s.engine_mut().add_edge(ids[0], ids[40], 3);
+    let c = s.frame();
+    assert!(!Arc::ptr_eq(&b, &c), "mutation must invalidate the frame");
+}
+
+/// Read overload past the queue watermarks produces the full backpressure
+/// ladder — Accepted below the high watermark, Throttled with a usable
+/// retry hint above it, Shed at capacity — and every admitted read still
+/// resolves.
+#[test]
+fn read_overload_walks_the_backpressure_ladder() {
+    let graph = generators::barabasi_albert(60, 2, 1, 7);
+    let engine = AnytimeEngine::new(
+        graph,
+        EngineConfig {
+            num_procs: 3,
+            ..Default::default()
+        },
+    );
+    let cfg = ServeConfig {
+        read_queue_cap: 32,
+        read_queue_hwm: 16,
+        read_tokens_per_turn: 8,
+        read_burst: 8,
+        ..Default::default()
+    };
+    let mut s = Server::new(engine, cfg).unwrap();
+    s.drain(64).unwrap();
+
+    let mut accepted = 0;
+    let mut throttled = 0;
+    let mut shed = 0;
+    let mut max_retry = 0u64;
+    for _ in 0..48 {
+        match s.submit_read(ReadKind::TopK(2)).admission {
+            Admission::Accepted => accepted += 1,
+            Admission::Throttled { retry_after } => {
+                throttled += 1;
+                max_retry = max_retry.max(retry_after);
+            }
+            Admission::Shed => shed += 1,
+        }
+    }
+    assert_eq!(accepted, 16, "up to the hwm");
+    assert_eq!(throttled, 16, "hwm..cap");
+    assert_eq!(shed, 16, "past cap");
+    assert!(max_retry >= 1, "retry hint must tell the client how long");
+
+    let out = s.drain(64).unwrap();
+    assert_eq!(out.len(), 32, "all admitted reads resolve");
+    assert!(out
+        .iter()
+        .all(|o| matches!(o, ReadOutcome::Served { .. } | ReadOutcome::Shed { .. })));
+}
