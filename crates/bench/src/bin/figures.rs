@@ -12,7 +12,9 @@
 //! same fraction of |V| (the paper-scale size is shown alongside).
 
 use aa_bench::experiments::{self, AnytimeRow, Fig4Row, Fig8Row, ScalingRow, SingleStepRow};
-use aa_bench::ingest::{ingest_throughput, rows_to_json, IngestRow};
+use aa_bench::ingest::{
+    durable_overhead, ingest_throughput, overhead_to_json, rows_to_json, IngestRow,
+};
 use aa_bench::serve::{serve_load, serve_rows_to_json, ServeRow};
 use aa_bench::workload::ExperimentParams;
 
@@ -299,8 +301,34 @@ fn run_ingest(params: &ExperimentParams, json_out: Option<&str>) {
         }
     };
     print_ingest(&rows);
+    // Durability tax: the same schedule at batch 64 with a real on-disk WAL
+    // (group commit per flush + final checkpoint) vs plain. The 2x budget
+    // is the durability layer's acceptance bar.
+    let tax = match durable_overhead(params, 64, updates) {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("durable overhead experiment failed: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "durable WAL @batch=64: plain {:.3}s, durable {:.3}s -> {:.2}x tax \
+         ({} commits, {} B on disk)",
+        tax.plain_wall_s, tax.durable_wall_s, tax.overhead, tax.commits, tax.disk_bytes
+    );
+    assert!(
+        tax.overhead <= 2.0,
+        "durability tax {:.2}x exceeds the 2x budget",
+        tax.overhead
+    );
     if let Some(path) = json_out {
-        if let Err(e) = std::fs::write(path, rows_to_json(&rows)) {
+        let json = format!(
+            "{{\n\"sweep\": {},\n\"durable_overhead\": {}\n}}",
+            rows_to_json(&rows),
+            overhead_to_json(&tax)
+        );
+        if let Err(e) = std::fs::write(path, json) {
             eprintln!("cannot write {path}: {e}");
             #[allow(clippy::exit)]
             std::process::exit(1);

@@ -209,6 +209,149 @@ pub fn ingest_throughput(
     Ok(rows)
 }
 
+/// Wall-clock cost of write-ahead durability on the ingest path.
+///
+/// Unlike [`IngestRow`] this is measured in **host** seconds: fsyncs happen
+/// on the benchmark host, not inside the simulated cluster, so virtual
+/// cluster time cannot see them. The same churn schedule is served twice at
+/// the same batch size — once plain, once logging every enqueued op to a
+/// real on-disk WAL with one group commit (one fsync) per flush and a final
+/// checkpoint — and the ratio of wall times is the durability tax.
+#[derive(Debug, Clone)]
+pub struct DurableOverheadRow {
+    /// Drain batch size (= ops amortized per group commit).
+    pub batch: usize,
+    /// Updates pushed through the pipeline.
+    pub updates: usize,
+    /// Host seconds for the plain run.
+    pub plain_wall_s: f64,
+    /// Host seconds for the durable run (WAL + final checkpoint).
+    pub durable_wall_s: f64,
+    /// `durable_wall_s / plain_wall_s`.
+    pub overhead: f64,
+    /// Group commits issued (one fsync each).
+    pub commits: u64,
+    /// Bytes on disk at the end (WAL segments + checkpoint).
+    pub disk_bytes: u64,
+}
+
+/// One serving pass over `ops`; with `durable` set, every enqueued op is
+/// WAL-logged and group-committed before the flush that applies it (the
+/// serve layer's commit-before-apply ordering). Returns host wall seconds
+/// and the number of commits issued.
+fn churn_pass(
+    base: &Graph,
+    params: &ExperimentParams,
+    ops: &[UpdateOp],
+    batch: usize,
+    mut durable: Option<(&mut aa_durable::DurableLog, &mut aa_durable::DiskStorage)>,
+) -> Result<(f64, u64), String> {
+    let config = EngineConfig {
+        num_procs: params.procs,
+        seed: params.seed,
+        compute_scale: params.compute_scale,
+        ..Default::default()
+    };
+    let mut engine = AnytimeEngine::new(base.clone(), config);
+    engine.initialize();
+    let limit = 4 * params.procs + 32;
+    engine.run_to_convergence(limit);
+    let cap = ops.len().max(16);
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        queue_cap: cap,
+        high_watermark: cap,
+        policy: DrainPolicy::SizeTriggered(batch),
+        ..Default::default()
+    })?;
+    let mut commits = 0u64;
+    let t0 = std::time::Instant::now();
+    for op in ops {
+        let outcome = pipeline.push(&engine, op.clone())?;
+        if outcome.enqueued {
+            if let Some((log, _)) = durable.as_mut() {
+                log.append(op);
+            }
+        }
+        if pipeline.pending_ops() >= batch {
+            if let Some((log, storage)) = durable.as_mut() {
+                log.commit(&mut **storage)
+                    .map_err(|e| format!("wal commit: {e}"))?;
+                commits += 1;
+            }
+            if pipeline.flush(&mut engine)?.is_some() {
+                engine.run_to_convergence(limit);
+            }
+        }
+    }
+    if let Some((log, storage)) = durable.as_mut() {
+        log.commit(&mut **storage)
+            .map_err(|e| format!("wal commit: {e}"))?;
+        commits += 1;
+    }
+    if pipeline.flush(&mut engine)?.is_some() {
+        engine.run_to_convergence(limit);
+    }
+    if let Some((log, storage)) = durable.as_mut() {
+        log.checkpoint(&mut **storage, &engine)
+            .map_err(|e| format!("checkpoint: {e}"))?;
+    }
+    Ok((t0.elapsed().as_secs_f64(), commits))
+}
+
+/// Measures the durability tax at one batch size: plain vs WAL-logged runs
+/// of the same churn schedule, the durable one against a real `DiskStorage`
+/// in a scratch directory (removed afterwards).
+pub fn durable_overhead(
+    params: &ExperimentParams,
+    batch: usize,
+    updates: usize,
+) -> Result<DurableOverheadRow, String> {
+    let base = ingest_base_graph(params);
+    let ops = churn_ops(&base, updates, params.seed);
+    let (plain_wall_s, _) = churn_pass(&base, params, &ops, batch, None)?;
+    let dir = std::env::temp_dir().join(format!(
+        "aa-bench-wal-{}-{:x}",
+        std::process::id(),
+        params.seed
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut storage =
+        aa_durable::DiskStorage::open(&dir).map_err(|e| format!("open {}: {e}", dir.display()))?;
+    let mut log =
+        aa_durable::DurableLog::open(&mut storage, 1, aa_durable::DurabilityConfig::default())
+            .map_err(|e| format!("open wal: {e}"))?;
+    let (durable_wall_s, commits) =
+        churn_pass(&base, params, &ops, batch, Some((&mut log, &mut storage)))?;
+    let disk_bytes = std::fs::read_dir(&dir)
+        .map(|it| {
+            it.flatten()
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(DurableOverheadRow {
+        batch,
+        updates: ops.len(),
+        plain_wall_s,
+        durable_wall_s,
+        overhead: durable_wall_s / plain_wall_s.max(1e-9),
+        commits,
+        disk_bytes,
+    })
+}
+
+/// Serializes the durability-tax row as a JSON object.
+pub fn overhead_to_json(r: &DurableOverheadRow) -> String {
+    format!(
+        "{{\"batch\": {}, \"updates\": {}, \"plain_wall_s\": {:.6}, \
+         \"durable_wall_s\": {:.6}, \"overhead\": {:.4}, \"commits\": {}, \
+         \"disk_bytes\": {}}}",
+        r.batch, r.updates, r.plain_wall_s, r.durable_wall_s, r.overhead, r.commits, r.disk_bytes
+    )
+}
+
 /// Serializes the sweep as a JSON array (the CI smoke artifact).
 pub fn rows_to_json(rows: &[IngestRow]) -> String {
     let mut out = String::from("[\n");
@@ -299,6 +442,28 @@ mod tests {
         // release-only (same convention as the figure tests).
         if !cfg!(debug_assertions) {
             assert!(speedup >= 5.0, "expected >= 5x, got {speedup:.2}x");
+        }
+    }
+
+    #[test]
+    fn durable_wal_overhead_within_budget() {
+        let params = tiny_params();
+        let row = durable_overhead(&params, 64, 96).unwrap();
+        assert_eq!(row.batch, 64);
+        assert!(row.commits >= 1, "at least one group commit");
+        assert!(row.disk_bytes > 0, "WAL + checkpoint must hit disk");
+        assert!(row.plain_wall_s > 0.0 && row.durable_wall_s > 0.0);
+        let json = overhead_to_json(&row);
+        assert!(json.contains("\"overhead\""));
+        // The acceptance bar: durable batch-64 ingest within 2x of plain.
+        // Wall-clock noise in debug builds can spike the ratio, so the hard
+        // threshold is release-only (same convention as the speedup test).
+        if !cfg!(debug_assertions) {
+            assert!(
+                row.overhead <= 2.0,
+                "durability tax {:.2}x exceeds the 2x budget",
+                row.overhead
+            );
         }
     }
 

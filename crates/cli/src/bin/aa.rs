@@ -49,6 +49,9 @@ usage:
               [--seed S]          (workload seed)
               [--drop-rate P] [--crash-at STEP:RANK]... [--straggler RANK:SCALE]...
               [--metrics-out JSON]
+              [--data-dir DIR]    (crash-consistent: recover, WAL, checkpoints)
+              [--checkpoint-every N] (durable checkpoint cadence in turns)
+              [--verify-recovery] (after shutdown, prove a restart replays exactly)
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -261,6 +264,13 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 opts.stragglers.push((rank, scale));
             }
             "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")
+                    .parse()
+                    .map_err(|_| "invalid --checkpoint-every")?
+            }
+            "--verify-recovery" => opts.verify_recovery = true,
             other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),
         }

@@ -4,6 +4,7 @@ use crate::{load_graph, save_graph, Format};
 use aa_core::{
     AdditionStrategy, AnytimeEngine, EngineConfig, FaultConfig, ProcFaultConfig, SupervisorConfig,
 };
+use aa_durable::atomic_write_file;
 use aa_partition::{
     quality, BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner,
     RoundRobinPartitioner,
@@ -309,13 +310,13 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     }
 
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, engine.metrics_registry().to_json())
+        atomic_write_file(path, engine.metrics_registry().to_json().as_bytes())
             .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
         out.push_str(&format!("metrics written to {}\n", path.display()));
     }
     if let Some(path) = &opts.progress_out {
         let samples = engine.progress_samples();
-        std::fs::write(path, aa_core::encode_jsonl(samples))
+        atomic_write_file(path, aa_core::encode_jsonl(samples).as_bytes())
             .map_err(|e| format!("cannot write progress {}: {e}", path.display()))?;
         out.push_str(&format!(
             "progress probe ({} samples) written to {}\n",
@@ -325,7 +326,7 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     }
     if let Some(path) = &opts.spans_out {
         let spans = engine.spans();
-        std::fs::write(path, spans.to_jsonl())
+        atomic_write_file(path, spans.to_jsonl().as_bytes())
             .map_err(|e| format!("cannot write spans {}: {e}", path.display()))?;
         out.push_str(&format!(
             "phase spans ({} records) written to {}\n",
@@ -334,11 +335,14 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
         ));
     }
     if let Some(path) = &opts.save_checkpoint {
-        let mut file = std::fs::File::create(path)
-            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        // Buffer then publish atomically: a crash mid-save must never leave
+        // a torn checkpoint where a good one (or nothing) should be.
+        let mut bytes = Vec::new();
         engine
-            .save_checkpoint(&mut file)
-            .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+            .save_checkpoint(&mut bytes)
+            .map_err(|e| format!("cannot encode checkpoint: {e}"))?;
+        atomic_write_file(path, &bytes)
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
         out.push_str(&format!("checkpoint written to {}\n", path.display()));
     }
     Ok(out)
@@ -498,7 +502,7 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
     if let Some(path) = &opts.metrics_out {
         let mut registry = engine.metrics_registry();
         registry.merge(&pipeline.metrics_registry());
-        std::fs::write(path, registry.to_json())
+        atomic_write_file(path, registry.to_json().as_bytes())
             .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
         out.push_str(&format!("metrics written to {}\n", path.display()));
     }
@@ -534,6 +538,14 @@ pub struct ServeOpts {
     pub stragglers: Vec<(usize, f64)>,
     /// Optional JSON file for the merged engine + ingest + serve metrics.
     pub metrics_out: Option<PathBuf>,
+    /// Durability directory: recover from it on startup, WAL every accepted
+    /// write, checkpoint periodically and on shutdown. `None` = in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// Take a durable checkpoint every N turns (0 = only on shutdown).
+    pub checkpoint_every: usize,
+    /// After shutdown, re-run recovery against the data dir and verify the
+    /// restarted engine reproduces the served ranking exactly.
+    pub verify_recovery: bool,
 }
 
 impl Default for ServeOpts {
@@ -552,6 +564,9 @@ impl Default for ServeOpts {
             crash_at: Vec::new(),
             stragglers: Vec::new(),
             metrics_out: None,
+            data_dir: None,
+            checkpoint_every: 16,
+            verify_recovery: false,
         }
     }
 }
@@ -603,22 +618,76 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
             crashes: opts.crash_at.clone(),
             stragglers: opts.stragglers.clone(),
         });
+    if opts.verify_recovery && opts.data_dir.is_none() {
+        return Err("--verify-recovery requires --data-dir".to_string());
+    }
     let config = EngineConfig {
         num_procs: opts.procs,
         fault,
         proc_fault,
         ..Default::default()
     };
+    let serve_config = aa_serve::ServeConfig {
+        default_deadline_us: opts.deadline_us,
+        ..Default::default()
+    };
     let graph = load_graph(&opts.input, opts.format)?;
-    let mut engine = AnytimeEngine::new(graph, config);
+    let mut engine = AnytimeEngine::new(graph, config.clone());
     engine.initialize();
-    let mut server = aa_serve::Server::new(
-        engine,
-        aa_serve::ServeConfig {
-            default_deadline_us: opts.deadline_us,
-            ..Default::default()
-        },
-    )?;
+    let mut out = String::new();
+    let mut recovery_metrics = None;
+    let mut server = if let Some(dir) = &opts.data_dir {
+        // Recover whatever a previous (possibly killed) run left behind,
+        // then reopen the WAL at the recovered sequence.
+        let t0 = std::time::Instant::now();
+        let mut storage = aa_durable::DiskStorage::open(dir)
+            .map_err(|e| format!("cannot open data dir {}: {e}", dir.display()))?;
+        let recovered = aa_durable::recover(&mut storage, engine, serve_config.ingest)?;
+        let r = &recovered.report;
+        out.push_str(&format!(
+            "recovery: checkpoint seq {} ({}), {} records replayed, {} uncommitted dropped, \
+             {} frames quarantined ({} B), next seq {}\n",
+            r.checkpoint_seq,
+            if r.used_checkpoint {
+                "loaded"
+            } else {
+                "none — cold start"
+            },
+            r.records_replayed,
+            r.records_uncommitted,
+            r.frames_quarantined,
+            r.bytes_quarantined,
+            recovered.next_seq
+        ));
+        for note in &r.notes {
+            out.push_str(&format!("  recovery note: {note}\n"));
+        }
+        let mut metrics = recovered.metrics;
+        metrics.set_help(
+            "aa_recovery_duration_us",
+            "Wall-clock duration of the last startup recovery",
+        );
+        metrics.set_gauge(
+            "aa_recovery_duration_us",
+            &[],
+            t0.elapsed().as_micros() as f64,
+        );
+        recovery_metrics = Some(metrics);
+        let log = aa_durable::DurableLog::open(
+            &mut storage,
+            recovered.next_seq,
+            aa_durable::DurabilityConfig {
+                checkpoint_every_turns: opts.checkpoint_every,
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("cannot open WAL in {}: {e}", dir.display()))?;
+        let mut server = aa_serve::Server::new(recovered.engine, serve_config)?;
+        server.attach_durability(Box::new(storage), log);
+        server
+    } else {
+        aa_serve::Server::new(engine, serve_config)?
+    };
     let mut gen = aa_serve::LoadGen::new(aa_serve::WorkloadConfig {
         seed: opts.seed,
         offered_per_turn: opts.offered,
@@ -626,7 +695,6 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
         top_k: opts.top,
     });
 
-    let mut out = String::new();
     out.push_str(&format!(
         "graph: {} vertices, {} edges — serving {} turns × {} offered ({}% reads)\n",
         server.engine().graph().vertex_count(),
@@ -652,8 +720,16 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
             degraded_turns += 1;
         }
     }
-    // Resolve everything still queued; nothing may hang.
-    server.drain(16 * opts.procs + 256)?;
+    // Resolve everything still queued; nothing may hang. A durable server
+    // additionally commits stragglers and takes a final covering checkpoint.
+    let drain_turns = 16 * opts.procs + 256;
+    let final_ckpt = if server.is_durable() {
+        let (_, seq) = server.shutdown(drain_turns)?;
+        seq
+    } else {
+        server.drain(drain_turns)?;
+        None
+    };
 
     let stats = server.stats();
     out.push_str(&format!(
@@ -675,6 +751,18 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
         stats.writes_shed_budget,
         stats.writes_rejected
     ));
+    if server.is_durable() {
+        out.push_str(&format!(
+            "durability: {} logged, {} aborted, {} commit errors; committed seq {}, \
+             {} checkpoints (final covers {})\n",
+            stats.writes_logged,
+            stats.writes_aborted,
+            stats.wal_commit_errors,
+            server.durable_committed_seq().unwrap_or(0),
+            stats.checkpoints_taken,
+            final_ckpt.map_or("none".to_string(), |s| s.to_string())
+        ));
+    }
     if let Some((p50, p99)) = server.latency_quantiles() {
         out.push_str(&format!(
             "read latency: p50 {:.1} µs, p99 {:.1} µs (virtual); shed rate {:.4}\n",
@@ -702,8 +790,48 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
     for (v, c) in frame.snapshot.top_k(opts.top) {
         out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
     }
+    if opts.verify_recovery {
+        let dir = opts
+            .data_dir
+            .as_ref()
+            .ok_or("--verify-recovery requires --data-dir")?;
+        // Simulated restart: recover a fresh engine from disk alone and
+        // check it reproduces the ranking the live server ended on.
+        let graph = load_graph(&opts.input, opts.format)?;
+        let mut base = AnytimeEngine::new(graph, config);
+        base.initialize();
+        let mut storage = aa_durable::DiskStorage::open(dir)
+            .map_err(|e| format!("cannot reopen data dir {}: {e}", dir.display()))?;
+        let recovered = aa_durable::recover(&mut storage, base, server.config().ingest)?;
+        let mut eng = recovered.engine;
+        eng.run_to_convergence(16 * opts.procs + 256);
+        let got = eng.snapshot();
+        let max_diff = frame
+            .snapshot
+            .closeness
+            .iter()
+            .zip(got.closeness.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        if frame.snapshot.closeness.len() != got.closeness.len() || max_diff > 1e-9 {
+            return Err(format!(
+                "recovery verification FAILED: restarted engine diverges (max |Δ| {max_diff:.3e}, \
+                 {} vs {} vertices)",
+                frame.snapshot.closeness.len(),
+                got.closeness.len()
+            ));
+        }
+        out.push_str(&format!(
+            "recovery verified: restart from {} reproduces the served ranking (max |Δ| {max_diff:.3e})\n",
+            dir.display()
+        ));
+    }
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, server.metrics_registry().to_json())
+        let mut registry = server.metrics_registry();
+        if let Some(rm) = &recovery_metrics {
+            registry.merge(rm);
+        }
+        atomic_write_file(path, registry.to_json().as_bytes())
             .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
         out.push_str(&format!("metrics written to {}\n", path.display()));
     }
@@ -1088,6 +1216,53 @@ mod tests {
             report.contains("fresh true"),
             "drain must end fresh:\n{report}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_durable_recovers_across_runs_and_verifies() {
+        let dir = temp_dir("serve_durable");
+        let input = write_test_graph(&dir);
+        let data = dir.join("data");
+        // A prior aborted run may have left durable state behind; the first
+        // run below must observe a cold start.
+        std::fs::remove_dir_all(&data).ok();
+        let opts = ServeOpts {
+            input,
+            procs: 4,
+            top: 3,
+            turns: 12,
+            offered: 16,
+            read_fraction: 0.5,
+            data_dir: Some(data.clone()),
+            checkpoint_every: 4,
+            verify_recovery: true,
+            ..Default::default()
+        };
+        let first = serve_cmd(&opts).unwrap();
+        assert!(
+            first.contains("recovery: checkpoint seq 0 (none — cold start)"),
+            "first run must cold-start:\n{first}"
+        );
+        assert!(first.contains("durability:"), "{first}");
+        assert!(
+            first.contains("recovery verified"),
+            "verification missing:\n{first}"
+        );
+        // Second run recovers the first run's state (its final checkpoint),
+        // keeps serving, and still verifies.
+        let second = serve_cmd(&ServeOpts { seed: 43, ..opts }).unwrap();
+        assert!(
+            second.contains("(loaded)"),
+            "second run must load the first run's checkpoint:\n{second}"
+        );
+        assert!(second.contains("recovery verified"), "{second}");
+        let wal_files = std::fs::read_dir(&data)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".aawl"))
+            .count();
+        assert!(wal_files >= 1, "a WAL segment must exist");
         std::fs::remove_dir_all(&dir).ok();
     }
 

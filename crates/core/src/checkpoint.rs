@@ -10,11 +10,18 @@
 //! marks every row dirty and downgrades all sends to full rows, which is
 //! always safe and costs one re-exchange.
 //!
-//! Integrity: the byte stream ends in a CRC32 (IEEE) footer over the body
-//! (everything between the version field and the footer). Truncated,
-//! bit-flipped or otherwise corrupted checkpoints are rejected with an
-//! [`io::ErrorKind::InvalidData`] error instead of restoring a silently
-//! wrong analysis state.
+//! Integrity: the header declares the body length, and the byte stream ends
+//! in a CRC32 (IEEE) footer over the body (everything between the length
+//! field and the footer). A short read is reported as a clean
+//! [`io::ErrorKind::InvalidData`] error carrying the byte offset where the
+//! stream ended and how many bytes the header promised; bit flips and other
+//! corruption trip the checksum. Either way the restore path rejects the
+//! blob instead of restoring a silently wrong analysis state.
+//!
+//! The framing helpers ([`write_framed`], [`read_framed`], [`crc32`]) are
+//! public: the supervisor's per-rank checkpoints and the `aa-durable`
+//! crash-consistency layer (write-ahead log + on-disk checkpoints) reuse
+//! the same envelope with their own magic/version pairs.
 
 use crate::config::EngineConfig;
 use crate::engine::AnytimeEngine;
@@ -26,7 +33,7 @@ use aa_runtime::SimCluster;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"AACP";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// CRC32 (IEEE 802.3, reflected polynomial) lookup table.
 const CRC_TABLE: [u32; 256] = {
@@ -50,7 +57,7 @@ const CRC_TABLE: [u32; 256] = {
 };
 
 /// Standard CRC32 (the zlib/PNG/Ethernet checksum).
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
@@ -93,28 +100,36 @@ pub(crate) fn le_u32(b: &[u8], what: &str) -> io::Result<u32> {
     Ok(u32::from_le_bytes(arr))
 }
 
-/// Frames `body` in the v2 checkpoint envelope: magic, version, body, CRC32
-/// footer over the body. Shared by the whole-engine checkpoint and the
-/// supervisor's per-rank checkpoints.
-pub(crate) fn write_framed(magic: &[u8; 4], version: u32, body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(body.len() + 12);
+/// Bytes of framing overhead around a body: magic (4), version (4),
+/// declared body length (8), CRC32 footer (4).
+pub const FRAME_OVERHEAD: usize = 20;
+
+/// Frames `body` in the v3 checkpoint envelope: magic, version, declared
+/// body length, body, CRC32 footer over the body. Shared by the
+/// whole-engine checkpoint, the supervisor's per-rank checkpoints, and the
+/// `aa-durable` on-disk checkpoint wrapper.
+pub fn write_framed(magic: &[u8; 4], version: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + FRAME_OVERHEAD);
     out.extend_from_slice(magic);
     out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
     out.extend_from_slice(body);
     out.extend_from_slice(&crc32(body).to_le_bytes());
     out
 }
 
-/// Unframes a v2-envelope byte stream: checks magic and version, verifies
-/// the CRC32 footer, and returns the body. Truncation, bit flips and wrong
-/// headers all surface as `InvalidData` errors.
-pub(crate) fn read_framed<'a>(
-    bytes: &'a [u8],
-    magic: &[u8; 4],
-    version: u32,
-) -> io::Result<&'a [u8]> {
-    if bytes.len() < 12 {
-        return Err(bad("checkpoint truncated before the integrity footer"));
+/// Unframes a v3-envelope byte stream: checks magic and version, compares
+/// the available bytes against the declared body length, verifies the CRC32
+/// footer, and returns the body. A short read surfaces as a clean
+/// `InvalidData` error naming the byte offset where the stream ended and
+/// the length the header declared; bit flips trip the checksum; wrong
+/// headers are named as such.
+pub fn read_framed<'a>(bytes: &'a [u8], magic: &[u8; 4], version: u32) -> io::Result<&'a [u8]> {
+    if bytes.len() < 16 {
+        return Err(bad(&format!(
+            "checkpoint truncated at byte {}: shorter than the 16-byte header",
+            bytes.len()
+        )));
     }
     if &bytes[..4] != magic {
         return Err(bad("not an anytime-anywhere checkpoint"));
@@ -122,8 +137,29 @@ pub(crate) fn read_framed<'a>(
     if le_u32(&bytes[4..8], "the version header")? != version {
         return Err(bad("unsupported checkpoint version"));
     }
-    let (body, footer) = bytes[8..].split_at(bytes.len() - 12);
-    let stored = le_u32(footer, "the integrity footer")?;
+    let body_len = u64::from_le_bytes(
+        bytes[8..16]
+            .try_into()
+            .map_err(|_| bad("checkpoint truncated inside the length header"))?,
+    ) as usize;
+    let need = body_len
+        .checked_add(FRAME_OVERHEAD)
+        .ok_or_else(|| bad("declared checkpoint body length overflows"))?;
+    if bytes.len() < need {
+        return Err(bad(&format!(
+            "checkpoint truncated at byte {}: header declares {body_len} body bytes \
+             ({need} total expected)",
+            bytes.len()
+        )));
+    }
+    if bytes.len() > need {
+        return Err(bad(&format!(
+            "checkpoint has {} trailing bytes after the declared frame",
+            bytes.len() - need
+        )));
+    }
+    let body = &bytes[16..16 + body_len];
+    let stored = le_u32(&bytes[16 + body_len..], "the integrity footer")?;
     if crc32(body) != stored {
         return Err(bad("checkpoint integrity checksum mismatch"));
     }
@@ -181,10 +217,7 @@ impl AnytimeEngine {
             }
         }
 
-        w.write_all(MAGIC)?;
-        write_u32(w, VERSION)?;
-        w.write_all(&body)?;
-        write_u32(w, crc32(&body))?;
+        w.write_all(&write_framed(MAGIC, VERSION, &body))?;
         Ok(())
     }
 
@@ -193,27 +226,13 @@ impl AnytimeEngine {
     /// marked dirty and all delta baselines are reset, so the first
     /// recombination steps re-exchange boundary state — always safe.
     pub fn restore_checkpoint<R: Read>(r: &mut R, config: EngineConfig) -> io::Result<Self> {
-        let mut magic = [0u8; 4];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(bad("not an anytime-anywhere checkpoint"));
-        }
-        if read_u32(r)? != VERSION {
-            return Err(bad("unsupported checkpoint version"));
-        }
-        // Verify the CRC32 footer over the whole body before trusting any
-        // of it: truncation and bit flips both surface here as clean
-        // InvalidData errors.
-        let mut rest = Vec::new();
-        r.read_to_end(&mut rest)?;
-        if rest.len() < 4 {
-            return Err(bad("checkpoint truncated before the integrity footer"));
-        }
-        let (body, footer) = rest.split_at(rest.len() - 4);
-        let stored = le_u32(footer, "the integrity footer")?;
-        if crc32(body) != stored {
-            return Err(bad("checkpoint integrity checksum mismatch"));
-        }
+        // Buffer the stream and validate the whole envelope (magic, version,
+        // declared length, CRC32 footer) before trusting any of it: short
+        // reads surface with the byte offset they ended at, bit flips trip
+        // the checksum — both as clean InvalidData errors.
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        let body = read_framed(&bytes, MAGIC, VERSION)?;
         let r = &mut &body[..];
         let rc_steps = read_u64(r)? as usize;
         let procs = read_u32(r)? as usize;
@@ -440,6 +459,49 @@ mod tests {
     }
 
     #[test]
+    fn truncated_mid_frame_reports_byte_offset() {
+        // The short-read regression: a checkpoint cut mid-frame must
+        // round-trip to a clean InvalidData error that names the byte
+        // offset where the stream ended and the declared body length — not
+        // a generic io error or a misleading checksum complaint.
+        let e = {
+            let mut e = engine(40, 3, 17);
+            e.run_to_convergence(48);
+            e
+        };
+        let mut buf = Vec::new();
+        e.save_checkpoint(&mut buf).unwrap();
+        let body_len = buf.len() - FRAME_OVERHEAD;
+        for keep in [16, 17, buf.len() / 4, buf.len() / 2, buf.len() - 1] {
+            let err = AnytimeEngine::restore_checkpoint(&mut &buf[..keep], e.config().clone())
+                .map(|_| ())
+                .unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "cut at {keep}: {err}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("truncated at byte {keep}")),
+                "cut at {keep}: error must carry the byte offset, got {msg:?}"
+            );
+            assert!(
+                msg.contains(&format!("{body_len} body bytes")),
+                "cut at {keep}: error must carry the declared length, got {msg:?}"
+            );
+        }
+        // The same cuts through the shared framing helper (the supervisor's
+        // per-rank blobs and aa-durable's checkpoint wrapper ride on it).
+        let framed = write_framed(b"AATT", 1, b"some body bytes");
+        let err = read_framed(&framed[..framed.len() - 3], b"AATT", 1)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("truncated at byte"));
+        assert!(read_framed(&framed, b"AATT", 1).is_ok());
+    }
+
+    #[test]
     fn crc32_known_answer() {
         // The standard check value for CRC32/IEEE.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
@@ -456,8 +518,9 @@ mod tests {
         let mut buf = Vec::new();
         e.save_checkpoint(&mut buf).unwrap();
 
-        // A bit flip anywhere in the body trips the checksum.
-        for pos in [9, buf.len() / 2, buf.len() - 5] {
+        // A bit flip anywhere in the body trips the checksum (the body
+        // starts at byte 16, after magic + version + declared length).
+        for pos in [17, buf.len() / 2, buf.len() - 5] {
             let mut bad_buf = buf.clone();
             bad_buf[pos] ^= 0x40;
             let err =
@@ -488,7 +551,7 @@ mod tests {
         assert!(err.to_string().contains("version"));
         // Truncations at every kind of boundary give clean errors, never
         // panics or silent acceptance.
-        for keep in [0, 3, 4, 7, 8, 11, buf.len() / 3, buf.len() - 1] {
+        for keep in [0, 3, 4, 7, 8, 11, 15, 16, buf.len() / 3, buf.len() - 1] {
             let err = AnytimeEngine::restore_checkpoint(&mut &buf[..keep], e.config().clone())
                 .map(|_| ())
                 .unwrap_err();

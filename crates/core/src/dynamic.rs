@@ -244,6 +244,25 @@ impl AnytimeEngine {
         inserted.len()
     }
 
+    /// Deletion barrier: bring the engine to a genuinely quiescent fixed
+    /// point before a structural deletion. The support test each deletion
+    /// runs is only exact at a fixed point, and `sync_snapshots_to_rows`
+    /// requires drained dirty/outstanding sets — the `converged` flag alone
+    /// is not enough: a freshly restored checkpoint reports converged while
+    /// every row is marked dirty so the first recombination steps re-exchange
+    /// boundary state.
+    fn deletion_barrier(&mut self) {
+        let quiescent = self.converged
+            && self
+                .procs
+                .iter()
+                .all(|ps| ps.outstanding.is_empty() && ps.dirty.is_empty());
+        if !quiescent {
+            self.run_to_convergence(64 * self.procs.len() + 256);
+            assert!(self.converged, "deletion barrier failed to converge");
+        }
+    }
+
     /// Deletes a batch of edges at once: one deletion barrier, one broadcast
     /// per distinct endpoint, one combined invalidation sweep (a pair is
     /// invalidated if *any* deleted edge supports its current value), one
@@ -257,12 +276,7 @@ impl AnytimeEngine {
         if present.is_empty() {
             return 0;
         }
-        if !self.converged {
-            // The support test below is only exact at a fixed point; refuse
-            // to proceed on a state that did not quiesce.
-            self.run_to_convergence(64 * self.procs.len() + 256);
-            assert!(self.converged, "deletion barrier failed to converge");
-        }
+        self.deletion_barrier();
         // At quiescence every receiver cache equals the current row, but
         // lossy-run retransmit acks can leave delta baselines at older
         // values; align them so the invalidation below resets identical
@@ -327,12 +341,7 @@ impl AnytimeEngine {
         if self.world.edge_weight(u, v).is_none() {
             return false;
         }
-        if !self.converged {
-            // The support test below is only exact at a fixed point; refuse
-            // to proceed on a state that did not quiesce.
-            self.run_to_convergence(64 * self.procs.len() + 256);
-            assert!(self.converged, "deletion barrier failed to converge");
-        }
+        self.deletion_barrier();
         // At quiescence every receiver cache equals the current row, but
         // lossy-run retransmit acks can leave delta baselines at older
         // values; align them so the invalidation below resets identical
@@ -414,12 +423,7 @@ impl AnytimeEngine {
     pub fn delete_vertex(&mut self, v: VertexId) -> Vec<(VertexId, Weight)> {
         assert!(self.initialized, "call initialize() first");
         assert!(self.world.is_alive(v), "vertex {v} is not alive");
-        if !self.converged {
-            // The support test below is only exact at a fixed point; refuse
-            // to proceed on a state that did not quiesce.
-            self.run_to_convergence(64 * self.procs.len() + 256);
-            assert!(self.converged, "deletion barrier failed to converge");
-        }
+        self.deletion_barrier();
         // At quiescence every receiver cache equals the current row, but
         // lossy-run retransmit acks can leave delta baselines at older
         // values; align them so the invalidation below resets identical

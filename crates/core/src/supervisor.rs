@@ -38,10 +38,11 @@ use aa_logp::Phase;
 use aa_runtime::{FailureDetector, RankHealth};
 use std::io;
 
-/// Per-rank checkpoint envelope: magic `AARK`, version 1, CRC32 footer —
+/// Per-rank checkpoint envelope: magic `AARK`, version 2 (declared body
+/// length + CRC32 footer) —
 /// the same framing as the whole-engine `AACP` checkpoint.
 const RANK_MAGIC: &[u8; 4] = b"AARK";
-const RANK_VERSION: u32 = 1;
+const RANK_VERSION: u32 = 2;
 
 /// Modeled cost of serializing/deserializing a checkpoint to the rank's
 /// stable store, in microseconds per byte (~2 GB/s, an NVMe-class medium).

@@ -60,6 +60,10 @@ pub struct PushOutcome {
     /// Predicted id for an admitted [`UpdateOp::AddVertex`]; later ops in
     /// the same batch may reference it.
     pub new_vertex: Option<VertexId>,
+    /// Whether the op actually entered the buffer. False for no-ops (they
+    /// change nothing and need no durability) and for shed ops; the durable
+    /// serve path only write-ahead-logs ops with `enqueued == true`.
+    pub enqueued: bool,
 }
 
 /// Counters accumulated over the pipeline's lifetime.
@@ -75,6 +79,9 @@ pub struct IngestStats {
     pub noops: u64,
     /// Ops rejected with an error.
     pub rejected: u64,
+    /// Buffered ops discarded by [`IngestPipeline::abort_pending`] after a
+    /// failed durability commit.
+    pub aborted: u64,
     /// Batch flushes performed.
     pub flushes: u64,
     /// Raw ops drained by flushes.
@@ -468,6 +475,7 @@ impl IngestPipeline {
             admission: Admission::Accepted,
             warnings,
             new_vertex: None,
+            enqueued: false,
         }
     }
 
@@ -501,9 +509,25 @@ impl IngestPipeline {
         self.metrics
             .set_gauge("aa_ingest_queue_depth", &[], self.queue.depth() as f64);
         PushOutcome {
+            enqueued: admission.is_admitted(),
             admission,
             warnings: Vec::new(),
             new_vertex: None,
         }
+    }
+
+    /// Discards every buffered (not yet flushed) op: queue entries and the
+    /// coalesced nets they folded into. The durable serve path calls this
+    /// when a WAL group commit fails — the buffered ops were never
+    /// acknowledged, so dropping them keeps the engine consistent with what
+    /// clients were promised. Returns the number of raw ops discarded.
+    pub fn abort_pending(&mut self) -> usize {
+        let dropped = self.queue.drain().len();
+        self.coalescer.clear();
+        self.stats.aborted += dropped as u64;
+        self.metrics
+            .inc_counter("aa_ingest_aborted_total", &[], dropped as u64);
+        self.metrics.set_gauge("aa_ingest_queue_depth", &[], 0.0);
+        dropped
     }
 }

@@ -22,8 +22,10 @@ const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "data", "fix
 /// Crates whose binaries/utilities may panic on broken input (AA01 exempt).
 const PANICKY_CRATES: &[&str] = &["bench", "cli"];
 
-/// Crates forming the deterministic replay core (AA04 applies).
-const DETERMINISTIC_CORE: &[&str] = &["core", "runtime"];
+/// Crates forming the deterministic replay core (AA04 applies). `durable`
+/// belongs here: recovery replay must be a pure function of the bytes on
+/// disk, so wall clocks and ambient randomness are banned from it too.
+const DETERMINISTIC_CORE: &[&str] = &["core", "runtime", "durable"];
 
 /// Engine hot-path files (AA05 applies), workspace-relative.
 const HOT_PATHS: &[&str] = &[

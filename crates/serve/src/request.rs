@@ -113,6 +113,19 @@ pub enum WriteOutcome {
     /// (`Accepted` and `Throttled` ops are buffered, `Shed` ops dropped at
     /// hard capacity).
     Ingest(Admission),
+    /// Durable server: the op reached the ingest queue **and** was recorded
+    /// in the write-ahead log under `seq`. It becomes crash-durable at the
+    /// next turn's group commit — once a [`TurnReport`] reports
+    /// `durable_seq >= seq`, the op survives `kill -9`; until then a crash
+    /// may drop it (and a failed commit aborts it without applying it).
+    ///
+    /// [`TurnReport`]: crate::TurnReport
+    Logged {
+        /// WAL sequence number assigned to the op.
+        seq: u64,
+        /// The ingest queue's admission decision.
+        admission: Admission,
+    },
     /// Shed by the server before reaching the queue (token budget).
     Shed(ShedReason),
     /// Invalid op, rejected with an error; nothing was buffered.
@@ -120,9 +133,21 @@ pub enum WriteOutcome {
 }
 
 impl WriteOutcome {
-    /// True when the op was buffered and will be applied.
+    /// True when the op was buffered and will be applied (for a durable
+    /// server, pending the next successful group commit).
     pub fn is_admitted(&self) -> bool {
-        matches!(self, WriteOutcome::Ingest(a) if a.is_admitted())
+        match self {
+            WriteOutcome::Ingest(a) | WriteOutcome::Logged { admission: a, .. } => a.is_admitted(),
+            WriteOutcome::Shed(_) | WriteOutcome::Rejected(_) => false,
+        }
+    }
+
+    /// The WAL sequence number, when the op was logged by a durable server.
+    pub fn logged_seq(&self) -> Option<u64> {
+        match self {
+            WriteOutcome::Logged { seq, .. } => Some(*seq),
+            _ => None,
+        }
     }
 }
 

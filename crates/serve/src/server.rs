@@ -30,9 +30,23 @@
 //! (stale but epoch-consistent, with finite bounds) and the write budget is
 //! tightened so recovery and refinement work is not starved.
 
+//! # Durability
+//!
+//! With [`Server::attach_durability`] the server becomes crash-consistent:
+//! `submit_write` records every enqueued op in a write-ahead log and
+//! returns [`WriteOutcome::Logged`]; the turn loop group-commits the WAL
+//! (one fsync per turn) **before** flushing the pipeline, so the set of
+//! applied ops never runs ahead of the durable set. A failed commit aborts
+//! the exact uncommitted ops ([`IngestPipeline::abort_pending`]) — possible
+//! only because the durable turn barrier-flushes after every successful
+//! commit, keeping the pipeline buffer equal to the uncommitted tail.
+//! Checkpoints are taken every `checkpoint_every_turns` turns and on
+//! [`Server::shutdown`].
+
 use crate::admission::{ServeConfig, TokenBucket};
 use crate::request::{ReadKind, ReadOutcome, ReadTicket, ReadValue, ShedReason, WriteOutcome};
 use aa_core::{AnytimeEngine, SnapshotFrame};
+use aa_durable::{DurableLog, Storage};
 use aa_ingest::{Admission, FlushReport, IngestPipeline, IngestStats, UpdateOp};
 use aa_obs::MetricsRegistry;
 use std::collections::VecDeque;
@@ -89,6 +103,14 @@ pub struct ServeStats {
     pub writes_shed_budget: u64,
     /// Writes rejected as invalid.
     pub writes_rejected: u64,
+    /// Writes recorded in the WAL (durable server only).
+    pub writes_logged: u64,
+    /// Logged writes aborted by a failed WAL commit (never applied).
+    pub writes_aborted: u64,
+    /// WAL group commits that failed.
+    pub wal_commit_errors: u64,
+    /// Durable checkpoints taken by the turn loop or shutdown.
+    pub checkpoints_taken: u64,
 }
 
 impl ServeStats {
@@ -119,6 +141,23 @@ pub struct TurnReport {
     pub mode: ServeMode,
     /// Recombination steps run this turn.
     pub rc_steps: usize,
+    /// Highest WAL sequence made durable by this turn's group commit
+    /// (durable server only). Every [`WriteOutcome::Logged`] op with
+    /// `seq <= durable_seq` is now crash-safe.
+    pub durable_seq: Option<u64>,
+    /// Set when this turn's WAL commit failed: the uncommitted ops were
+    /// aborted (never applied) and the writer rotated to a fresh segment.
+    pub commit_error: Option<String>,
+    /// Covered sequence of the checkpoint this turn took, if its cadence
+    /// was due.
+    pub checkpointed: Option<u64>,
+}
+
+/// Durable attachments: the storage root plus the WAL/checkpoint log.
+struct Durability {
+    storage: Box<dyn Storage>,
+    log: DurableLog,
+    turns_since_checkpoint: usize,
 }
 
 /// A queued (admitted, not yet resolved) read.
@@ -148,6 +187,7 @@ pub struct Server {
     latencies: Vec<f64>,
     stats: ServeStats,
     metrics: MetricsRegistry,
+    durability: Option<Durability>,
 }
 
 impl Server {
@@ -208,7 +248,31 @@ impl Server {
             latencies: Vec::new(),
             stats: ServeStats::default(),
             metrics,
+            durability: None,
         })
+    }
+
+    /// Attaches a write-ahead log and its storage, making the server
+    /// crash-consistent from this point on: enqueued writes resolve to
+    /// [`WriteOutcome::Logged`] and become durable at the next turn's group
+    /// commit. The caller runs recovery first and opens the log at the
+    /// recovered sequence (see `aa_durable::recover`).
+    pub fn attach_durability(&mut self, storage: Box<dyn Storage>, log: DurableLog) {
+        self.durability = Some(Durability {
+            storage,
+            log,
+            turns_since_checkpoint: 0,
+        });
+    }
+
+    /// True when a WAL is attached.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Highest WAL sequence known durable (`None` without a WAL).
+    pub fn durable_committed_seq(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.log.committed_seq())
     }
 
     /// Submits a read with the default deadline.
@@ -273,7 +337,10 @@ impl Server {
 
     /// Submits a write. The op first passes the per-turn write token budget
     /// (shed on exhaustion — tightened in degraded mode), then the ingest
-    /// pipeline's own admission queue.
+    /// pipeline's own admission queue. On a durable server every enqueued
+    /// op is also recorded in the WAL and resolves to
+    /// [`WriteOutcome::Logged`]; it is crash-safe once a later turn reports
+    /// `durable_seq >= seq`.
     pub fn submit_write(&mut self, op: UpdateOp) -> WriteOutcome {
         self.stats.writes_submitted += 1;
         if !self.write_tokens.take() {
@@ -281,6 +348,7 @@ impl Server {
             self.count_write("shed-budget");
             return WriteOutcome::Shed(ShedReason::WriteBudget);
         }
+        let to_log = self.durability.is_some().then(|| op.clone());
         match self.pipeline.push(&self.engine, op) {
             Ok(outcome) => {
                 match outcome.admission {
@@ -295,6 +363,17 @@ impl Server {
                     Admission::Shed => {
                         self.stats.writes_shed_queue += 1;
                         self.count_write("shed-queue");
+                    }
+                }
+                if outcome.enqueued {
+                    if let (Some(d), Some(op)) = (&mut self.durability, to_log) {
+                        let seq = d.log.append(&op);
+                        self.stats.writes_logged += 1;
+                        self.count_write("logged");
+                        return WriteOutcome::Logged {
+                            seq,
+                            admission: outcome.admission,
+                        };
                     }
                 }
                 WriteOutcome::Ingest(outcome.admission)
@@ -320,7 +399,32 @@ impl Server {
         };
         self.write_tokens.refill_by(write_refill);
 
-        let flushed = self.pipeline.maybe_flush(&mut self.engine)?;
+        // Durable: group-commit the WAL before anything is applied, so the
+        // applied set never runs ahead of the durable set. On commit failure
+        // the pipeline buffer is exactly the uncommitted ops (each prior
+        // successful commit was followed by a barrier flush), so aborting it
+        // drops precisely the un-acked work.
+        let mut durable_seq = None;
+        let mut commit_error = None;
+        if let Some(d) = &mut self.durability {
+            match d.log.commit(d.storage.as_mut()) {
+                Ok(seq) => durable_seq = Some(seq),
+                Err(e) => {
+                    let dropped = self.pipeline.abort_pending();
+                    self.stats.writes_aborted += dropped as u64;
+                    self.stats.wal_commit_errors += 1;
+                    commit_error =
+                        Some(format!("wal commit failed ({dropped} op(s) aborted): {e}"));
+                }
+            }
+        }
+        let flushed = if self.durability.is_some() {
+            // Barrier flush: apply every committed op this turn, keeping the
+            // buffer/WAL-pending correspondence exact.
+            self.pipeline.flush(&mut self.engine)?
+        } else {
+            self.pipeline.maybe_flush(&mut self.engine)?
+        };
 
         let mut rc_steps = 0usize;
         if !self.engine.is_converged() {
@@ -341,6 +445,25 @@ impl Server {
 
         let frame = self.engine.publish_snapshot();
         let served = self.serve_reads(&frame);
+
+        // Checkpoint cadence: the engine now holds exactly the committed
+        // prefix (commit → barrier flush above), so the image is coverable
+        // by `committed_seq` even when this turn's commit failed.
+        let mut checkpointed = None;
+        if let Some(d) = &mut self.durability {
+            d.turns_since_checkpoint += 1;
+            let every = d.log.config().checkpoint_every_turns;
+            if every > 0 && d.turns_since_checkpoint >= every {
+                // Reset either way: a failed write is already counted in the
+                // log's metrics, and backing off to the next full cadence
+                // beats hammering a sick disk every turn.
+                d.turns_since_checkpoint = 0;
+                if let Ok(seq) = d.log.checkpoint(d.storage.as_mut(), &self.engine) {
+                    self.stats.checkpoints_taken += 1;
+                    checkpointed = Some(seq);
+                }
+            }
+        }
 
         let dt = (self.engine.makespan_us() - t0).max(0.0);
         self.ewma_turn_us = if self.ewma_turn_us > 0.0 {
@@ -363,6 +486,9 @@ impl Server {
             flushed,
             mode: self.mode,
             rc_steps,
+            durable_seq,
+            commit_error,
+            checkpointed,
         })
     }
 
@@ -379,12 +505,52 @@ impl Server {
             {
                 break;
             }
-            if self.pipeline.pending_ops() > 0 {
+            // Durable: never flush ahead of the WAL commit — the turn
+            // itself commits then barrier-flushes.
+            if self.durability.is_none() && self.pipeline.pending_ops() > 0 {
                 self.pipeline.flush(&mut self.engine)?;
             }
             out.extend(self.turn()?.served);
         }
         Ok(out)
+    }
+
+    /// Graceful shutdown: drains reads and pending writes (committing and
+    /// applying them turn by turn), then takes a final checkpoint so restart
+    /// needs no WAL replay. Returns the drained read outcomes and the final
+    /// checkpoint's covered sequence (`None` without a WAL). A failed final
+    /// checkpoint is an error — the WAL still holds everything, so nothing
+    /// acknowledged is lost, but the caller should surface it.
+    pub fn shutdown(
+        &mut self,
+        max_turns: usize,
+    ) -> Result<(Vec<ReadOutcome>, Option<u64>), String> {
+        let served = self.drain(max_turns)?;
+        let Some(d) = &mut self.durability else {
+            return Ok((served, None));
+        };
+        // Stragglers logged after the last drain turn: commit, then apply.
+        if d.log.pending_records() > 0 {
+            match d.log.commit(d.storage.as_mut()) {
+                Ok(_) => {
+                    self.pipeline.flush(&mut self.engine)?;
+                }
+                Err(e) => {
+                    let dropped = self.pipeline.abort_pending();
+                    self.stats.writes_aborted += dropped as u64;
+                    self.stats.wal_commit_errors += 1;
+                    return Err(format!(
+                        "shutdown commit failed ({dropped} op(s) aborted): {e}"
+                    ));
+                }
+            }
+        }
+        let seq = d
+            .log
+            .checkpoint(d.storage.as_mut(), &self.engine)
+            .map_err(|e| format!("final checkpoint failed (WAL remains authoritative): {e}"))?;
+        self.stats.checkpoints_taken += 1;
+        Ok((served, Some(seq)))
     }
 
     /// Publishes (or reuses) the current snapshot frame.
@@ -439,11 +605,15 @@ impl Server {
         Some((quantile(&sorted, 0.50), quantile(&sorted, 0.99)))
     }
 
-    /// Merged metrics: engine + ingest + serve registries, with the read
-    /// latency quantile gauges computed from every served read so far.
+    /// Merged metrics: engine + ingest + durability + serve registries,
+    /// with the read latency quantile gauges computed from every served
+    /// read so far.
     pub fn metrics_registry(&self) -> MetricsRegistry {
         let mut r = self.engine.metrics_registry();
         r.merge(&self.pipeline.metrics_registry());
+        if let Some(d) = &self.durability {
+            r.merge(d.log.metrics_registry());
+        }
         let mut s = self.metrics.clone();
         if let Some((p50, p99)) = self.latency_quantiles() {
             s.set_gauge("aa_serve_read_latency_p50_us", &[], p50);
@@ -587,18 +757,39 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 mod tests {
     use super::*;
     use aa_core::EngineConfig;
+    use aa_durable::{recover, DurabilityConfig, SimStorage, StorageFaultPlan, StorageFaults};
     use aa_graph::generators;
 
-    fn server(n: usize, procs: usize, config: ServeConfig) -> Server {
+    fn sim_engine(n: usize, procs: usize) -> AnytimeEngine {
         let g = generators::barabasi_albert(n, 2, 1, 7);
-        let e = AnytimeEngine::new(
+        AnytimeEngine::new(
             g,
             EngineConfig {
                 num_procs: procs,
                 ..Default::default()
             },
-        );
-        Server::new(e, config).unwrap()
+        )
+    }
+
+    fn server(n: usize, procs: usize, config: ServeConfig) -> Server {
+        Server::new(sim_engine(n, procs), config).unwrap()
+    }
+
+    /// A server with a WAL over `sim`, checkpointing every 4 turns.
+    fn durable_server(n: usize, procs: usize, config: ServeConfig, sim: &SimStorage) -> Server {
+        let mut s = Server::new(sim_engine(n, procs), config).unwrap();
+        let mut storage: Box<dyn Storage> = Box::new(sim.clone());
+        let log = DurableLog::open(
+            storage.as_mut(),
+            1,
+            DurabilityConfig {
+                checkpoint_every_turns: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        s.attach_durability(storage, log);
+        s
     }
 
     #[test]
@@ -732,6 +923,141 @@ mod tests {
         assert!(r.counter_value("aa_snapshot_publications_total", &[("kind", "fresh")]) >= 1);
         assert!(r.gauge_value("aa_serve_read_latency_p50_us", &[]).is_some());
         assert_eq!(r.gauge_value("aa_serve_mode", &[]), Some(0.0));
+    }
+
+    #[test]
+    fn durable_writes_ack_at_commit_and_survive_kill() {
+        let sim = SimStorage::new();
+        let mut s = durable_server(60, 3, ServeConfig::default(), &sim);
+        let ids: Vec<u32> = s.engine().graph().vertices().collect();
+        let mut seqs = Vec::new();
+        for i in 0..3usize {
+            match s.submit_write(UpdateOp::AddEdge(ids[i], ids[i + 25], 1)) {
+                WriteOutcome::Logged { seq, admission } => {
+                    assert!(admission.is_admitted());
+                    seqs.push(seq);
+                }
+                other => panic!("expected Logged, got {other:?}"),
+            }
+        }
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(
+            s.durable_committed_seq(),
+            Some(0),
+            "nothing durable before the turn's group commit"
+        );
+        let rep = s.turn().unwrap();
+        assert_eq!(rep.durable_seq, Some(3));
+        assert!(rep.commit_error.is_none());
+        assert_eq!(s.stats().writes_logged, 3);
+
+        // Converge, kill -9, recover into a fresh engine: every acked op
+        // survives and the recovered ranking matches exactly.
+        s.drain(200).unwrap();
+        sim.kill();
+        let mut st = sim.clone();
+        let rec = recover(&mut st, sim_engine(60, 3), s.config().ingest).unwrap();
+        assert_eq!(rec.next_seq, 4);
+        let mut recovered = rec.engine;
+        recovered.run_to_convergence(100_000);
+        let want = s.engine_mut().snapshot().closeness.clone();
+        let got = recovered.snapshot().closeness.clone();
+        assert_eq!(want.len(), got.len());
+        for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-12, "vertex {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn durable_commit_failure_aborts_unacked_ops_and_service_continues() {
+        let plan = StorageFaultPlan::new(
+            5,
+            StorageFaults {
+                p_fail_fsync: 1.0,
+                ..StorageFaults::none()
+            },
+        );
+        let sim = SimStorage::with_faults(plan);
+        let cfg = ServeConfig {
+            write_tokens_per_turn: 64,
+            write_burst: 64,
+            ..Default::default()
+        };
+        let mut s = durable_server(60, 3, cfg, &sim);
+        let ids: Vec<u32> = s.engine().graph().vertices().collect();
+        // Existing edges resolve as never-enqueued noops; keep going until
+        // two ops are actually logged.
+        let mut i = 0;
+        let mut logged = 0;
+        while logged < 2 {
+            let op = UpdateOp::AddEdge(ids[i], ids[i + 29], 1);
+            if matches!(s.submit_write(op), WriteOutcome::Logged { .. }) {
+                logged += 1;
+            }
+            i += 1;
+        }
+        let rep = s.turn().unwrap();
+        assert!(rep.commit_error.is_some(), "fsync always fails");
+        assert_eq!(rep.durable_seq, None);
+        assert_eq!(s.stats().writes_aborted, 2);
+        assert_eq!(s.stats().wal_commit_errors, 1);
+        assert_eq!(s.durable_committed_seq(), Some(0));
+        assert_eq!(s.ingest_stats().aborted, 2);
+        assert_eq!(
+            s.ingest_stats().raw_in,
+            0,
+            "aborted ops must never reach the engine"
+        );
+        // Burned sequence numbers; reads still serve.
+        loop {
+            let op = UpdateOp::AddEdge(ids[i], ids[i + 29], 1);
+            i += 1;
+            match s.submit_write(op) {
+                WriteOutcome::Logged { seq, .. } => {
+                    assert_eq!(seq, 3, "failed commit burns its sequence numbers");
+                    break;
+                }
+                WriteOutcome::Ingest(_) => continue, // noop, try the next pair
+                other => panic!("expected Logged, got {other:?}"),
+            }
+        }
+        let t = s.submit_read(ReadKind::TopK(3));
+        assert!(t.admission.is_admitted());
+        let out = s.turn().unwrap();
+        assert!(out
+            .served
+            .iter()
+            .any(|o| matches!(o, ReadOutcome::Served { .. })));
+    }
+
+    #[test]
+    fn shutdown_takes_final_checkpoint_so_recovery_skips_replay() {
+        let sim = SimStorage::new();
+        let cfg = ServeConfig {
+            write_tokens_per_turn: 64,
+            write_burst: 64,
+            ..Default::default()
+        };
+        let mut s = durable_server(60, 3, cfg, &sim);
+        let ids: Vec<u32> = s.engine().graph().vertices().collect();
+        let mut i = 0;
+        let mut logged = 0;
+        while logged < 5 {
+            let op = UpdateOp::AddEdge(ids[i], ids[i + 20], 1);
+            if matches!(s.submit_write(op), WriteOutcome::Logged { .. }) {
+                logged += 1;
+            }
+            i += 1;
+        }
+        let (_, ckpt) = s.shutdown(200).unwrap();
+        assert_eq!(ckpt, Some(5), "final checkpoint covers every acked op");
+        assert!(s.stats().checkpoints_taken >= 1);
+        sim.kill();
+        let mut st = sim.clone();
+        let rec = recover(&mut st, sim_engine(60, 3), s.config().ingest).unwrap();
+        assert_eq!(rec.report.checkpoint_seq, 5);
+        assert_eq!(rec.report.records_replayed, 0, "checkpoint covers the WAL");
+        assert_eq!(rec.next_seq, 6);
     }
 
     #[test]
