@@ -288,10 +288,10 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     if let Some(path) = &opts.trace {
         use std::io::Write;
         let events = engine.cluster_mut().take_trace();
-        let mut file = std::io::BufWriter::new(
-            std::fs::File::create(path)
-                .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
-        );
+        // aa-lint: allow(AA09, streamed diagnostic trace — overwritten on every run and never read back by recovery; a torn file cannot corrupt a restart)
+        let raw = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut file = std::io::BufWriter::new(raw);
         writeln!(file, "src,dst,bytes,phase,makespan_us,kind")
             .map_err(|e| format!("trace write failed: {e}"))?;
         for ev in &events {

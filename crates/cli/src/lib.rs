@@ -77,17 +77,21 @@ pub fn load_graph(path: &Path, format: Option<Format>) -> Result<Graph, String> 
     result.map_err(|e| format!("cannot parse {}: {e}", path.display()))
 }
 
-/// Writes a graph file in the given format.
+/// Writes a graph file in the given format. The write is atomic
+/// (write→fsync→rename via `aa-durable`): an interrupted save leaves the
+/// previous file intact instead of a truncated graph that silently parses
+/// as a smaller one.
 pub fn save_graph(g: &Graph, path: &Path, format: Option<Format>) -> Result<(), String> {
     let format = format.unwrap_or_else(|| Format::from_path(path));
-    let mut file =
-        File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let mut buf: Vec<u8> = Vec::new();
     let result = match format {
-        Format::EdgeList => gio::write_edge_list(g, &mut file),
-        Format::Pajek => gio::write_pajek(g, &mut file),
-        Format::Metis => gio::write_metis(g, &mut file),
+        Format::EdgeList => gio::write_edge_list(g, &mut buf),
+        Format::Pajek => gio::write_pajek(g, &mut buf),
+        Format::Metis => gio::write_metis(g, &mut buf),
     };
-    result.map_err(|e| format!("cannot write {}: {e}", path.display()))
+    result.map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    aa_durable::atomic_write_file(path, &buf)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))
 }
 
 #[cfg(test)]

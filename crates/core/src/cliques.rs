@@ -16,9 +16,9 @@
 use crate::engine::AnytimeEngine;
 use aa_graph::{cliques, Graph, VertexId};
 use aa_logp::Phase;
+use aa_obs::Stopwatch;
 use aa_runtime::TransferOut;
 use rayon::prelude::*;
-use std::time::Instant;
 
 impl AnytimeEngine {
     /// Enumerates all maximal cliques of the current graph, distributed over
@@ -37,7 +37,7 @@ impl AnytimeEngine {
         type AdjMsg = Vec<(VertexId, Vec<VertexId>)>;
         let mut outbox: Vec<Vec<TransferOut<AdjMsg>>> = (0..p).map(|_| Vec::new()).collect();
         for rank in 0..p {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let ps = &self.procs[rank];
             let mut per_dst: Vec<AdjMsg> = vec![Vec::new(); p];
             for &u in ps.dv.vertices() {
@@ -69,7 +69,7 @@ impl AnytimeEngine {
         let mut all: Vec<Vec<VertexId>> = Vec::new();
         let mut gather: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
         for (rank, received) in inbox.into_iter().enumerate() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             // Augmented view: local knowledge + received boundary adjacency.
             let mut aug = Graph::with_vertices(cap);
             let ps = &self.procs[rank];

@@ -21,8 +21,8 @@ use crate::engine::AnytimeEngine;
 use crate::proc_state::ProcState;
 use aa_graph::{VertexId, Weight, INF};
 use aa_logp::Phase;
+use aa_obs::Stopwatch;
 use aa_partition::partition::UNASSIGNED;
-use std::time::Instant;
 
 /// An endpoint of a batch edge: either another new vertex (by batch index) or
 /// an existing vertex (by id).
@@ -96,6 +96,7 @@ impl AnytimeEngine {
     /// if the edge already exists. The change is incorporated immediately
     /// (endpoint-row broadcast + relaxation) and fully propagated by
     /// subsequent recombination steps.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> bool {
         assert!(self.initialized, "call initialize() first");
         if !self.world.add_edge(u, v, w) {
@@ -103,8 +104,8 @@ impl AnytimeEngine {
         }
         let span = self.span_open();
         self.obs.note_mutation();
-        let ou = self.partition.part_of(u).expect("u must be assigned");
-        let ov = self.partition.part_of(v).expect("v must be assigned");
+        let ou = self.owner_of(u);
+        let ov = self.owner_of(v);
         self.procs[ou].view_add_edge(u, v, w);
         if ov != ou {
             self.procs[ov].view_add_edge(u, v, w);
@@ -117,9 +118,10 @@ impl AnytimeEngine {
 
     /// The edge-addition relaxation kernel: broadcast both endpoint rows,
     /// relax every owned row on every processor, propagate locally.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub(crate) fn relax_through_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
-        let ou = self.partition.part_of(u).expect("u must be assigned");
-        let ov = self.partition.part_of(v).expect("v must be assigned");
+        let ou = self.owner_of(u);
+        let ov = self.owner_of(v);
         let row_u = self.procs[ou].dv.row(u).to_vec();
         let row_v = self.procs[ov].dv.row(v).to_vec();
         let row_bytes = 4 + 4 * row_u.len();
@@ -129,7 +131,7 @@ impl AnytimeEngine {
             .broadcast_cost(Phase::DynamicUpdate, ov, row_bytes);
 
         for rank in 0..self.procs.len() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let ps = &mut self.procs[rank];
             // Cache the broadcast rows wherever the endpoint is an external
             // boundary vertex, so later invalidations can re-relax from them.
@@ -170,6 +172,7 @@ impl AnytimeEngine {
     /// applies all relaxations in one sweep, and local propagation runs once
     /// at the end. Returns the number of edges actually inserted (duplicates
     /// and self-loops are skipped).
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn add_edges(&mut self, edges: &[(VertexId, VertexId, Weight)]) -> usize {
         assert!(self.initialized, "call initialize() first");
         let mut inserted: Vec<(VertexId, VertexId, Weight)> = Vec::with_capacity(edges.len());
@@ -177,8 +180,8 @@ impl AnytimeEngine {
             if !self.world.add_edge(u, v, w) {
                 continue;
             }
-            let ou = self.partition.part_of(u).expect("u must be assigned");
-            let ov = self.partition.part_of(v).expect("v must be assigned");
+            let ou = self.owner_of(u);
+            let ov = self.owner_of(v);
             self.procs[ou].view_add_edge(u, v, w);
             if ov != ou {
                 self.procs[ov].view_add_edge(u, v, w);
@@ -198,7 +201,7 @@ impl AnytimeEngine {
         let mut rows: std::collections::HashMap<VertexId, Vec<Weight>> =
             std::collections::HashMap::with_capacity(endpoints.len());
         for &e in &endpoints {
-            let owner = self.partition.part_of(e).expect("endpoint assigned");
+            let owner = self.owner_of(e);
             let row = self.procs[owner].dv.row(e).to_vec();
             self.cluster
                 .broadcast_cost(Phase::DynamicUpdate, owner, 4 + 4 * row.len());
@@ -206,7 +209,7 @@ impl AnytimeEngine {
         }
 
         for rank in 0..self.procs.len() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let ps = &mut self.procs[rank];
             for &e in &endpoints {
                 if !ps.is_local[e as usize] && !ps.adj[e as usize].is_empty() {
@@ -267,6 +270,7 @@ impl AnytimeEngine {
     /// per distinct endpoint, one combined invalidation sweep (a pair is
     /// invalidated if *any* deleted edge supports its current value), one
     /// reseed. Returns the number of edges actually removed.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn delete_edges(&mut self, edges: &[(VertexId, VertexId)]) -> usize {
         assert!(self.initialized, "call initialize() first");
         let present: Vec<(VertexId, VertexId, Weight)> = edges
@@ -293,7 +297,7 @@ impl AnytimeEngine {
         let mut rows: std::collections::HashMap<VertexId, Vec<Weight>> =
             std::collections::HashMap::with_capacity(endpoints.len());
         for &e in &endpoints {
-            let owner = self.partition.part_of(e).expect("endpoint assigned");
+            let owner = self.owner_of(e);
             let row = self.procs[owner].dv.row(e).to_vec();
             self.cluster
                 .broadcast_cost(Phase::DynamicUpdate, owner, 4 + 4 * row.len());
@@ -307,7 +311,7 @@ impl AnytimeEngine {
         self.invalidation_epoch += 1;
         let ia = self.config.ia;
         for rank in 0..self.procs.len() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for &(u, v, _) in &present {
                 self.procs[rank].view_remove_edge(u, v);
             }
@@ -336,6 +340,7 @@ impl AnytimeEngine {
     /// (deletion barrier, see module docs), invalidates every pair supported
     /// by the edge, reseeds from local Dijkstra, and leaves reconvergence to
     /// subsequent recombination steps. Returns `false` if the edge is absent.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn delete_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         assert!(self.initialized, "call initialize() first");
         if self.world.edge_weight(u, v).is_none() {
@@ -351,12 +356,13 @@ impl AnytimeEngine {
         }
         let span = self.span_open();
         self.obs.note_mutation();
+        // aa-lint: allow(AA01, presence established by the has-edge early-return a few lines up, with no mutation in between)
         let w = self.world.remove_edge(u, v).expect("edge checked above");
         // Deletion can make pre-deletion rows underestimates; per-rank
         // checkpoints from before this point are no longer restorable.
         self.invalidation_epoch += 1;
-        let ou = self.partition.part_of(u).expect("u must be assigned");
-        let ov = self.partition.part_of(v).expect("v must be assigned");
+        let ou = self.owner_of(u);
+        let ov = self.owner_of(v);
         // Pre-deletion endpoint rows (exact, since we are converged).
         let row_u = self.procs[ou].dv.row(u).to_vec();
         let row_v = self.procs[ov].dv.row(v).to_vec();
@@ -367,7 +373,7 @@ impl AnytimeEngine {
             .broadcast_cost(Phase::DynamicUpdate, ov, row_bytes);
 
         for rank in 0..self.procs.len() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             self.procs[rank].view_remove_edge(u, v);
             let ia = self.config.ia;
             invalidate_and_reseed(&mut self.procs[rank], ia, |row, x| {
@@ -385,6 +391,7 @@ impl AnytimeEngine {
     /// additions (pure relaxation); increases like deletions (invalidate +
     /// reseed, with the deletion barrier). Returns `false` if the edge is
     /// absent or the weight unchanged.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn change_edge_weight(&mut self, u: VertexId, v: VertexId, new_w: Weight) -> bool {
         assert!(self.initialized, "call initialize() first");
         assert!(new_w != INF, "weight must be finite");
@@ -420,6 +427,7 @@ impl AnytimeEngine {
     /// named future work). Applies the deletion barrier, invalidates every
     /// pair whose path ran through `v`, and reseeds. Returns the removed
     /// incident edges.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn delete_vertex(&mut self, v: VertexId) -> Vec<(VertexId, Weight)> {
         assert!(self.initialized, "call initialize() first");
         assert!(self.world.is_alive(v), "vertex {v} is not alive");
@@ -436,7 +444,7 @@ impl AnytimeEngine {
         // Deletion can make pre-deletion rows underestimates; per-rank
         // checkpoints from before this point are no longer restorable.
         self.invalidation_epoch += 1;
-        let owner = self.partition.part_of(v).expect("v must be assigned");
+        let owner = self.owner_of(v);
         let row_v = self.procs[owner].dv.row(v).to_vec();
         self.cluster
             .broadcast_cost(Phase::DynamicUpdate, owner, 4 + 4 * row_v.len());
@@ -444,7 +452,7 @@ impl AnytimeEngine {
         let removed = self.world.remove_vertex(v);
         let ia = self.config.ia;
         for rank in 0..self.procs.len() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for &(x, _) in &removed {
                 self.procs[rank].view_remove_edge(v, x);
             }
@@ -474,6 +482,7 @@ impl AnytimeEngine {
 /// Targets of row `x` (owner vertex `x`) invalidated by deleting edge
 /// `(u, v, w)`: entries whose value is ≥ the best path through the edge in
 /// either direction. `t == x` is never affected (`d(x,x)=0 < w ≥ 1`).
+// aa-lint: allow(AA07, rows are full-width (world capacity) and every indexed id comes from the same world)
 fn affected_targets_edge(
     row: &[Weight],
     x: VertexId,
@@ -501,6 +510,7 @@ fn affected_targets_edge(
 
 /// Targets of row `x` invalidated by deleting vertex `v`: the column `v`
 /// itself plus every entry whose value routes through `v`.
+// aa-lint: allow(AA07, rows are full-width (world capacity) and every indexed id comes from the same world)
 fn affected_targets_vertex(
     row: &[Weight],
     x: VertexId,
@@ -529,6 +539,7 @@ fn affected_targets_vertex(
 /// Applies an invalidation rule to every owned row and every cached external
 /// row of `ps`, reseeds affected owned rows from local Dijkstra, re-relaxes
 /// them through cached boundary rows, and propagates locally.
+// aa-lint: allow(AA07, rows are full-width (world capacity) and every indexed id comes from the same world)
 fn invalidate_and_reseed<F>(ps: &mut ProcState, ia: crate::config::IaAlgorithm, affected: F)
 where
     F: Fn(&[Weight], VertexId) -> Vec<usize>,
@@ -549,13 +560,10 @@ where
     // high (safe); valid entries remain usable for re-relaxation.
     let cached: Vec<VertexId> = ps.ext_rows.keys().copied().collect();
     for b in cached {
-        let row = ps.ext_rows.get(&b).unwrap();
-        let targets = affected(row, b);
-        if targets.is_empty() {
+        let Some(row) = ps.ext_rows.get_mut(&b) else {
             continue;
-        }
-        let row = ps.ext_rows.get_mut(&b).unwrap();
-        for t in targets {
+        };
+        for t in affected(row, b) {
             row[t] = INF;
         }
     }
@@ -564,13 +572,10 @@ where
     // entries of the same values), keeping future deltas consistent.
     let snapshots: Vec<VertexId> = ps.sent_snapshot.keys().copied().collect();
     for b in snapshots {
-        let row = ps.sent_snapshot.get(&b).unwrap();
-        let targets = affected(row, b);
-        if targets.is_empty() {
+        let Some(row) = ps.sent_snapshot.get_mut(&b) else {
             continue;
-        }
-        let row = ps.sent_snapshot.get_mut(&b).unwrap();
-        for t in targets {
+        };
+        for t in affected(row, b) {
             row[t] = INF;
         }
     }

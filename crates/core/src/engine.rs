@@ -8,10 +8,10 @@ use crate::proc_state::{retry_backoff, Outstanding, ProcState, RowUpdate};
 use crate::supervisor::Supervision;
 use aa_graph::{Graph, VertexId, Weight, INF};
 use aa_logp::Phase;
+use aa_obs::Stopwatch;
 use aa_partition::Partition;
 use aa_runtime::{SimCluster, TransferOut};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// What a recombination exchange carries: boundary-row updates, plus the
 /// supervision layer's piggybacked one-byte heartbeats.
@@ -79,17 +79,31 @@ impl AnytimeEngine {
         }
     }
 
+    /// The partition rank owning `v`. Every vertex that reaches a mutation
+    /// or recombination path has an assignment: `initialize()` partitions
+    /// the whole world, and the vertex-addition strategies assign before
+    /// attaching edges. An unassigned vertex here is a partition/world
+    /// desync — a bug, not a runtime condition to degrade on.
+    // aa-lint: allow(AA07, structural invariant — callers inherit the assignment guarantee rather than re-proving it at every use)
+    pub(crate) fn owner_of(&self, v: VertexId) -> usize {
+        self.partition
+            .part_of(v)
+            // aa-lint: allow(AA01, partition assignment is a structural invariant — initialize covers the world and add-vertex strategies assign before wiring edges)
+            .expect("vertex assigned at initialize/add-vertex time")
+    }
+
     /// Domain decomposition + initial approximation. Also used by the
     /// baseline-restart strategy to rebuild from scratch (accounting
     /// accumulates across restarts; use [`SimCluster::reset_accounting`]
     /// via [`Self::cluster_mut`] to zero it).
+    // aa-lint: allow(AA07, outbox is sized to num_procs which is asserted >= 1 at construction)
     pub fn initialize(&mut self) {
         let p = self.config.num_procs;
 
         // --- Domain decomposition ---------------------------------------
         let dd_span = self.span_open();
         let partitioner = self.config.partitioner.build(self.config.seed);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         self.partition = partitioner.partition(&self.world, p);
         let elapsed = t.elapsed();
         // The papers partition in parallel (ParMETIS); approximate by
@@ -138,7 +152,7 @@ impl AnytimeEngine {
         // --- Initial approximation ---------------------------------------
         let ia_span = self.span_open();
         for rank in 0..p {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             self.procs[rank].initial_approximation(self.config.ia);
             self.cluster
                 .compute_measured(rank, Phase::InitialApproximation, t.elapsed());
@@ -201,7 +215,7 @@ impl AnytimeEngine {
             if self.cluster.is_down(rank) {
                 continue;
             }
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let mut dirty: Vec<VertexId> = self.procs[rank].dirty.drain().collect();
             dirty.sort_unstable(); // deterministic order
             for u in dirty {
@@ -302,7 +316,7 @@ impl AnytimeEngine {
         // holds. Positive receipts double as liveness evidence: an ack
         // proves the destination was up this step.
         for rank in 0..p {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             debug_assert_eq!(
                 descs[rank].len() + hb_dsts[rank].len(),
                 receipts[rank].len()
@@ -388,7 +402,7 @@ impl AnytimeEngine {
         // 3b. Apply received rows and refine locally. Every inbound message
         // (row or heartbeat) is liveness evidence for its sender.
         for (rank, received) in inbox.into_iter().enumerate() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let mut seeds = Vec::new();
             for (src, payload) in received {
                 self.supervision.detector.observe_contact(src, now);
@@ -549,6 +563,7 @@ impl AnytimeEngine {
     /// vertices are served from its frozen pre-crash state and flagged
     /// [`Snapshot::stale`] — still valid anytime upper-bound-derived
     /// estimates, just not improving until recovery.
+    // aa-lint: allow(AA07, processor ranks come from owner_of or down_ranks and procs has one entry per rank from initialize; vertex ids are below world capacity)
     pub fn snapshot(&mut self) -> Snapshot {
         let snap_span = self.span_open();
         let cap = self.world.capacity();
@@ -563,7 +578,7 @@ impl AnytimeEngine {
         let p = self.config.num_procs;
         let mut outbox: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
         for (rank, ps) in self.procs.iter().enumerate() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for &v in ps.dv.vertices() {
                 let row = ps.dv.row(v);
                 let mut sum = 0u64;
@@ -610,6 +625,7 @@ impl AnytimeEngine {
 
     /// Gathers the full distance matrix by source vertex id (test/debug
     /// helper; free of cluster charges). Unowned/dead slots yield `INF` rows.
+    // aa-lint: allow(AA07, the dense output is sized to world capacity and row vertex ids are below it)
     pub fn distances_dense(&self) -> Vec<Vec<Weight>> {
         let cap = self.world.capacity();
         let mut out = vec![vec![INF; cap]; cap];
@@ -624,6 +640,7 @@ impl AnytimeEngine {
 
     /// Internal consistency checks (tests): every live vertex has exactly one
     /// owning row; views agree with the partition.
+    // aa-lint: allow(AA07, the diagnostic tables are sized to world capacity and row vertex ids are below it)
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut owned = vec![0usize; self.world.capacity()];
         for ps in &self.procs {

@@ -11,8 +11,8 @@
 use crate::engine::AnytimeEngine;
 use aa_graph::VertexId;
 use aa_logp::Phase;
+use aa_obs::Stopwatch;
 use aa_runtime::TransferOut;
-use std::time::Instant;
 
 impl AnytimeEngine {
     /// Distributed degree centrality: each processor scores its owned
@@ -27,7 +27,7 @@ impl AnytimeEngine {
         let p = self.config.num_procs;
         let mut gather: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
         for (rank, ps) in self.procs.iter().enumerate() {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for &v in ps.dv.vertices() {
                 out[v as usize] = ps.adj[v as usize].len() as f64 / denom;
             }
@@ -69,7 +69,7 @@ impl AnytimeEngine {
             let mut next = vec![0.0f64; cap];
             let mut sq = vec![0.0f64; self.config.num_procs];
             for (rank, ps) in self.procs.iter().enumerate() {
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 for &v in ps.dv.vertices() {
                     let mut acc = x[v as usize];
                     for &(u, w) in &ps.adj[v as usize] {
@@ -131,7 +131,7 @@ impl AnytimeEngine {
             let mut outbox: Vec<Vec<TransferOut<Contributions>>> =
                 (0..p).map(|_| Vec::new()).collect();
             for (rank, ps) in self.procs.iter().enumerate() {
-                let t = Instant::now();
+                let t = Stopwatch::start();
                 let mut remote: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); p];
                 for &v in ps.dv.vertices() {
                     let edges = &ps.adj[v as usize];
@@ -145,10 +145,7 @@ impl AnytimeEngine {
                         if ps.is_local[u as usize] {
                             incoming[u as usize] += share;
                         } else {
-                            let owner = self
-                                .partition
-                                .part_of(u)
-                                .expect("external neighbour is assigned");
+                            let owner = self.owner_of(u);
                             remote[owner].push((u, share));
                         }
                     }

@@ -39,6 +39,7 @@ impl RowUpdate {
 /// The changed `(column, value)` pairs between a previously sent snapshot and
 /// the current row (entries that decreased; increases only happen through
 /// deletion invalidation, which resets both sides consistently).
+// aa-lint: allow(AA07, the filter admits i >= snapshot.len() before snapshot[i] is read — the index is guarded on the same line)
 pub fn diff_rows(snapshot: &[Weight], current: &[Weight]) -> Vec<(u32, Weight)> {
     current
         .iter()
@@ -154,6 +155,7 @@ impl ProcState {
             let snapshot = self
                 .sent_snapshot
                 .get(&u)
+                // aa-lint: allow(AA01, record_sent inserts sent_snapshot and sent_to together, so membership in sent_to implies the snapshot)
                 .expect("snapshot exists for sent row");
             let delta = diff_rows(snapshot, row);
             if delta.is_empty() {
@@ -179,6 +181,7 @@ impl ProcState {
     /// and a partition. Does **not** touch the distance matrix or caches —
     /// callers decide what survives (everything after initial decomposition,
     /// migrated rows after repartitioning).
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn rebuild_view(&mut self, world: &Graph, partition: &Partition) {
         let cap = world.capacity();
         self.adj = vec![Vec::new(); cap];
@@ -212,6 +215,7 @@ impl ProcState {
     }
 
     /// Whether local vertex `u` has a cut edge (is a local boundary vertex).
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn is_boundary(&self, u: VertexId) -> bool {
         self.adj[u as usize]
             .iter()
@@ -219,6 +223,7 @@ impl ProcState {
     }
 
     /// The distinct owner ranks of `u`'s external neighbours.
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn neighbor_ranks(&self, u: VertexId, partition: &Partition) -> Vec<usize> {
         let mut ranks: Vec<usize> = self.adj[u as usize]
             .iter()
@@ -232,6 +237,7 @@ impl ProcState {
 
     /// Records an edge in the adjacency view if at least one endpoint is
     /// local. Mirrors [`Self::rebuild_view`]'s shape.
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn view_add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
         if !self.is_local[u as usize] && !self.is_local[v as usize] {
             return;
@@ -241,6 +247,7 @@ impl ProcState {
     }
 
     /// Removes an edge from the adjacency view (no-op if absent).
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn view_remove_edge(&mut self, u: VertexId, v: VertexId) {
         if let Some(p) = self.adj[u as usize].iter().position(|&(x, _)| x == v) {
             self.adj[u as usize].swap_remove(p);
@@ -270,6 +277,7 @@ impl ProcState {
 
     /// Applies a received boundary-row update: replaces or patches the cached
     /// copy, then relaxes the adjacent local rows. Returns worklist seeds.
+    // aa-lint: allow(AA07, delta columns index a row resized to world capacity first, and senders share the same world whose capacity every processor extends before exchanging)
     pub fn apply_row_update(&mut self, v: VertexId, update: RowUpdate) -> Vec<VertexId> {
         match update {
             RowUpdate::Full(row) => self.apply_external_row(v, row),
@@ -298,6 +306,7 @@ impl ProcState {
     /// Dijkstra from `source` restricted to the local sub-graph: local
     /// vertices are expanded, external boundary vertices are reached but not
     /// expanded. Returns a full-width distance row.
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn local_dijkstra(&self, source: VertexId) -> Vec<Weight> {
         let mut dist = vec![INF; self.adj.len()];
         dist[source as usize] = 0;
@@ -334,6 +343,7 @@ impl ProcState {
 
     /// Δ-stepping restricted to the local sub-graph (see
     /// [`aa_graph::centrality::delta_stepping`] for the sequential analogue).
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time — and the delta precondition is an assert naming its contract)
     pub fn local_delta_stepping(&self, source: VertexId, delta: Weight) -> Vec<Weight> {
         assert!(delta >= 1, "delta must be at least 1");
         let mut dist = vec![INF; self.adj.len()];
@@ -370,6 +380,7 @@ impl ProcState {
     }
 
     /// Bellman–Ford sweeps over the local edges to a fixed point.
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn local_bellman_ford(&self, source: VertexId) -> Vec<Weight> {
         let mut dist = vec![INF; self.adj.len()];
         dist[source as usize] = 0;
@@ -395,6 +406,7 @@ impl ProcState {
     /// Initial approximation: computes the local-sub-graph APSP rows for all
     /// owned vertices (multithreaded over sources — the papers' OpenMP level)
     /// and installs them as the distance vectors. Marks every row dirty.
+    // aa-lint: allow(AA07, sources come from the matrix's own vertex list and sssp rows are full-width by construction)
     pub fn initial_approximation(&mut self, algo: crate::config::IaAlgorithm) {
         let sources: Vec<VertexId> = self.dv.vertices().to_vec();
         let rows: Vec<(VertexId, Vec<Weight>)> = sources
@@ -410,6 +422,7 @@ impl ProcState {
 
     /// Stores a received external boundary row and relaxes the adjacent local
     /// rows. Returns the local vertices whose rows improved (worklist seeds).
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time — short external rows are resized to capacity before any read)
     pub fn apply_external_row(&mut self, v: VertexId, row: Vec<Weight>) -> Vec<VertexId> {
         let mut seeds = Vec::new();
         // The sender's column count can momentarily trail ours mid-batch;
@@ -429,6 +442,7 @@ impl ProcState {
     /// Label-correcting propagation over local edges from the given seeds
     /// until the local fixed point. Marks improved rows dirty. Returns
     /// whether anything changed.
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn propagate_worklist(&mut self, seeds: Vec<VertexId>) -> bool {
         let mut changed = false;
         let mut queue: VecDeque<VertexId> = seeds.into();
@@ -455,6 +469,7 @@ impl ProcState {
     /// owned row through every local *boundary* pivot (`D[u][*] = min(D[u][*],
     /// D[u][l] + D[l][*])`). Marks improved rows dirty. Returns whether
     /// anything changed.
+    // aa-lint: allow(AA07, pivots and rows both come from the matrix's own vertex list and row width equals capacity, so row(u)[l] is in range)
     pub fn pivot_pass(&mut self) -> bool {
         let pivots: Vec<VertexId> = self
             .dv
@@ -483,6 +498,7 @@ impl ProcState {
     /// Re-relaxes local vertex `u` through all cached external rows of its
     /// external neighbours (used after deletion invalidation). Returns
     /// whether the row improved.
+    // aa-lint: allow(AA07, vertex ids are allocated below world capacity and every table here (adj, is_local, dist rows) is sized to that capacity at rebuild/extend time)
     pub fn relax_from_cache(&mut self, u: VertexId) -> bool {
         let mut changed = false;
         for &(b, w) in self.adj[u as usize].clone().iter() {

@@ -46,6 +46,7 @@ impl AnytimeEngine {
             if total == 0 {
                 return 1.0;
             }
+            // aa-lint: allow(AA01, counts has one slot per processor and num_procs is asserted >= 1 at construction)
             *counts.iter().max().unwrap() as f64 * p as f64 / total as f64
         };
         ImbalanceReport {
@@ -64,7 +65,7 @@ impl AnytimeEngine {
     pub fn rebalance(&mut self) -> usize {
         assert!(self.initialized, "call initialize() first");
         let p = self.config.num_procs;
-        let t = std::time::Instant::now();
+        let t = aa_obs::Stopwatch::start();
         let new_partition = AdaptiveMultilevel {
             seed: self.config.seed ^ 0x4EBA,
             ..Default::default()

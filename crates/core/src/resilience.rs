@@ -21,7 +21,7 @@ use crate::config::Refinement;
 use crate::engine::AnytimeEngine;
 use aa_graph::{VertexId, Weight, INF};
 use aa_logp::Phase;
-use std::time::Instant;
+use aa_obs::Stopwatch;
 
 /// Why a recovery request was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +155,7 @@ impl AnytimeEngine {
         };
         let mut restored = 0usize;
         let mut reseeded = 0usize;
-        let t = Instant::now();
+        let t = Stopwatch::start();
         match checkpoint_rows {
             Some(rows) => {
                 let mut have: std::collections::HashSet<VertexId> =
@@ -195,7 +195,7 @@ impl AnytimeEngine {
             if survivor == rank {
                 continue;
             }
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let ps = &mut self.procs[survivor];
             for u in ps.dv.vertices().to_vec() {
                 let borders_failed = ps.adj[u as usize]

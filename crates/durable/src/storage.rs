@@ -107,6 +107,7 @@ impl Storage for DiskStorage {
     }
 
     fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        // aa-lint: allow(AA09, the WAL append path itself — durability comes from the explicit sync() group-commit marker that follows a batch, not from atomic replace)
         let mut f = OpenOptions::new()
             .append(true)
             .create(true)

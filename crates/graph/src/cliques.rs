@@ -7,16 +7,19 @@
 //! distributed implementation in `aa-core` mirrors.
 
 use crate::graph::{Graph, VertexId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Enumerates all maximal cliques of `g` (Bron–Kerbosch with pivoting).
 /// Each clique is returned sorted ascending; the list is sorted for
-/// deterministic comparisons. Intended for validation on small/medium graphs.
+/// deterministic comparisons. Candidate sets are `BTreeSet`s so every
+/// iteration — pivot selection included — walks vertices in id order: the
+/// recursion tree, not just the final output, replays identically (the
+/// sim-as-oracle property AA08 enforces). Intended for validation on small/medium graphs.
 pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
     let mut out = Vec::new();
-    let p: HashSet<VertexId> = g.vertices().collect();
+    let p: BTreeSet<VertexId> = g.vertices().collect();
     let mut r = Vec::new();
-    bron_kerbosch(g, &mut r, p, HashSet::new(), &mut out);
+    bron_kerbosch(g, &mut r, p, BTreeSet::new(), &mut out);
     for c in &mut out {
         c.sort_unstable();
     }
@@ -24,15 +27,15 @@ pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
     out
 }
 
-fn neighbors_set(g: &Graph, v: VertexId) -> HashSet<VertexId> {
+fn neighbors_set(g: &Graph, v: VertexId) -> BTreeSet<VertexId> {
     g.neighbors(v).iter().map(|&(u, _)| u).collect()
 }
 
 fn bron_kerbosch(
     g: &Graph,
     r: &mut Vec<VertexId>,
-    p: HashSet<VertexId>,
-    x: HashSet<VertexId>,
+    p: BTreeSet<VertexId>,
+    x: BTreeSet<VertexId>,
     out: &mut Vec<Vec<VertexId>>,
 ) {
     if p.is_empty() && x.is_empty() {
@@ -51,6 +54,7 @@ fn bron_kerbosch(
             let count = p.intersection(&nu).count();
             (count, std::cmp::Reverse(u)) // deterministic tie-break
         })
+        // aa-lint: allow(AA01, guarded by the is_empty early-return at the top of the recursion)
         .expect("P ∪ X non-empty");
     let pivot_nbrs = neighbors_set(g, pivot);
     let candidates: Vec<VertexId> = {
@@ -82,7 +86,7 @@ fn bron_kerbosch(
 /// rule covers every maximal clique exactly once — the decomposition the
 /// distributed enumerator ships to the owner of `v`.
 pub fn cliques_rooted_at(g: &Graph, v: VertexId) -> Vec<Vec<VertexId>> {
-    let nv: HashSet<VertexId> = g
+    let nv: BTreeSet<VertexId> = g
         .neighbors(v)
         .iter()
         .map(|&(u, _)| u)
@@ -90,7 +94,7 @@ pub fn cliques_rooted_at(g: &Graph, v: VertexId) -> Vec<Vec<VertexId>> {
         .collect();
     // X starts with the smaller neighbours: any clique extendable by one of
     // them is *not* rooted at v.
-    let x: HashSet<VertexId> = g
+    let x: BTreeSet<VertexId> = g
         .neighbors(v)
         .iter()
         .map(|&(u, _)| u)

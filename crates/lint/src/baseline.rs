@@ -17,13 +17,19 @@ use std::collections::BTreeMap;
 /// `rule id → workspace-relative file → finding count`.
 pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
 
-/// Aggregates findings into baseline buckets.
+/// Aggregates findings into baseline buckets. Interprocedural findings
+/// (those carrying a symbol) bucket per `file#Type::fn`, so burning down one
+/// fn cannot mask a regression in a sibling fn of the same file.
 pub fn bucket_counts(findings: &[Finding]) -> Baseline {
     let mut out = Baseline::new();
     for f in findings {
+        let key = match &f.symbol {
+            Some(sym) => format!("{}#{sym}", f.file),
+            None => f.file.clone(),
+        };
         *out.entry(f.rule.as_str().to_string())
             .or_default()
-            .entry(f.file.clone())
+            .entry(key)
             .or_default() += 1;
     }
     out

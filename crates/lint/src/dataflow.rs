@@ -1,0 +1,229 @@
+//! Fixpoint dataflow over the workspace call graph, and the AA07–AA09 rule
+//! passes built on it.
+//!
+//! The core operation is reverse reachability: a bit seeded at fns with a
+//! direct fact (a panic site, a nondeterminism source) propagates to every
+//! caller, except through *blocked* fns — fns carrying a reasoned fn-level
+//! pragma, whose reason asserts the invariant that contains the fact. One
+//! well-placed pragma at a shared kernel therefore collapses the whole
+//! upward closure, which is what keeps AA07 findings proportional to real
+//! debt instead of to call-graph fan-in.
+
+use crate::callgraph::{CallGraph, FnNode};
+use crate::rules::{Finding, RuleId};
+
+/// Reverse-reachability fixpoint: `bit(f) = !blocked(f) && (seed(f) || any
+/// callee bit set)`. Returns one bit per node.
+pub fn reach(graph: &CallGraph, seed: &[bool], blocked: &[bool]) -> Vec<bool> {
+    let n = graph.nodes.len();
+    // Reverse adjacency: who calls me.
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, callees) in graph.edges.iter().enumerate() {
+        for &callee in callees {
+            callers[callee].push(caller);
+        }
+    }
+    let mut bit = vec![false; n];
+    let mut work: Vec<usize> = (0..n).filter(|&i| seed[i] && !blocked[i]).collect();
+    for &i in &work {
+        bit[i] = true;
+    }
+    while let Some(i) = work.pop() {
+        for &caller in &callers[i] {
+            if !bit[caller] && !blocked[caller] {
+                bit[caller] = true;
+                work.push(caller);
+            }
+        }
+    }
+    bit
+}
+
+/// All interprocedural findings: `(reported, suppressed)`.
+pub fn analyze(graph: &CallGraph) -> (Vec<Finding>, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    check_aa07(graph, &mut findings, &mut suppressed);
+    check_aa08(graph, &mut findings);
+    check_aa09(graph, &mut findings);
+    // Site-level suppressions collected while scanning become the audit
+    // trail, one entry per silenced site.
+    for n in &graph.nodes {
+        for (rule, s) in &n.suppressed_sites {
+            suppressed.push(interproc_finding(
+                *rule,
+                n,
+                format!("suppressed at {}:{}: {}", s.line, s.col, s.what),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    (findings, suppressed)
+}
+
+fn interproc_finding(rule: RuleId, node: &FnNode, message: String) -> Finding {
+    Finding {
+        rule,
+        file: node.file.clone(),
+        line: node.line,
+        col: node.col,
+        message,
+        symbol: Some(node.symbol.clone()),
+    }
+}
+
+fn blocked_for(graph: &CallGraph, rule: RuleId) -> Vec<bool> {
+    graph
+        .nodes
+        .iter()
+        .map(|n| n.blocked.contains(&rule))
+        .collect()
+}
+
+/// AA07: transitive panic reachability. A non-test fn in an
+/// availability-critical crate whose closure reaches an unsuppressed panic
+/// site is reported once, at the fn, with a witness. Panics seed everywhere
+/// (a `graph`-crate unwrap still surfaces at the core fn that reaches it),
+/// but only availability-critical fns are reported — elsewhere the leaf site
+/// is AA01's direct finding. Fns whose *direct* sites AA01 already reports
+/// are skipped (no double-reporting) but still propagate to their callers.
+fn check_aa07(graph: &CallGraph, out: &mut Vec<Finding>, suppressed: &mut Vec<Finding>) {
+    let seed: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|n| !n.panic_sites.is_empty())
+        .collect();
+    let blocked = blocked_for(graph, RuleId::AA07);
+    let bit = reach(graph, &seed, &blocked);
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if n.is_test || n.allow_panics || !n.availability_critical {
+            continue;
+        }
+        if blocked[i] {
+            // A vetted fn that would otherwise seed goes to the audit trail.
+            if seed[i] {
+                suppressed.push(interproc_finding(
+                    RuleId::AA07,
+                    n,
+                    format!("`{}` vetted by fn-level pragma", n.symbol),
+                ));
+            }
+            continue;
+        }
+        if !bit[i] {
+            continue;
+        }
+        if seed[i] {
+            if n.panic_reported_by_aa01 {
+                continue; // AA01 already points at the leaf site
+            }
+            // Direct but not AA01-visible: indexing.
+            let s = &n.panic_sites[0];
+            out.push(interproc_finding(
+                RuleId::AA07,
+                n,
+                format!(
+                    "`{}` can panic: {} at line {} (anytime availability: \
+                     return an error or document the bound with allow(AA07, ..))",
+                    n.symbol, s.what, s.line
+                ),
+            ));
+            continue;
+        }
+        // Transitive only: name the first panicking callee as witness.
+        let witness = graph.edges[i]
+            .iter()
+            .find(|&&c| bit[c])
+            .map(|&c| graph.nodes[c].symbol.clone())
+            .unwrap_or_else(|| "a callee".into());
+        out.push(interproc_finding(
+            RuleId::AA07,
+            n,
+            format!(
+                "`{}` can reach a panic through `{witness}` (anytime availability: \
+                 the whole call closure must degrade, not abort)",
+                n.symbol
+            ),
+        ));
+    }
+}
+
+/// AA08: nondeterminism taint. Reported only for deterministic-core fns
+/// whose taint arrives *through a callee* — a direct source in core is
+/// AA04's finding already.
+fn check_aa08(graph: &CallGraph, out: &mut Vec<Finding>) {
+    let seed: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|n| !n.taint_sites.is_empty())
+        .collect();
+    let blocked = blocked_for(graph, RuleId::AA08);
+    let bit = reach(graph, &seed, &blocked);
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if !n.deterministic_core || n.is_test || blocked[i] || !bit[i] {
+            continue;
+        }
+        if seed[i] {
+            continue; // direct source: AA04 territory
+        }
+        let witness = graph.edges[i]
+            .iter()
+            .find(|&&c| bit[c])
+            .map(|&c| {
+                let cn = &graph.nodes[c];
+                match cn.taint_sites.first() {
+                    Some(s) => format!("`{}` ({})", cn.symbol, s.what),
+                    None => format!("`{}`", cn.symbol),
+                }
+            })
+            .unwrap_or_else(|| "a callee".into());
+        out.push(interproc_finding(
+            RuleId::AA08,
+            n,
+            format!(
+                "`{}` in the deterministic core reaches a nondeterminism source \
+                 through {witness} — sim-as-oracle replay will diverge",
+                n.symbol
+            ),
+        ));
+    }
+}
+
+/// AA09: durability ordering. Purely local facts gathered by the graph
+/// builder, reported per fn so the baseline ratchets per symbol.
+fn check_aa09(graph: &CallGraph, out: &mut Vec<Finding>) {
+    for n in &graph.nodes {
+        if n.is_test {
+            continue;
+        }
+        for s in &n.raw_write_sites {
+            out.push(interproc_finding(
+                RuleId::AA09,
+                n,
+                format!(
+                    "`{}` writes via {} at line {}: go through `atomic_write_file` \
+                     (write→fsync→rename) or carry allow(AA09, ..) naming the contract",
+                    n.symbol, s.what, s.line
+                ),
+            ));
+        }
+        if let Some(s) = &n.flush_before_commit {
+            out.push(interproc_finding(
+                RuleId::AA09,
+                n,
+                format!(
+                    "`{}`: {} at line {} — state mutated before the WAL group-commit \
+                     marker is durable",
+                    n.symbol, s.what, s.line
+                ),
+            ));
+        }
+        if let Some(s) = &n.ack_without_append {
+            out.push(interproc_finding(
+                RuleId::AA09,
+                n,
+                format!("`{}`: {} at line {}", n.symbol, s.what, s.line),
+            ));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! `--fix`: byte-span autofixes for the mechanical rules.
+//!
+//! Two rewrites, both purely local:
+//!
+//! * **AA02** `a.partial_cmp(&b).unwrap()` → `a.total_cmp(&b)` (also the
+//!   `.expect(..)` form). `total_cmp` is a total order, so the panic simply
+//!   has nothing left to guard.
+//! * **AA03** `x == 1.5` → `(x - 1.5).abs() < f64::EPSILON` and
+//!   `x != 1.5` → `(x - 1.5).abs() >= f64::EPSILON` (`f32::EPSILON` when
+//!   the literal is suffixed `f32`).
+//!
+//! Fixes are computed from token byte offsets and applied back-to-front so
+//! earlier spans stay valid. Sites inside test ranges or covered by a
+//! reasoned pragma are left alone — a suppression is a reviewed decision,
+//! not a fixable defect. The rewrites are idempotent: fixed output contains
+//! no matching pattern, so `--fix --check` on a clean tree is a no-op.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{self, FileClass, RuleId};
+use crate::workspace;
+use std::fs;
+use std::path::Path;
+
+/// One byte-span replacement.
+#[derive(Debug)]
+struct Edit {
+    start: usize,
+    end: usize,
+    replacement: String,
+}
+
+/// Rewrites one file's fixable findings. Returns `(fixed_source,
+/// edit_count)`, or `None` when nothing applies.
+pub fn fix_source(class: &FileClass, src: &str) -> Option<(String, usize)> {
+    if class.is_test_code {
+        return None;
+    }
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let test_ranges = rules::test_ranges(toks);
+    let in_test = |idx: usize| test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b);
+    let pragmas = rules::pragma_lines(&lexed.comments);
+    let covered = |rule: RuleId, line: u32| {
+        pragmas
+            .iter()
+            .any(|&(r, l)| r == rule && (l == line || l + 1 == line))
+    };
+
+    let mut edits: Vec<Edit> = Vec::new();
+    fix_aa02(src, toks, &in_test, &covered, &mut edits);
+    fix_aa03(src, toks, &in_test, &covered, &mut edits);
+    if edits.is_empty() {
+        return None;
+    }
+    // Back-to-front application; overlapping edits (shouldn't happen, but
+    // degrade safely) are dropped.
+    edits.sort_by_key(|e| e.start);
+    let mut kept: Vec<Edit> = Vec::new();
+    for e in edits {
+        if kept.last().is_none_or(|p| p.end <= e.start) {
+            kept.push(e);
+        }
+    }
+    let count = kept.len();
+    let mut out = src.to_string();
+    for e in kept.iter().rev() {
+        out.replace_range(e.start..e.end, &e.replacement);
+    }
+    Some((out, count))
+}
+
+/// End byte offset of a token (valid for every token the fixer touches).
+fn tok_end(t: &Token) -> usize {
+    t.offset + t.text.len()
+}
+
+/// `partial_cmp(ARGS).unwrap()` → `total_cmp(ARGS)`.
+fn fix_aa02(
+    _src: &str,
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    covered: &dyn Fn(RuleId, u32) -> bool,
+    edits: &mut Vec<Edit>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "partial_cmp" || in_test(i) {
+            continue;
+        }
+        if covered(RuleId::AA02, t.line) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        let close = match match_round_idx(toks, i + 1) {
+            Some(c) => c,
+            None => continue,
+        };
+        let (dot, method) = (close + 1, close + 2);
+        if toks.get(dot).is_none_or(|d| d.text != ".")
+            || toks
+                .get(method)
+                .is_none_or(|m| m.text != "unwrap" && m.text != "expect")
+            || toks.get(method + 1).is_none_or(|p| p.text != "(")
+        {
+            continue;
+        }
+        let Some(call_close) = match_round_idx(toks, method + 1) else {
+            continue;
+        };
+        edits.push(Edit {
+            start: t.offset,
+            end: tok_end(t),
+            replacement: "total_cmp".into(),
+        });
+        edits.push(Edit {
+            start: tok_end(&toks[close]),
+            end: tok_end(&toks[call_close]),
+            replacement: String::new(),
+        });
+    }
+}
+
+/// `expr == FLOAT` → `(expr - FLOAT).abs() < f64::EPSILON`.
+fn fix_aa03(
+    src: &str,
+    toks: &[Token],
+    in_test: &dyn Fn(usize) -> bool,
+    covered: &dyn Fn(RuleId, u32) -> bool,
+    edits: &mut Vec<Edit>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") || in_test(i) {
+            continue;
+        }
+        if covered(RuleId::AA03, t.line) {
+            continue;
+        }
+        let lit_right = toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float);
+        let lit_left = i
+            .checked_sub(1)
+            .and_then(|k| toks.get(k))
+            .is_some_and(|n| n.kind == TokenKind::Float);
+        // Literal-vs-literal is constant folding gone wrong; leave it to a
+        // human. Exactly one side must be the literal.
+        let (lit_idx, expr_side_right) = match (lit_left, lit_right) {
+            (true, false) => (i - 1, true),
+            (false, true) => (i + 1, false),
+            _ => continue,
+        };
+        let (expr_start, expr_end) = if expr_side_right {
+            let Some(range) = expr_forward(toks, i + 1) else {
+                continue;
+            };
+            range
+        } else {
+            let Some(range) = expr_backward(toks, i.wrapping_sub(1)) else {
+                continue;
+            };
+            range
+        };
+        // The walkers capture a *primary* expression chain only. If the
+        // operand continues with an arithmetic operator on its outer side
+        // (`new - old != 0.0`), rewriting just the captured tail would bind
+        // `.abs()` to the wrong subexpression — bail and leave it to a
+        // human, who knows where the parentheses belong.
+        let (left_start, right_end) = if expr_side_right {
+            (lit_idx, expr_end)
+        } else {
+            (expr_start, lit_idx)
+        };
+        let continues = |text: &str| matches!(text, "+" | "-" | "*" | "/" | "%");
+        if left_start
+            .checked_sub(1)
+            .and_then(|k| toks.get(k))
+            .is_some_and(|p| continues(&p.text))
+            || toks.get(right_end + 1).is_some_and(|n| continues(&n.text))
+        {
+            continue;
+        }
+        let lit = &toks[lit_idx];
+        let expr_src = &src[toks[expr_start].offset..tok_end(&toks[expr_end])];
+        let eps = if lit.text.contains("f32") {
+            "f32::EPSILON"
+        } else {
+            "f64::EPSILON"
+        };
+        let cmp = if t.text == "==" { "<" } else { ">=" };
+        let replacement = format!("({expr_src} - {}).abs() {cmp} {eps}", lit.text);
+        let span_start = toks[expr_start.min(lit_idx)].offset.min(lit.offset);
+        let span_end = tok_end(&toks[expr_end.max(lit_idx)]).max(tok_end(lit));
+        edits.push(Edit {
+            start: span_start,
+            end: span_end,
+            replacement,
+        });
+    }
+}
+
+/// Token index of the `)` matching the `(` at `open`.
+fn match_round_idx(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Token index of the `(`/`[` matching the closer at `close`, walking back.
+fn match_open_idx(toks: &[Token], close: usize) -> Option<usize> {
+    let (op, cl) = match toks[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        let t = &toks[i].text;
+        if t == cl {
+            depth += 1;
+        } else if t == op {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Walks back from `last` over a primary-expression chain (`a.b().c[0]`,
+/// `m::f(x)`, plain idents/literals). Returns `(first, last)` token indices.
+fn expr_backward(toks: &[Token], last: usize) -> Option<(usize, usize)> {
+    let mut j = last;
+    loop {
+        let t = toks.get(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, ")" | "]") => {
+                j = match_open_idx(toks, j)?;
+                // `f(..)` / `xs[..]`: the callee/receiver precedes the group.
+                match j.checked_sub(1).map(|k| &toks[k]) {
+                    Some(p) if p.kind == TokenKind::Ident => j -= 1,
+                    _ => return Some((j, last)),
+                }
+            }
+            (TokenKind::Ident | TokenKind::Int | TokenKind::Float, _) => {}
+            _ => return None,
+        }
+        // Chain continues through `.` / `::`.
+        match j.checked_sub(1).map(|k| toks[k].text.as_str()) {
+            Some("." | "::") if j >= 2 => j -= 2,
+            _ => return Some((j, last)),
+        }
+    }
+}
+
+/// Forward twin of [`expr_backward`], starting at `first`.
+fn expr_forward(toks: &[Token], first: usize) -> Option<(usize, usize)> {
+    let mut j = first;
+    loop {
+        let t = toks.get(j)?;
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Ident | TokenKind::Int | TokenKind::Float, _) => {}
+            _ => return None,
+        }
+        // Suffixes: call args / index group.
+        let mut k = j;
+        while toks
+            .get(k + 1)
+            .is_some_and(|n| n.text == "(" || n.text == "[")
+        {
+            let close = if toks[k + 1].text == "(" {
+                match_round_idx(toks, k + 1)?
+            } else {
+                match_square_idx(toks, k + 1)?
+            };
+            k = close;
+        }
+        match toks.get(k + 1).map(|n| n.text.as_str()) {
+            Some("." | "::") if toks.get(k + 2).is_some() => j = k + 2,
+            _ => return Some((first, k)),
+        }
+    }
+}
+
+/// Token index of the `]` matching the `[` at `open`.
+fn match_square_idx(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Applies (or, with `check_only`, merely counts) fixes across the
+/// workspace. Returns `(rel_path, edit_count)` per changed file.
+pub fn fix_workspace(root: &Path, check_only: bool) -> Result<Vec<(String, usize)>, String> {
+    let files = workspace::collect(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut changed = Vec::new();
+    for (path, class) in &files {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        if let Some((fixed, count)) = fix_source(class, &src) {
+            if !check_only {
+                fs::write(path, fixed).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            }
+            changed.push((class.rel_path.clone(), count));
+        }
+    }
+    Ok(changed)
+}

@@ -38,6 +38,10 @@ pub struct Token {
     pub line: u32,
     /// 1-based column of the token's first character.
     pub col: u32,
+    /// Byte offset of the token's first character in the source. The fixer
+    /// edits source text by byte span; for every token except raw
+    /// identifiers (`r#name`) the span is `offset..offset + text.len()`.
+    pub offset: usize,
 }
 
 /// A comment (line or block), kept separately from the token stream so the
@@ -61,9 +65,13 @@ pub struct Lexed {
 
 /// Two-character operators that must not be split (the rules need `==`/`!=`
 /// as single tokens; the rest are fused so expressions read sanely).
+/// `<<` and `>>` are deliberately NOT fused: in `Vec<Vec<u64>>` the `>>`
+/// closes two generic lists, and in `Vec<<T as Tr>::Item>` the `<<` opens
+/// one — the parser needs individual angle tokens, and no rule matches on
+/// shift operators.
 const TWO_CHAR_OPS: &[&str] = &[
     "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
-    "&=", "|=", "<<", ">>",
+    "&=", "|=",
 ];
 
 struct Cursor {
@@ -71,6 +79,7 @@ struct Cursor {
     pos: usize,
     line: u32,
     col: u32,
+    byte: usize,
 }
 
 impl Cursor {
@@ -82,6 +91,7 @@ impl Cursor {
         let c = self.chars.get(self.pos).copied();
         if let Some(c) = c {
             self.pos += 1;
+            self.byte += c.len_utf8();
             if c == '\n' {
                 self.line += 1;
                 self.col = 1;
@@ -110,11 +120,12 @@ pub fn lex(src: &str) -> Lexed {
         pos: 0,
         line: 1,
         col: 1,
+        byte: 0,
     };
     let mut out = Lexed::default();
 
     while let Some(c) = cur.peek(0) {
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, offset) = (cur.line, cur.col, cur.byte);
         if c.is_whitespace() {
             cur.bump();
             continue;
@@ -188,6 +199,7 @@ pub fn lex(src: &str) -> Lexed {
                         text,
                         line,
                         col,
+                        offset,
                     });
                     continue;
                 }
@@ -215,11 +227,18 @@ pub fn lex(src: &str) -> Lexed {
                 text,
                 line,
                 col,
+                offset,
             });
             continue;
         }
         if c.is_ascii_digit() {
-            out.tokens.push(lex_number(&mut cur));
+            // `x.0.1` is a tuple-index chain, not the float `0.1`: a number
+            // directly following a `.` punct never takes a fractional part.
+            let after_dot = out
+                .tokens
+                .last()
+                .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".");
+            out.tokens.push(lex_number(&mut cur, after_dot));
             continue;
         }
         // `#` before `"` only occurs inside raw strings, which are handled
@@ -243,6 +262,7 @@ pub fn lex(src: &str) -> Lexed {
             text,
             line,
             col,
+            offset,
         });
     }
     out
@@ -251,7 +271,7 @@ pub fn lex(src: &str) -> Lexed {
 /// Lexes a `'...'` or `"..."` literal with escape handling. The cursor is on
 /// the opening quote.
 fn lex_quoted(cur: &mut Cursor, quote: char, kind: TokenKind) -> Token {
-    let (line, col) = (cur.line, cur.col);
+    let (line, col, offset) = (cur.line, cur.col, cur.byte);
     let mut text = String::new();
     text.push(cur.bump().unwrap_or(quote)); // opening quote
     while let Some(c) = cur.peek(0) {
@@ -274,6 +294,7 @@ fn lex_quoted(cur: &mut Cursor, quote: char, kind: TokenKind) -> Token {
         text,
         line,
         col,
+        offset,
     }
 }
 
@@ -281,7 +302,7 @@ fn lex_quoted(cur: &mut Cursor, quote: char, kind: TokenKind) -> Token {
 /// `c"…"`, `cr"…"`, `b'…'`, and raw identifiers `r#ident`. Returns `None`
 /// if the cursor is on a plain identifier.
 fn try_lex_prefixed_string(cur: &mut Cursor) -> Option<Token> {
-    let (line, col) = (cur.line, cur.col);
+    let (line, col, offset) = (cur.line, cur.col, cur.byte);
     let c0 = cur.peek(0)?;
     let prefix_len = match (c0, cur.peek(1)) {
         ('b', Some('r')) | ('c', Some('r')) => 2,
@@ -335,6 +356,7 @@ fn try_lex_prefixed_string(cur: &mut Cursor) -> Option<Token> {
             text,
             line,
             col,
+            offset,
         });
     }
     if quote == '\'' && prefix_len == 1 && c0 == 'b' && hashes == 0 {
@@ -343,6 +365,7 @@ fn try_lex_prefixed_string(cur: &mut Cursor) -> Option<Token> {
         tok.text.insert(0, 'b');
         tok.line = line;
         tok.col = col;
+        tok.offset = offset;
         return Some(tok);
     }
     if c0 == 'r' && hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
@@ -359,6 +382,7 @@ fn try_lex_prefixed_string(cur: &mut Cursor) -> Option<Token> {
             text,
             line,
             col,
+            offset,
         });
     }
     None
@@ -366,9 +390,11 @@ fn try_lex_prefixed_string(cur: &mut Cursor) -> Option<Token> {
 
 /// Lexes a numeric literal. `1.5`, `1e-3` and `2f64` are floats; `1.max(2)`
 /// and `0..n` keep the `1`/`0` as integers (the dot belongs to the method
-/// call / range).
-fn lex_number(cur: &mut Cursor) -> Token {
-    let (line, col) = (cur.line, cur.col);
+/// call / range). `after_dot` marks a number that directly follows a `.`
+/// punct — a tuple index like the `0` in `x.0.1` — which never takes a
+/// fractional part of its own.
+fn lex_number(cur: &mut Cursor, after_dot: bool) -> Token {
+    let (line, col, offset) = (cur.line, cur.col, cur.byte);
     let mut text = String::new();
     let mut float = false;
     if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
@@ -387,7 +413,7 @@ fn lex_number(cur: &mut Cursor) -> Token {
         // Fractional part: only if the dot is followed by a digit, or by
         // nothing identifier-like (so `1.` is a float but `1.max` is not,
         // and `0..n` leaves the range operator alone).
-        if cur.peek(0) == Some('.') {
+        if cur.peek(0) == Some('.') && !after_dot {
             let after = cur.peek(1);
             let digit_after = after.is_some_and(|c| c.is_ascii_digit());
             let plain_dot = after != Some('.') && !after.is_some_and(is_ident_start);
@@ -434,5 +460,6 @@ fn lex_number(cur: &mut Cursor) -> Token {
         text,
         line,
         col,
+        offset,
     }
 }

@@ -28,8 +28,13 @@
 //! tier-1 gate in `tests/lint_gate.rs`.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
+pub mod fix;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 pub use baseline::{Baseline, BucketDelta, RatchetReport};
@@ -68,13 +73,23 @@ pub fn run(root: &Path, baseline: Option<&Baseline>) -> Result<WorkspaceReport, 
         files_scanned: files.len(),
         ..Default::default()
     };
+    let mut graph_builder = callgraph::Builder::default();
     for (path, class) in &files {
         let src =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let mut file_report = rules::check_source(class, &src);
+        let lexed = lexer::lex(&src);
+        let mut file_report = rules::check_lexed(class, &lexed);
         report.findings.append(&mut file_report.findings);
         report.suppressed.append(&mut file_report.suppressed);
+        // Test trees never enter the call graph: their panics are assertions.
+        if !class.is_test_code {
+            graph_builder.add_file(class, &lexed);
+        }
     }
+    let graph = graph_builder.finish();
+    let (mut interproc, mut interproc_suppressed) = dataflow::analyze(&graph);
+    report.findings.append(&mut interproc);
+    report.suppressed.append(&mut interproc_suppressed);
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
@@ -134,8 +149,12 @@ pub fn render_human(report: &WorkspaceReport) -> String {
 pub fn render_json(report: &WorkspaceReport) -> String {
     use baseline::quote;
     let finding_json = |f: &Finding| {
+        let symbol = match &f.symbol {
+            Some(s) => format!(", \"symbol\": {}", quote(s)),
+            None => String::new(),
+        };
         format!(
-            "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}{symbol}}}",
             quote(f.rule.as_str()),
             quote(&f.file),
             f.line,

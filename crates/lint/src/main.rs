@@ -3,11 +3,15 @@
 //! ```text
 //! cargo run -p aa-lint                       # human report, ratcheted gate
 //! cargo run -p aa-lint -- --format json      # CI artifact
+//! cargo run -p aa-lint -- --format sarif     # code-scanning annotations
 //! cargo run -p aa-lint -- --write-baseline   # tighten the ratchet after a burn-down
+//! cargo run -p aa-lint -- --fix              # autofix AA02/AA03 in place
+//! cargo run -p aa-lint -- --fix --check      # fail if any autofix is pending
 //! ```
 //!
 //! Exit codes: 0 clean (all findings within the committed baseline),
-//! 1 new findings or ratchet regressions, 2 usage or I/O error.
+//! 1 new findings, ratchet regressions, or pending `--fix --check` fixes,
+//! 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,16 +23,20 @@ struct Args {
     output: Option<PathBuf>,
     write_baseline: bool,
     no_baseline: bool,
+    fix: bool,
+    check: bool,
 }
 
 #[derive(PartialEq)]
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 const USAGE: &str = "usage: aa-lint [--root DIR] [--baseline FILE] [--no-baseline] \
-                     [--format human|json] [--output FILE] [--write-baseline]";
+                     [--format human|json|sarif] [--output FILE] [--write-baseline] \
+                     [--fix [--check]]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -38,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         output: None,
         write_baseline: false,
         no_baseline: false,
+        fix: false,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,11 +63,14 @@ fn parse_args() -> Result<Args, String> {
                 args.format = match value("--format")?.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format {other:?}\n{USAGE}")),
                 }
             }
             "--write-baseline" => args.write_baseline = true,
             "--no-baseline" => args.no_baseline = true,
+            "--fix" => args.fix = true,
+            "--check" => args.check = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -83,6 +96,25 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &Args) -> Result<bool, String> {
+    if args.check && !args.fix {
+        return Err(format!("--check only applies with --fix\n{USAGE}"));
+    }
+    if args.fix {
+        let changed = aa_lint::fix::fix_workspace(&args.root, args.check)?;
+        for (file, edits) in &changed {
+            eprintln!(
+                "aa-lint: {} {edits} fix(es) in {file}",
+                if args.check { "pending" } else { "applied" }
+            );
+        }
+        if args.check {
+            if changed.is_empty() {
+                eprintln!("aa-lint: no pending autofixes");
+            }
+            return Ok(changed.is_empty());
+        }
+        // Fall through: report on the tree as fixed.
+    }
     let baseline_path = args
         .baseline
         .clone()
@@ -110,6 +142,7 @@ fn run(args: &Args) -> Result<bool, String> {
     let rendered = match args.format {
         Format::Human => aa_lint::render_human(&report),
         Format::Json => aa_lint::render_json(&report),
+        Format::Sarif => aa_lint::sarif::render(&report),
     };
     match &args.output {
         Some(path) => {

@@ -1,0 +1,545 @@
+//! A recursive-descent item parser over the [`crate::lexer`] token stream.
+//!
+//! The interprocedural rules need *structure*, not full syntax: which fns
+//! exist, which impl/trait they belong to, where their bodies start and end,
+//! and what they call. This module recovers exactly that — `use` imports,
+//! `mod`/`impl`/`trait` nesting, `fn` items (including nested fns and trait
+//! default bodies), and the call expressions / method calls inside each
+//! body. Closures are not items: their tokens stay part of the enclosing
+//! fn's body, so a panic inside a closure is attributed to the fn that owns
+//! it. Everything else (expressions, patterns, types) is skipped by
+//! bracket-matching, which is why the lexer must never fuse `>>` — generic
+//! argument lists are skipped one angle at a time.
+//!
+//! The parser never fails: on malformed input it resynchronizes at the next
+//! item keyword, because the analyzer must degrade gracefully on files that
+//! do not compile yet.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules;
+use std::collections::BTreeMap;
+
+/// One call expression inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name: the method name for `recv.name(..)`, the last path
+    /// segment for `a::b::name(..)`, the bare name for `name(..)`.
+    pub name: String,
+    /// The path segment before `::name`, if any (`Engine` in `Engine::new`,
+    /// `self`/`Self` included). `None` for method and bare calls.
+    pub qualifier: Option<String>,
+    /// `recv.name(..)` — resolved conservatively to every impl of `name`.
+    pub is_method: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `fn` item (free fn, impl method, trait default method, nested fn, or
+/// a body-less trait method declaration).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl TYPE` / `trait TYPE` type name, `None` for free fns.
+    pub self_type: Option<String>,
+    /// `Some(trait)` for methods in `impl Trait for Type` blocks and for
+    /// trait declarations/default bodies.
+    pub trait_name: Option<String>,
+    /// Line/col of the `fn` keyword — findings and fn-level pragmas attach
+    /// here.
+    pub line: u32,
+    pub col: u32,
+    /// Token range `[fn keyword, body open)` — the signature, searched for
+    /// return types like `WriteOutcome`.
+    pub sig: (usize, usize),
+    /// Token range `[{, }]` of the body; `None` for trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Sub-ranges of `body` that belong to this fn itself — `body` minus any
+    /// nested `fn` items. Site scans iterate these.
+    pub own_body: Vec<(usize, usize)>,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+    pub calls: Vec<CallSite>,
+}
+
+impl FnItem {
+    /// `Type::name` or bare `name` — the baseline/symbol key within a file.
+    pub fn symbol(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Parser output for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    /// `use` map: imported leaf (or `as` alias) → full path. Lets the call
+    /// resolver skip callees known to come from std/core/alloc.
+    pub imports: BTreeMap<String, String>,
+}
+
+/// Item-level context while descending into `mod`/`impl`/`trait` bodies.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    self_type: Option<String>,
+    trait_name: Option<String>,
+}
+
+/// Parses a token stream into fn items and imports.
+pub fn parse(toks: &[Token]) -> ParsedFile {
+    let test_ranges = rules::test_ranges(toks);
+    let mut out = ParsedFile::default();
+    parse_items(toks, 0, toks.len(), &Ctx::default(), &test_ranges, &mut out);
+    attach_own_bodies(toks, &mut out.fns);
+    for f in &mut out.fns {
+        f.calls = collect_calls(toks, &f.own_body);
+    }
+    out
+}
+
+/// Scans `[start, end)` for items, recursing into braced bodies.
+fn parse_items(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    ctx: &Ctx,
+    test_ranges: &[(usize, usize)],
+    out: &mut ParsedFile,
+) {
+    let mut i = start;
+    while i < end {
+        let t = match toks.get(i) {
+            Some(t) => t,
+            None => return,
+        };
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "use" => i = parse_use(toks, i, end, out),
+            "mod" => {
+                // `mod name { ... }` recurses with the same ctx; `mod name;`
+                // is just a declaration.
+                if let Some(open) = find_body_open(toks, i + 1, end) {
+                    let close = rules::match_brace(toks, open).min(end.saturating_sub(1));
+                    parse_items(toks, open + 1, close, ctx, test_ranges, out);
+                    i = close + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" => i = parse_impl(toks, i, end, test_ranges, out),
+            "trait" => i = parse_trait(toks, i, end, test_ranges, out),
+            "fn" => i = parse_fn(toks, i, end, ctx, test_ranges, out),
+            _ => i += 1,
+        }
+    }
+}
+
+/// `use a::b::{c, d as e};` → imports c→a::b::c, e→a::b::d. Globs skipped.
+fn parse_use(toks: &[Token], kw: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let mut i = kw + 1;
+    let mut prefix: Vec<String> = Vec::new();
+    let mut leaf: Option<String> = None;
+    while i < end {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, ";") => break,
+            (TokenKind::Punct, "::") => {
+                if let Some(l) = leaf.take() {
+                    prefix.push(l);
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                // Group: each comma-separated leaf shares the prefix. Nested
+                // groups are flattened by treating `::`/idents uniformly.
+                let close = match_group_brace(toks, i, end);
+                record_group(toks, i + 1, close, &prefix, out);
+                i = close;
+                leaf = None;
+            }
+            // `x as y`: y replaces x as the imported name.
+            (TokenKind::Ident, "as") if i + 1 < end && toks[i + 1].kind == TokenKind::Ident => {
+                let full = path_of(&prefix, leaf.as_deref().unwrap_or(""));
+                out.imports.insert(toks[i + 1].text.clone(), full);
+                leaf = None;
+                i += 1;
+            }
+            (TokenKind::Ident, "as") => {}
+            (TokenKind::Ident, name) => leaf = Some(name.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(l) = leaf {
+        let full = path_of(&prefix, &l);
+        out.imports.insert(l, full);
+    }
+    i + 1
+}
+
+fn path_of(prefix: &[String], leaf: &str) -> String {
+    let mut parts: Vec<&str> = prefix.iter().map(String::as_str).collect();
+    parts.push(leaf);
+    parts.join("::")
+}
+
+/// `{` matcher for use-groups (token braces, not item bodies).
+fn match_group_brace(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Records each leaf of a `use` group `{a, b::c, d as e}`.
+fn record_group(toks: &[Token], start: usize, end: usize, prefix: &[String], out: &mut ParsedFile) {
+    let mut inner: Vec<String> = prefix.to_vec();
+    let mut leaf: Option<String> = None;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, ",") => {
+                if let Some(l) = leaf.take() {
+                    out.imports.insert(l.clone(), path_of(&inner, &l));
+                }
+                inner = prefix.to_vec();
+            }
+            (TokenKind::Punct, "::") => {
+                if let Some(l) = leaf.take() {
+                    inner.push(l);
+                }
+            }
+            (TokenKind::Punct, "{") => {
+                let close = match_group_brace(toks, i, end);
+                record_group(toks, i + 1, close, &inner, out);
+                i = close;
+                leaf = None;
+            }
+            (TokenKind::Ident, "as") if i + 1 < end && toks[i + 1].kind == TokenKind::Ident => {
+                let full = path_of(&inner, leaf.as_deref().unwrap_or(""));
+                out.imports.insert(toks[i + 1].text.clone(), full);
+                leaf = None;
+                i += 1;
+            }
+            (TokenKind::Ident, "as") => {}
+            (TokenKind::Ident, "self") => leaf = None, // `use a::b::{self, c}`
+            (TokenKind::Ident, name) => leaf = Some(name.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(l) = leaf {
+        out.imports.insert(l.clone(), path_of(&inner, &l));
+    }
+}
+
+/// Skips a `<...>` generic list starting at `open` (individual angle
+/// tokens); returns the index after the closing `>`.
+fn skip_generics(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            // `(` in generic position only occurs in Fn(..) sugar; skip it
+            // wholesale so its `->`/commas cannot confuse the depth count.
+            "(" => i = match_round(toks, i, end),
+            _ => {}
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Index of the `)` matching the `(` at `open` (or `end - 1`).
+fn match_round(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < end {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Parses a type path at `i`: `&'a mut a::b::Type<X, Y>` → (`Type`, index
+/// after the path). Tuples/slices yield `None` (no usable impl-target name).
+fn parse_type_path(toks: &[Token], mut i: usize, end: usize) -> (Option<String>, usize) {
+    // Skip reference/pointer/dyn decoration.
+    while i < end
+        && (toks[i].kind == TokenKind::Lifetime
+            || matches!(toks[i].text.as_str(), "&" | "*" | "mut" | "const" | "dyn"))
+    {
+        i += 1;
+    }
+    if i >= end || toks[i].kind != TokenKind::Ident {
+        // `(A, B)` / `[T; N]` impl targets: skip the bracketed group.
+        if i < end && toks[i].text == "(" {
+            return (None, match_round(toks, i, end) + 1);
+        }
+        return (None, i + 1);
+    }
+    let mut last = toks[i].text.clone();
+    i += 1;
+    loop {
+        if i < end && toks[i].text == "<" {
+            i = skip_generics(toks, i, end);
+        }
+        if i + 1 < end && toks[i].text == "::" && toks[i + 1].kind == TokenKind::Ident {
+            last = toks[i + 1].text.clone();
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (Some(last), i)
+}
+
+/// First `{` from `i` that opens an item body (skipping generic lists so a
+/// `Foo<{N}>` const-generic brace cannot be mistaken for the body).
+fn find_body_open(toks: &[Token], mut i: usize, end: usize) -> Option<usize> {
+    while i < end {
+        match toks[i].text.as_str() {
+            "{" => return Some(i),
+            ";" => return None,
+            "<" => i = skip_generics(toks, i, end),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// `impl<..> Type { .. }` / `impl<..> Trait for Type { .. }`.
+fn parse_impl(
+    toks: &[Token],
+    kw: usize,
+    end: usize,
+    test_ranges: &[(usize, usize)],
+    out: &mut ParsedFile,
+) -> usize {
+    let mut i = kw + 1;
+    if i < end && toks[i].text == "<" {
+        i = skip_generics(toks, i, end);
+    }
+    let (first, after) = parse_type_path(toks, i, end);
+    i = after;
+    let (self_type, trait_name) = if i < end && toks[i].text == "for" {
+        let (second, after) = parse_type_path(toks, i + 1, end);
+        i = after;
+        (second, first)
+    } else {
+        (first, None)
+    };
+    let Some(open) = find_body_open(toks, i, end) else {
+        return i.max(kw + 1);
+    };
+    let close = rules::match_brace(toks, open).min(end.saturating_sub(1));
+    let ctx = Ctx {
+        self_type,
+        trait_name,
+    };
+    parse_items(toks, open + 1, close, &ctx, test_ranges, out);
+    close + 1
+}
+
+/// `trait Name { fn declared(..); fn defaulted(..) { .. } }`.
+fn parse_trait(
+    toks: &[Token],
+    kw: usize,
+    end: usize,
+    test_ranges: &[(usize, usize)],
+    out: &mut ParsedFile,
+) -> usize {
+    let name = match toks.get(kw + 1) {
+        Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+        _ => return kw + 1,
+    };
+    let Some(open) = find_body_open(toks, kw + 2, end) else {
+        return kw + 2;
+    };
+    let close = rules::match_brace(toks, open).min(end.saturating_sub(1));
+    let ctx = Ctx {
+        self_type: Some(name.clone()),
+        trait_name: Some(name),
+    };
+    parse_items(toks, open + 1, close, &ctx, test_ranges, out);
+    close + 1
+}
+
+/// `fn name<..>(..) -> Ret { .. }` or `fn name(..);` (trait declaration).
+/// Returns the index to resume scanning at — *inside* is handled here by the
+/// caller's recursion into the body via `parse_items` (nested fns become
+/// their own items).
+fn parse_fn(
+    toks: &[Token],
+    kw: usize,
+    end: usize,
+    ctx: &Ctx,
+    test_ranges: &[(usize, usize)],
+    out: &mut ParsedFile,
+) -> usize {
+    // `fn(` with no name is a fn-pointer type, not an item.
+    let name_tok = match toks.get(kw + 1) {
+        Some(t) if t.kind == TokenKind::Ident => t,
+        _ => return kw + 1,
+    };
+    let mut i = kw + 2;
+    if i < end && toks[i].text == "<" {
+        i = skip_generics(toks, i, end);
+    }
+    if i >= end || toks[i].text != "(" {
+        return kw + 2;
+    }
+    i = match_round(toks, i, end) + 1;
+    // Return type / where clause up to the body. `find_body_open` stops at
+    // `;` for body-less declarations.
+    let body = find_body_open(toks, i, end);
+    let (sig_end, body_range, resume) = match body {
+        Some(open) => {
+            let close = rules::match_brace(toks, open).min(end.saturating_sub(1));
+            (open, Some((open, close)), close + 1)
+        }
+        None => {
+            let semi = (i..end).find(|&k| toks[k].text == ";").unwrap_or(end);
+            (semi, None, semi + 1)
+        }
+    };
+    out.fns.push(FnItem {
+        name: name_tok.text.clone(),
+        self_type: ctx.self_type.clone(),
+        trait_name: ctx.trait_name.clone(),
+        line: toks[kw].line,
+        col: toks[kw].col,
+        sig: (kw, sig_end),
+        body: body_range,
+        own_body: Vec::new(),
+        is_test: test_ranges.iter().any(|&(a, b)| kw >= a && kw <= b),
+        calls: Vec::new(),
+    });
+    // Recurse into the body so nested fns / impls become items too.
+    if let Some((open, close)) = body_range {
+        let ctx_inner = Ctx::default(); // nested fns are free fns
+        parse_items(toks, open + 1, close, &ctx_inner, test_ranges, out);
+    }
+    resume
+}
+
+/// Computes `own_body` for every fn: its body minus the spans of fns nested
+/// strictly inside it.
+fn attach_own_bodies(_toks: &[Token], fns: &mut [FnItem]) {
+    let spans: Vec<Option<(usize, usize)>> = fns
+        .iter()
+        .map(|f| f.body.map(|(o, c)| (f.sig.0, c.max(o))))
+        .collect();
+    for (idx, f) in fns.iter_mut().enumerate() {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        // Child spans: fn items whose full span nests strictly inside.
+        let mut holes: Vec<(usize, usize)> = spans
+            .iter()
+            .enumerate()
+            .filter(|&(j, s)| {
+                j != idx
+                    && s.is_some_and(|(a, b)| a > open && b <= close && (a, b) != (open, close))
+            })
+            .filter_map(|(_, s)| *s)
+            .collect();
+        holes.sort_unstable();
+        let mut own = Vec::new();
+        let mut cursor = open;
+        for (a, b) in holes {
+            if a > cursor {
+                own.push((cursor, a.saturating_sub(1)));
+            }
+            cursor = cursor.max(b + 1);
+        }
+        if cursor <= close {
+            own.push((cursor, close));
+        }
+        f.own_body = own;
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALLISH_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "let", "in", "as", "move", "ref", "mut",
+    "box", "await", "else", "fn", "impl", "where", "unsafe",
+];
+
+/// Extracts call sites from a fn's own body ranges.
+fn collect_calls(toks: &[Token], own_body: &[(usize, usize)]) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for &(a, b) in own_body {
+        for i in a..=b.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident || CALLISH_KEYWORDS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // A call is `name (` — possibly with turbofish `name::<T>(`.
+            let mut after = i + 1;
+            if toks.get(after).is_some_and(|n| n.text == "::")
+                && toks.get(after + 1).is_some_and(|n| n.text == "<")
+            {
+                after = skip_generics(toks, after + 1, b + 1);
+            }
+            if toks.get(after).is_none_or(|n| n.text != "(") {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|k| &toks[k]);
+            let (is_method, qualifier) = match prev {
+                Some(p) if p.text == "." => (true, None),
+                Some(p) if p.text == "::" => {
+                    let q = i
+                        .checked_sub(2)
+                        .map(|k| &toks[k])
+                        .filter(|q| q.kind == TokenKind::Ident)
+                        .map(|q| q.text.clone());
+                    (false, q)
+                }
+                Some(p) if p.text == "fn" => continue, // definition, not call
+                _ => (false, None),
+            };
+            calls.push(CallSite {
+                name: t.text.clone(),
+                qualifier,
+                is_method,
+                line: t.line,
+                col: t.col,
+            });
+        }
+    }
+    calls
+}

@@ -32,10 +32,23 @@ pub enum RuleId {
     AA05,
     /// Every library crate root must declare `#![forbid(unsafe_code)]`.
     AA06,
+    /// Interprocedural: no non-test library fn whose call-graph closure
+    /// reaches `panic!`/`unwrap`/`expect`/indexing without a reasoned pragma.
+    AA07,
+    /// Interprocedural: no deterministic-core fn whose call-graph closure
+    /// reaches a nondeterminism source (wall clock, unseeded RNG, hash-order
+    /// iteration, thread ids) outside the core — the static complement of
+    /// the intra-file AA04 matcher.
+    AA08,
+    /// Durability ordering: file writes in `aa-durable`/the CLI go through
+    /// `atomic_write_file` (write→fsync→rename), barrier flushes happen
+    /// after the group-commit marker, and `WriteOutcome::Logged` acks are
+    /// only emitted on paths that passed through the WAL append.
+    AA09,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::AA00,
         RuleId::AA01,
         RuleId::AA02,
@@ -43,6 +56,9 @@ impl RuleId {
         RuleId::AA04,
         RuleId::AA05,
         RuleId::AA06,
+        RuleId::AA07,
+        RuleId::AA08,
+        RuleId::AA09,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -54,6 +70,9 @@ impl RuleId {
             RuleId::AA04 => "AA04",
             RuleId::AA05 => "AA05",
             RuleId::AA06 => "AA06",
+            RuleId::AA07 => "AA07",
+            RuleId::AA08 => "AA08",
+            RuleId::AA09 => "AA09",
         }
     }
 
@@ -71,6 +90,13 @@ impl RuleId {
             RuleId::AA04 => "recombination must be deterministic so fault plans replay exactly",
             RuleId::AA05 => "silent truncation corrupts distance bounds instead of failing loudly",
             RuleId::AA06 => "the memory-safety argument is workspace-wide, not per-review",
+            RuleId::AA07 => {
+                "anytime availability: a panic two calls deep still aborts the superstep"
+            }
+            RuleId::AA08 => {
+                "sim-as-oracle differential testing needs the whole call closure deterministic"
+            }
+            RuleId::AA09 => "acks ahead of the group-commit marker lie to clients across crashes",
         }
     }
 }
@@ -84,6 +110,11 @@ pub struct Finding {
     pub line: u32,
     pub col: u32,
     pub message: String,
+    /// For interprocedural rules (AA07–AA09): the `Type::fn` symbol the
+    /// finding is attached to. Symbol-keyed findings ratchet per-fn (baseline
+    /// bucket `file#symbol`), so fixing one fn cannot mask a regression in
+    /// another fn of the same file.
+    pub symbol: Option<String>,
 }
 
 /// What kind of code a file holds — decides which rules apply.
@@ -126,7 +157,12 @@ pub struct FileReport {
 
 /// Analyzes one file's source text under the given classification.
 pub fn check_source(class: &FileClass, src: &str) -> FileReport {
-    let lexed = lex(src);
+    check_lexed(class, &lex(src))
+}
+
+/// [`check_source`] over an already-lexed file, so the workspace driver can
+/// lex once and share the token stream with the interprocedural passes.
+pub fn check_lexed(class: &FileClass, lexed: &Lexed) -> FileReport {
     let test_ranges = test_ranges(&lexed.tokens);
     let in_test = |idx: usize| test_ranges.iter().any(|&(a, b)| idx >= a && idx <= b);
 
@@ -151,7 +187,7 @@ pub fn check_source(class: &FileClass, src: &str) -> FileReport {
         }
     }
     if class.is_lib_root {
-        check_aa06(class, &lexed, &mut raw);
+        check_aa06(class, lexed, &mut raw);
     }
 
     let mut report = FileReport::default();
@@ -179,7 +215,50 @@ fn finding(class: &FileClass, rule: RuleId, tok: &Token, message: String) -> Fin
         line: tok.line,
         col: tok.col,
         message,
+        symbol: None,
     }
+}
+
+/// Parses one comment as a pragma: `None` if the comment lacks the pragma
+/// prefix, `Ok(rule)` for a well-formed `allow(RULE, reason)`, `Err(msg)`
+/// for a malformed or reason-less one.
+fn parse_pragma(text: &str) -> Option<Result<RuleId, String>> {
+    let at = text.find("aa-lint:")?;
+    let rest = text[at + "aa-lint:".len()..].trim_start();
+    let Some(body) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.split(')').next())
+    else {
+        return Some(Err("expected `allow(RULE_ID, reason)`".into()));
+    };
+    let (rule_str, reason) = match body.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (body.trim(), ""),
+    };
+    let Some(rule) = RuleId::parse(rule_str) else {
+        return Some(Err(format!("unknown rule id {rule_str:?}")));
+    };
+    if reason.is_empty() {
+        return Some(Err(format!(
+            "allow({}) needs a reason: `allow({}, why this is sound)`",
+            rule.as_str(),
+            rule.as_str()
+        )));
+    }
+    Some(Ok(rule))
+}
+
+/// The well-formed `(rule, line)` suppression pragmas in a file, for the
+/// interprocedural passes (which attach fn-level pragmas by line). A pragma
+/// covers its own line and the line directly below it.
+pub fn pragma_lines(comments: &[Comment]) -> Vec<(RuleId, u32)> {
+    comments
+        .iter()
+        .filter_map(|c| match parse_pragma(&c.text) {
+            Some(Ok(rule)) => Some((rule, c.end_line)),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Parses `allow(<rule>, <reason>)` suppression pragmas out of comments.
@@ -189,53 +268,28 @@ fn parse_pragmas(class: &FileClass, comments: &[Comment]) -> (Vec<Pragma>, Vec<F
     let mut pragmas = Vec::new();
     let mut findings = Vec::new();
     for c in comments {
-        let Some(at) = c.text.find("aa-lint:") else {
-            continue;
-        };
-        let rest = c.text[at + "aa-lint:".len()..].trim_start();
-        let mut bad = |msg: &str| {
-            findings.push(Finding {
+        match parse_pragma(&c.text) {
+            None => {}
+            Some(Ok(rule)) => pragmas.push(Pragma {
+                rule,
+                line: c.end_line,
+            }),
+            Some(Err(msg)) => findings.push(Finding {
                 rule: RuleId::AA00,
                 file: class.rel_path.clone(),
                 line: c.end_line,
                 col: 1,
                 message: format!("malformed aa-lint pragma: {msg}"),
-            });
-        };
-        let Some(body) = rest
-            .strip_prefix("allow(")
-            .and_then(|r| r.split(')').next())
-        else {
-            bad("expected `allow(RULE_ID, reason)`");
-            continue;
-        };
-        let (rule_str, reason) = match body.split_once(',') {
-            Some((r, why)) => (r.trim(), why.trim()),
-            None => (body.trim(), ""),
-        };
-        let Some(rule) = RuleId::parse(rule_str) else {
-            bad(&format!("unknown rule id {rule_str:?}"));
-            continue;
-        };
-        if reason.is_empty() {
-            bad(&format!(
-                "allow({}) needs a reason: `allow({}, why this is sound)`",
-                rule.as_str(),
-                rule.as_str()
-            ));
-            continue;
+                symbol: None,
+            }),
         }
-        pragmas.push(Pragma {
-            rule,
-            line: c.end_line,
-        });
     }
     (pragmas, findings)
 }
 
 /// Finds token-index ranges covered by `#[cfg(test)]` / `#[test]` items, so
 /// the in-file test modules every crate carries are exempt from AA01–AA05.
-fn test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -335,7 +389,7 @@ fn scan_attribute(toks: &[Token], hash: usize) -> Option<(usize, bool)> {
 }
 
 /// Index of the `}` matching the `{` at `open` (or the last token).
-fn match_brace(toks: &[Token], open: usize) -> usize {
+pub(crate) fn match_brace(toks: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     for (i, t) in toks.iter().enumerate().skip(open) {
         if t.kind == TokenKind::Punct {
@@ -354,7 +408,7 @@ fn match_brace(toks: &[Token], open: usize) -> usize {
     toks.len().saturating_sub(1)
 }
 
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// AA01: no `.unwrap()` / `.expect(..)` / panic-family macros in non-test
 /// library code.
@@ -486,10 +540,10 @@ fn check_aa03(
     }
 }
 
-const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
-const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "random"];
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
-const ORDER_LEAK_METHODS: &[&str] = &[
+pub(crate) const WALL_CLOCK_TYPES: &[&str] = &["Instant", "SystemTime"];
+pub(crate) const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "random"];
+pub(crate) const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+pub(crate) const ORDER_LEAK_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -647,6 +701,7 @@ fn check_aa06(class: &FileClass, lexed: &Lexed, out: &mut Vec<Finding>) {
             line: 1,
             col: 1,
             message: "library crate root is missing `#![forbid(unsafe_code)]`".into(),
+            symbol: None,
         });
     }
 }

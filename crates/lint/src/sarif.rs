@@ -1,0 +1,72 @@
+//! SARIF 2.1.0 output, hand-rolled (the workspace is offline; no serde).
+//!
+//! The emitted document is the minimal subset GitHub code scanning ingests:
+//! one run, a `tool.driver` with the full rule table (id + rationale), and
+//! one `result` per unsuppressed finding with a physical location. Findings
+//! admitted by the committed baseline are `warning` level — pre-existing,
+//! ratcheted debt; ratchet regressions are separately visible because the
+//! CLI exits non-zero and the JSON report lists them.
+
+use crate::baseline::quote;
+use crate::rules::RuleId;
+use crate::WorkspaceReport;
+
+/// Renders a [`WorkspaceReport`] as a SARIF 2.1.0 document.
+pub fn render(report: &WorkspaceReport) -> String {
+    let rules: Vec<String> = RuleId::ALL
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\": {id}, \"shortDescription\": {{\"text\": {desc}}}, \
+                 \"helpUri\": \"https://github.com/aa-repro/aa/blob/main/DESIGN.md\"}}",
+                id = quote(r.as_str()),
+                desc = quote(r.rationale()),
+            )
+        })
+        .collect();
+    let results: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let mut extra = String::new();
+            if let Some(sym) = &f.symbol {
+                extra = format!(
+                    ", \"partialFingerprints\": {{\"aaLintSymbol\": {}}}",
+                    quote(&format!("{}#{sym}", f.file))
+                );
+            }
+            format!(
+                "{{\"ruleId\": {rule}, \"level\": \"warning\", \
+                 \"message\": {{\"text\": {msg}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\
+                 \"artifactLocation\": {{\"uri\": {uri}}}, \
+                 \"region\": {{\"startLine\": {line}, \"startColumn\": {col}}}}}}}]{extra}}}",
+                rule = quote(f.rule.as_str()),
+                msg = quote(&f.message),
+                uri = quote(&f.file),
+                line = f.line,
+                col = f.col,
+            )
+        })
+        .collect();
+    let list = |items: &[String], indent: &str| {
+        if items.is_empty() {
+            "[]".to_string()
+        } else {
+            format!(
+                "[\n{indent}  {}\n{indent}]",
+                items.join(&format!(",\n{indent}  "))
+            )
+        }
+    };
+    format!(
+        "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n      \"tool\": {{\n        \
+         \"driver\": {{\n          \"name\": \"aa-lint\",\n          \
+         \"informationUri\": \"https://github.com/aa-repro/aa\",\n          \
+         \"rules\": {rules}\n        }}\n      }},\n      \
+         \"results\": {results}\n    }}\n  ]\n}}\n",
+        rules = list(&rules, "          "),
+        results = list(&results, "      "),
+    )
+}

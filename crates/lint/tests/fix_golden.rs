@@ -1,0 +1,138 @@
+//! `--fix` golden tests and SARIF output checks.
+//!
+//! The golden fixed fixtures are included below as real modules via
+//! `#[path]`, so `cargo test` *compiles* the fixer's output and runs it —
+//! the autofix must produce working code, not just lexically clean code.
+//! Equality against the goldens keeps the rewrite byte-exact (rustfmt-clean
+//! formatting included), and re-running the fixer on its own output must be
+//! a no-op.
+
+use aa_lint::{fix, FileClass, Finding, RuleId};
+
+#[path = "fixtures/aa02_fixed.rs"]
+mod aa02_fixed;
+#[path = "fixtures/aa03_fixed.rs"]
+mod aa03_fixed;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn lib_class(name: &str) -> FileClass {
+    FileClass {
+        rel_path: format!("crates/fixture/src/{name}"),
+        crate_name: Some("fixture".to_string()),
+        deterministic_core: true,
+        ..FileClass::default()
+    }
+}
+
+#[test]
+fn aa02_fix_matches_golden_and_is_idempotent() {
+    let (out, n) = fix::fix_source(&lib_class("aa02_bad.rs"), &fixture("aa02_bad.rs"))
+        .expect("both sort lines are fixable");
+    // Two sites, two byte-edits each (method rename + call deletion).
+    assert_eq!(n, 4);
+    assert_eq!(out, fixture("aa02_fixed.rs"));
+    assert!(
+        fix::fix_source(&lib_class("aa02_fixed.rs"), &out).is_none(),
+        "fixed output must contain nothing left to fix"
+    );
+}
+
+#[test]
+fn aa02_fixed_output_runs_and_tolerates_nan() {
+    // The whole point of total_cmp: a NaN no longer panics the sort.
+    let ranked = aa02_fixed::rank(vec![(1, 0.5), (2, f64::NAN), (3, 0.1)]);
+    assert_eq!(ranked[0].0, 3, "ascending, NaN sorted last: {ranked:?}");
+    assert_eq!(ranked[2].0, 2);
+    let ranked = aa02_fixed::rank_rev(vec![(1, 0.5), (2, f64::NAN), (3, 0.1)]);
+    assert_eq!(ranked[0].0, 2, "descending, NaN first: {ranked:?}");
+}
+
+#[test]
+fn aa03_fix_is_conservative_about_compound_expressions() {
+    let (out, n) = fix::fix_source(&lib_class("aa03_bad.rs"), &fixture("aa03_bad.rs"))
+        .expect("the simple comparison is fixable");
+    // Only `closeness == 0.0` is rewritten. `new - old != 0.0` is left
+    // alone: the fixer captures primary-expression chains only, and blindly
+    // wrapping `old` would bind `.abs()` to the wrong subexpression.
+    assert_eq!(n, 1);
+    assert_eq!(out, fixture("aa03_fixed.rs"));
+    assert!(
+        fix::fix_source(&lib_class("aa03_fixed.rs"), &out).is_none(),
+        "the skipped compound compare must not retrigger edits"
+    );
+}
+
+#[test]
+fn aa03_fixed_output_runs_with_epsilon_semantics() {
+    assert!(aa03_fixed::is_unreached(0.0));
+    assert!(aa03_fixed::is_unreached(f64::EPSILON / 2.0));
+    assert!(!aa03_fixed::is_unreached(1.0));
+    assert!(!aa03_fixed::changed(1.0, 1.0));
+    assert!(aa03_fixed::changed(1.0, 2.0));
+}
+
+#[test]
+fn fix_leaves_test_code_and_pragma_covered_sites_alone() {
+    let src = r#"
+pub fn ranked(mut xs: Vec<f64>) -> Vec<f64> {
+    // aa-lint: allow(AA02, reviewed: inputs are pre-filtered finite)
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let mut xs = vec![2.0, 1.0];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}
+"#;
+    assert!(
+        fix::fix_source(&lib_class("covered.rs"), src).is_none(),
+        "suppressions are reviewed decisions, tests may panic"
+    );
+}
+
+// --------------------------------------------------------------- SARIF ----
+
+#[test]
+fn sarif_document_carries_rules_results_and_symbol_fingerprints() {
+    let mut report = aa_lint::WorkspaceReport::default();
+    report.findings.push(Finding {
+        rule: RuleId::AA07,
+        file: "crates/core/src/engine.rs".into(),
+        line: 42,
+        col: 5,
+        message: "`AnytimeEngine::rc_step` can reach a panic — \"quoted\"".into(),
+        symbol: Some("AnytimeEngine::rc_step".into()),
+    });
+    let doc = aa_lint::sarif::render(&report);
+    assert!(doc.contains("\"version\": \"2.1.0\""));
+    assert!(doc.contains("sarif-2.1.0.json"));
+    // The full rule table rides along for code-scanning UIs.
+    for rule in RuleId::ALL {
+        assert!(doc.contains(&format!("\"{}\"", rule.as_str())), "{rule:?}");
+    }
+    assert!(doc.contains("\"ruleId\": \"AA07\""));
+    assert!(doc.contains("\"startLine\": 42"));
+    assert!(doc.contains("\"uri\": \"crates/core/src/engine.rs\""));
+    // Interproc findings fingerprint by file#symbol so GitHub tracks them
+    // across line churn.
+    assert!(doc.contains("aaLintSymbol"));
+    assert!(doc.contains("crates/core/src/engine.rs#AnytimeEngine::rc_step"));
+    // The message's interior quote must arrive escaped, not truncating JSON.
+    assert!(doc.contains("\\\"quoted\\\""));
+}
+
+#[test]
+fn sarif_empty_report_is_still_a_complete_document() {
+    let doc = aa_lint::sarif::render(&aa_lint::WorkspaceReport::default());
+    assert!(doc.contains("\"results\": []"));
+    assert!(doc.contains("\"name\": \"aa-lint\""));
+}

@@ -1,0 +1,12 @@
+//! AA02 fixture: NaN-unsafe float ordering. Both sort lines must be flagged
+//! as AA02 (and *not* double-reported as AA01).
+
+pub fn rank(mut scores: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    scores.sort_by(|a, b| a.1.total_cmp(&b.1)); // flag: AA02
+    scores
+}
+
+pub fn rank_rev(mut scores: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1)); // flag: AA02
+    scores
+}

@@ -1,0 +1,10 @@
+//! AA03 fixture: exact equality against float literals. Both comparisons
+//! must be flagged.
+
+pub fn is_unreached(closeness: f64) -> bool {
+    (closeness - 0.0).abs() < f64::EPSILON // flag: AA03
+}
+
+pub fn changed(old: f64, new: f64) -> bool {
+    new - old != 0.0 // flag: AA03
+}

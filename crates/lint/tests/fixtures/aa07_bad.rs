@@ -1,0 +1,27 @@
+//! AA07 fixture: transitive panic reachability. `row_weight` panics
+//! directly (AA01's business — AA07 must not double-report it), and both
+//! `Engine::superstep` and `Engine::relax_round` reach it through calls, so
+//! each gets one AA07 finding. `untouched` calls nothing and stays clean.
+
+pub struct Engine;
+
+impl Engine {
+    /// Two hops above the panic.
+    pub fn superstep(&self) -> u32 {
+        self.relax_round()
+    }
+
+    /// One hop above the panic.
+    fn relax_round(&self) -> u32 {
+        row_weight()
+    }
+}
+
+fn row_weight() -> u32 {
+    let xs: Vec<u32> = vec![1, 2, 3];
+    *xs.first().unwrap() // leaf site: AA01 reports this one
+}
+
+pub fn untouched() -> u32 {
+    7
+}

@@ -1,0 +1,24 @@
+//! AA07 fixture (clean): same call shape as `aa07_bad.rs`, but the leaf
+//! kernel carries a reasoned fn-level pragma asserting the invariant that
+//! makes its panic unreachable. Propagation stops there: the whole upward
+//! closure is clean, and the vetted fn lands in the suppression audit trail.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn superstep(&self) -> u32 {
+        self.relax_round()
+    }
+
+    fn relax_round(&self) -> u32 {
+        row_weight()
+    }
+}
+
+/// # Panics
+/// Never: the vector is constructed non-empty one line above the access.
+// aa-lint: allow(AA07, the vector is constructed non-empty one line above the access)
+fn row_weight() -> u32 {
+    let xs: Vec<u32> = vec![1, 2, 3];
+    *xs.first().expect("non-empty by construction")
+}

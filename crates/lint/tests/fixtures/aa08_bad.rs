@@ -1,0 +1,15 @@
+//! AA08 fixture: nondeterminism taint. `stamp` reads the wall clock — a
+//! *direct* source, which is AA04's lexical finding, not AA08's. But
+//! `recombine` pulls the tainted value in through the call, and a
+//! deterministic-core fn whose output depends on a clock diverges under
+//! sim-as-oracle replay — that is the AA08 finding.
+
+pub fn recombine(rows: &mut Vec<u32>) {
+    let t = stamp();
+    rows.push(t);
+}
+
+fn stamp() -> u32 {
+    let now = std::time::Instant::now(); // direct source: AA04 territory
+    now.elapsed().subsec_nanos()
+}

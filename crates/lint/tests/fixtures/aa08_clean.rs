@@ -1,0 +1,15 @@
+//! AA08 fixture (clean): the same clock read, but behind a vetted boundary
+//! fn (the `aa_obs::Stopwatch` pattern). The fn-level pragma asserts the
+//! contract — the value flows only to observability sinks — and taint stops
+//! propagating there, so the deterministic-core caller stays clean.
+
+pub fn recombine(rows: &mut Vec<u32>) {
+    let t = stamp();
+    rows.push(t);
+}
+
+// aa-lint: allow(AA08, observability boundary — the value flows only to span logs and never into control flow or replayable state)
+fn stamp() -> u32 {
+    let now = std::time::Instant::now();
+    now.elapsed().subsec_nanos()
+}

@@ -1,0 +1,37 @@
+//! AA09 fixture: durability-ordering violations, shaped like the serve
+//! crate's WAL submit path. Three distinct defects:
+//!
+//! * `Wal::submit` returns a `WriteOutcome::Logged` ack having never called
+//!   `.append(..)` — a crash after the ack silently loses the write;
+//! * `Wal::apply_then_commit` flushes derived state *before* the
+//!   group-commit marker is durable — recovery would replay on top of
+//!   already-applied state;
+//! * `side_write` opens a file raw instead of going through
+//!   `atomic_write_file` — a torn write survives a crash.
+
+pub enum WriteOutcome {
+    Logged(u64),
+    Rejected,
+}
+
+pub struct Wal {
+    staged: Vec<Vec<u8>>,
+}
+
+impl Wal {
+    /// Acks before anything reaches the log.
+    pub fn submit(&mut self, rec: &[u8]) -> WriteOutcome {
+        self.staged.push(rec.to_vec());
+        WriteOutcome::Logged(self.staged.len() as u64)
+    }
+
+    /// Applies (flushes) state ahead of the commit marker.
+    pub fn apply_then_commit(&mut self, log: &mut Log) {
+        log.flush();
+        log.commit();
+    }
+}
+
+pub fn side_write(path: &std::path::Path) {
+    let _ = std::fs::File::create(path);
+}

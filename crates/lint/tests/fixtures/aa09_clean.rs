@@ -1,0 +1,39 @@
+//! AA09 fixture (clean): every ordering the bad twin violates, done right.
+//! `submit` appends before acking, `commit_then_flush` makes the marker
+//! durable before applying, the raw create lives inside the one fn allowed
+//! to own it (`atomic_write_file`), and the diagnostic-trace create carries
+//! a reasoned pragma naming why a torn file is harmless.
+
+pub enum WriteOutcome {
+    Logged(u64),
+    Rejected,
+}
+
+pub struct Wal {
+    log: Log,
+}
+
+impl Wal {
+    /// Append first, ack second.
+    pub fn submit(&mut self, rec: &[u8]) -> WriteOutcome {
+        let seq = self.log.append(rec);
+        WriteOutcome::Logged(seq)
+    }
+
+    /// Commit marker durable before derived state is applied.
+    pub fn commit_then_flush(&mut self, log: &mut Log) {
+        log.commit();
+        log.flush();
+    }
+}
+
+/// The sanctioned atomic path: fixture twin of `aa-durable`'s contract fn.
+pub fn atomic_write_file(path: &std::path::Path, bytes: &[u8]) {
+    let _ = std::fs::File::create(path);
+    let _ = bytes;
+}
+
+pub fn trace_export(path: &std::path::Path) {
+    // aa-lint: allow(AA09, streamed diagnostic trace overwritten every run and never read back by recovery)
+    let _ = std::fs::File::create(path);
+}

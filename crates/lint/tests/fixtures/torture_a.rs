@@ -1,0 +1,50 @@
+//! Call-graph torture corpus, file A (paired with `torture_b.rs`; scanned
+//! as a hot-path file of an availability-critical crate).
+//!
+//! Exercises: trait-object dispatch fanning out to every impl, hot-path
+//! indexing as an AA07 seed, a panicking free fn that file B must *not*
+//! link to through its `std::mem::swap` import, and same-file-first bare
+//! call resolution (file B defines a panicking `helper` namesake).
+
+pub trait Relax {
+    fn relax(&self, rows: &mut [u32]);
+}
+
+pub struct Fast;
+pub struct Slow;
+
+impl Relax for Fast {
+    fn relax(&self, rows: &mut [u32]) {
+        for r in rows.iter_mut() {
+            *r = r.saturating_sub(1);
+        }
+    }
+}
+
+impl Relax for Slow {
+    fn relax(&self, rows: &mut [u32]) {
+        rows[0] = 0; // indexing on a hot-path file: seeds AA07
+    }
+}
+
+/// Trait-object dispatch: conservatively reaches *both* impls.
+pub fn drive(r: &dyn Relax, rows: &mut [u32]) {
+    r.relax(rows);
+}
+
+/// The free fn file B shadows with a std import.
+pub fn swap(a: &mut u32, b: &mut u32) {
+    let t = *a;
+    *a = *b;
+    *b = t;
+    panic!("fixture swap must never be linked through a std import");
+}
+
+/// Bare-call resolution: the same-file helper wins over file B's namesake.
+fn helper() -> u32 {
+    41
+}
+
+pub fn same_file_caller() -> u32 {
+    helper() + 1
+}

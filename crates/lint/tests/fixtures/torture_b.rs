@@ -1,0 +1,39 @@
+//! Call-graph torture corpus, file B (paired with `torture_a.rs`).
+//!
+//! Exercises: generic-impl method resolution by name, a `use std::mem::swap`
+//! import shadowing file A's panicking `swap` (the edge must be pruned), a
+//! panicking `helper` namesake that file A's bare call must not reach, and
+//! closure bodies attributing their panics to the enclosing fn.
+
+use std::mem::swap;
+
+/// Generic impl: `take` resolves by method name across the workspace.
+pub struct Pool<T> {
+    items: Vec<T>,
+}
+
+impl<T> Pool<T> {
+    pub fn take(&mut self) -> T {
+        self.items.pop().expect("pool never empty") // AA01-style seed
+    }
+}
+
+pub fn use_pool(p: &mut Pool<u32>) -> u32 {
+    p.take()
+}
+
+/// Shadowed name: this `swap` is std's, not file A's panicking namesake.
+pub fn shadow_caller(a: &mut u32, b: &mut u32) {
+    swap(a, b);
+}
+
+/// Panicking namesake of file A's private `helper` — must stay unlinked
+/// from file A's bare call.
+pub fn helper() -> u32 {
+    unreachable!("file B helper must stay unlinked from file A")
+}
+
+/// Closure bodies belong to the enclosing fn.
+pub fn closure_panics(xs: Vec<Option<u32>>) -> Vec<u32> {
+    xs.into_iter().map(|x| x.unwrap()).collect()
+}

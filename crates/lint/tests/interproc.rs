@@ -1,0 +1,277 @@
+//! Interprocedural rule self-tests: AA07 (transitive panic reachability),
+//! AA08 (nondeterminism taint), AA09 (durability ordering), plus the
+//! call-graph torture corpus (trait objects, generic impls, shadowed
+//! imports, same-file-first bare calls, closures).
+//!
+//! Each test builds a miniature workspace by feeding fixture files through
+//! the same [`Builder`] → [`dataflow::analyze`] pipeline `aa_lint::run`
+//! uses, with hand-picked [`FileClass`] values standing in for the walker's
+//! classification.
+
+use aa_lint::callgraph::{Builder, CallGraph};
+use aa_lint::{dataflow, lexer, FileClass, Finding, RuleId};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// A deterministic-core file in `crates/<crate_name>/src/`.
+fn class(name: &str, crate_name: &str) -> FileClass {
+    FileClass {
+        rel_path: format!("crates/{crate_name}/src/{name}"),
+        crate_name: Some(crate_name.to_string()),
+        deterministic_core: true,
+        ..FileClass::default()
+    }
+}
+
+/// Builds the graph and runs the dataflow pass over the given files.
+fn analyze(files: &[(FileClass, String)]) -> (CallGraph, Vec<Finding>, Vec<Finding>) {
+    let mut builder = Builder::default();
+    for (c, src) in files {
+        let lexed = lexer::lex(src);
+        builder.add_file(c, &lexed);
+    }
+    let graph = builder.finish();
+    let (findings, suppressed) = dataflow::analyze(&graph);
+    (graph, findings, suppressed)
+}
+
+fn rule_symbols(findings: &[Finding], rule: RuleId) -> Vec<String> {
+    let mut v: Vec<String> = findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.symbol.clone().unwrap_or_default())
+        .collect();
+    v.sort();
+    v
+}
+
+fn node<'g>(graph: &'g CallGraph, symbol: &str) -> (usize, &'g aa_lint::callgraph::FnNode) {
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .find(|(_, n)| n.symbol == symbol)
+        .unwrap_or_else(|| panic!("no node `{symbol}`"))
+}
+
+// ---------------------------------------------------------------- AA07 ----
+
+#[test]
+fn aa07_reports_the_transitive_closure_once_per_fn() {
+    let files = [(class("aa07_bad.rs", "core"), fixture("aa07_bad.rs"))];
+    let (_, findings, _) = analyze(&files);
+    // The AA01-visible leaf (`row_weight`) is skipped; both callers above it
+    // are reported; `untouched` is not.
+    assert_eq!(
+        rule_symbols(&findings, RuleId::AA07),
+        vec!["Engine::relax_round", "Engine::superstep"],
+        "{findings:#?}"
+    );
+    // Every finding names a witness in its message.
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("can reach a panic through")));
+}
+
+#[test]
+fn aa07_reports_only_availability_critical_crates() {
+    // Same call shape, but in a crate whose contract is not anytime
+    // availability: the leaf panic is AA01's business, nothing for AA07.
+    let files = [(class("aa07_bad.rs", "partition"), fixture("aa07_bad.rs"))];
+    let (_, findings, _) = analyze(&files);
+    assert_eq!(rule_symbols(&findings, RuleId::AA07), Vec::<String>::new());
+}
+
+#[test]
+fn aa07_fn_level_pragma_blocks_propagation_and_audits() {
+    let files = [(class("aa07_clean.rs", "core"), fixture("aa07_clean.rs"))];
+    let (_, findings, suppressed) = analyze(&files);
+    assert!(findings.is_empty(), "{findings:#?}");
+    // The vetted kernel shows up once in the audit trail.
+    let vetted: Vec<_> = suppressed
+        .iter()
+        .filter(|f| f.rule == RuleId::AA07 && f.message.contains("vetted"))
+        .collect();
+    assert_eq!(vetted.len(), 1, "{suppressed:#?}");
+    assert_eq!(vetted[0].symbol.as_deref(), Some("row_weight"));
+}
+
+// ---------------------------------------------------------------- AA08 ----
+
+#[test]
+fn aa08_flags_core_fns_tainted_through_a_callee() {
+    let files = [(class("aa08_bad.rs", "core"), fixture("aa08_bad.rs"))];
+    let (_, findings, _) = analyze(&files);
+    // `stamp` holds the direct source (AA04 territory, skipped); `recombine`
+    // is tainted through the call and reported.
+    assert_eq!(rule_symbols(&findings, RuleId::AA08), vec!["recombine"]);
+    let f = findings.iter().find(|f| f.rule == RuleId::AA08).unwrap();
+    assert!(
+        f.message.contains("`stamp`"),
+        "witness named: {}",
+        f.message
+    );
+}
+
+#[test]
+fn aa08_only_applies_to_the_deterministic_core() {
+    let mut c = class("aa08_bad.rs", "core");
+    c.deterministic_core = false;
+    let files = [(c, fixture("aa08_bad.rs"))];
+    let (_, findings, _) = analyze(&files);
+    assert_eq!(rule_symbols(&findings, RuleId::AA08), Vec::<String>::new());
+}
+
+#[test]
+fn aa08_vetted_boundary_fn_stops_taint() {
+    let files = [(class("aa08_clean.rs", "core"), fixture("aa08_clean.rs"))];
+    let (_, findings, _) = analyze(&files);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ---------------------------------------------------------------- AA09 ----
+
+#[test]
+fn aa09_flags_raw_writes_ack_without_append_and_flush_before_commit() {
+    let files = [(class("aa09_bad.rs", "serve"), fixture("aa09_bad.rs"))];
+    let (_, findings, _) = analyze(&files);
+    assert_eq!(
+        rule_symbols(&findings, RuleId::AA09),
+        vec!["Wal::apply_then_commit", "Wal::submit", "side_write"],
+        "{findings:#?}"
+    );
+    let msg = |sym: &str| {
+        findings
+            .iter()
+            .find(|f| f.rule == RuleId::AA09 && f.symbol.as_deref() == Some(sym))
+            .map(|f| f.message.clone())
+            .unwrap()
+    };
+    assert!(msg("Wal::submit").contains("no prior `.append(..)`"));
+    assert!(msg("Wal::apply_then_commit").contains("before the WAL group-commit"));
+    assert!(msg("side_write").contains("atomic_write_file"));
+}
+
+#[test]
+fn aa09_only_applies_to_durability_crates() {
+    let files = [(class("aa09_bad.rs", "graph"), fixture("aa09_bad.rs"))];
+    let (_, findings, _) = analyze(&files);
+    assert_eq!(rule_symbols(&findings, RuleId::AA09), Vec::<String>::new());
+}
+
+#[test]
+fn aa09_clean_orderings_and_reasoned_exemptions_pass() {
+    let files = [(class("aa09_clean.rs", "serve"), fixture("aa09_clean.rs"))];
+    let (_, findings, suppressed) = analyze(&files);
+    assert_eq!(
+        rule_symbols(&findings, RuleId::AA09),
+        Vec::<String>::new(),
+        "{findings:#?}"
+    );
+    // The pragma'd diagnostic-trace create lands in the audit trail.
+    let audited: Vec<_> = suppressed
+        .iter()
+        .filter(|f| f.rule == RuleId::AA09)
+        .collect();
+    assert_eq!(audited.len(), 1, "{suppressed:#?}");
+    assert_eq!(audited[0].symbol.as_deref(), Some("trace_export"));
+}
+
+// ------------------------------------------------------------- torture ----
+
+fn torture() -> (CallGraph, Vec<Finding>, Vec<Finding>) {
+    let mut hot = class("torture_a.rs", "core");
+    hot.is_hot_path = true;
+    let files = [
+        (hot, fixture("torture_a.rs")),
+        (class("torture_b.rs", "core"), fixture("torture_b.rs")),
+    ];
+    analyze(&files)
+}
+
+#[test]
+fn torture_trait_objects_fan_out_to_every_impl() {
+    let (graph, findings, _) = torture();
+    let (drive_idx, _) = node(&graph, "drive");
+    let callees: Vec<&str> = graph.edges[drive_idx]
+        .iter()
+        .map(|&c| graph.nodes[c].symbol.as_str())
+        .collect();
+    // The bodyless trait declaration gets its own (seedless) node; the two
+    // impls are what matter.
+    assert_eq!(
+        callees,
+        vec!["Relax::relax", "Fast::relax", "Slow::relax"],
+        "dyn dispatch must reach both impls"
+    );
+    // ... and since Slow::relax seeds (hot-path indexing), drive is flagged.
+    assert!(rule_symbols(&findings, RuleId::AA07).contains(&"drive".to_string()));
+}
+
+#[test]
+fn torture_hot_path_indexing_seeds_aa07_directly() {
+    let (_, findings, _) = torture();
+    let slow = findings
+        .iter()
+        .find(|f| f.symbol.as_deref() == Some("Slow::relax"))
+        .expect("hot-path indexing reported");
+    assert!(slow.message.contains("indexing"), "{}", slow.message);
+}
+
+#[test]
+fn torture_generic_impl_methods_resolve_by_name() {
+    let (_, findings, _) = torture();
+    assert!(
+        rule_symbols(&findings, RuleId::AA07).contains(&"use_pool".to_string()),
+        "`p.take()` must resolve to the generic `Pool<T>::take`"
+    );
+}
+
+#[test]
+fn torture_std_imports_prune_shadowed_names() {
+    let (graph, findings, _) = torture();
+    // `shadow_caller` imports std::mem::swap; file A's panicking `swap`
+    // namesake must not be linked.
+    let (idx, _) = node(&graph, "shadow_caller");
+    assert!(graph.edges[idx].is_empty(), "{:?}", graph.edges[idx]);
+    assert!(!rule_symbols(&findings, RuleId::AA07).contains(&"shadow_caller".to_string()));
+}
+
+#[test]
+fn torture_bare_calls_prefer_same_file_definitions() {
+    let (graph, findings, _) = torture();
+    let (idx, _) = node(&graph, "same_file_caller");
+    let callees: Vec<&str> = graph.edges[idx]
+        .iter()
+        .map(|&c| graph.nodes[c].symbol.as_str())
+        .collect();
+    // Exactly one callee: file A's clean helper, not file B's panicking one.
+    assert_eq!(callees, vec!["helper"]);
+    let callee = graph.edges[idx][0];
+    assert!(graph.nodes[callee].panic_sites.is_empty());
+    assert!(!rule_symbols(&findings, RuleId::AA07).contains(&"same_file_caller".to_string()));
+}
+
+#[test]
+fn torture_closure_panics_attribute_to_the_enclosing_fn() {
+    let (graph, _, _) = torture();
+    let (_, n) = node(&graph, "closure_panics");
+    assert!(
+        !n.panic_sites.is_empty(),
+        "the closure's unwrap seeds the enclosing fn"
+    );
+    assert!(n.panic_reported_by_aa01, "unwrap is AA01's direct business");
+}
+
+#[test]
+fn torture_expected_findings_and_nothing_else() {
+    let (_, findings, _) = torture();
+    assert_eq!(
+        rule_symbols(&findings, RuleId::AA07),
+        vec!["Slow::relax", "drive", "use_pool"],
+        "{findings:#?}"
+    );
+}

@@ -137,6 +137,67 @@ fn line_comments_are_captured_not_tokenized() {
 }
 
 #[test]
+fn nested_generic_close_is_two_angle_tokens() {
+    // `Vec<Vec<u64>>` must not fuse the closing `>>` into a shift operator —
+    // the item parser matches generic brackets one angle at a time.
+    let lexed = lex("let v: Vec<Vec<u64>> = make::<Vec<<T as Tr>::Item>>();");
+    assert!(
+        lexed
+            .tokens
+            .iter()
+            .all(|t| t.text != ">>" && t.text != "<<"),
+        "angle pairs fused into shift operators"
+    );
+}
+
+#[test]
+fn tuple_index_chain_is_not_a_float() {
+    // `x.0.1` is two tuple-index accesses; lexing `0.1` as a float would
+    // false-trigger the float-equality rule on `pair.0.1 == pair.1.0`.
+    let lexed = lex("let y = x.0.1;");
+    let nums: Vec<(TokenKind, &str)> = lexed
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+        .map(|t| (t.kind, t.text.as_str()))
+        .collect();
+    assert_eq!(nums, [(TokenKind::Int, "0"), (TokenKind::Int, "1")]);
+}
+
+#[test]
+fn lifetime_vs_char_inside_macro_body() {
+    // Macro bodies mix labels, lifetimes, and char literals in positions a
+    // grammar-aware lexer would disambiguate contextually; ours must get
+    // them right from lookahead alone.
+    let lexed = lex("m! { 'outer: loop { if c == 'x' { break 'outer; } } }");
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'outer", "'outer"]);
+    assert_eq!(
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn byte_offsets_address_token_spans() {
+    let src = "let s = \"x\"; call(s);";
+    let lexed = lex(src);
+    for t in &lexed.tokens {
+        let span = &src[t.offset..t.offset + t.text.len()];
+        assert_eq!(span, t.text, "offset span mismatch for {:?}", t.text);
+    }
+}
+
+#[test]
 fn torture_fixture_lexes_without_token_leaks() {
     let path = format!(
         "{}/tests/fixtures/lexer_tricky.rs",

@@ -20,13 +20,17 @@
 //! The crate knows nothing about graphs or engines: the `aa-core` side
 //! computes the numbers and feeds them in. That keeps this layer reusable by
 //! the CLI and the benchmark harness without dependency cycles, and keeps it
-//! trivially deterministic (no clocks, no RNG, no hash-ordered iteration).
+//! trivially deterministic — with one audited exception: [`stopwatch`],
+//! the workspace's single sanctioned wall-clock boundary (see its docs for
+//! the observability-only contract).
 
 pub mod json;
 pub mod progress;
 pub mod registry;
+pub mod stopwatch;
 pub mod trace;
 
 pub use progress::{decode_jsonl, encode_jsonl, kendall_tau, ProgressSample};
 pub use registry::{HistogramData, MetricKey, MetricValue, MetricsRegistry};
+pub use stopwatch::Stopwatch;
 pub use trace::{SpanLog, SpanRecord};

