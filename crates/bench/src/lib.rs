@@ -8,11 +8,13 @@
 //! cluster's LogP makespan — the hardware-independent "cluster minutes" that
 //! the figures plot — with wall-clock time available alongside.
 
+pub mod backend;
 pub mod experiments;
 pub mod ingest;
 pub mod serve;
 pub mod workload;
 
+pub use backend::{backend_rows_to_json, backend_sweep, host_parallelism, speedup_at, BackendRow};
 pub use experiments::{
     fig4, fig5, fig6, fig7, fig8, Fig4Row, Fig8Row, SingleStepRow, StrategyChoice,
 };

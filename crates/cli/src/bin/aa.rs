@@ -35,12 +35,15 @@ usage:
               [--metrics-out JSON]        (dump the metrics registry)
               [--progress-out JSONL]      (anytime progress probe samples)
               [--spans-out JSONL]         (phase spans: DD/IA/RC/recovery)
+              [--backend sim|threads]     (execution backend, default sim)
+              [--threads N]               (threads-backend workers, 0 = per rank)
   aa stream   <graph> <updates> [--format F] [--procs P] [--top K]
               [--strategy roundrobin|cutedge|repartition|restart]
               [--batch N]         (size-policy batch target, default 64)
               [--queue-cap N]     (ingest queue hard capacity, default 4096)
               [--drain-policy size|steps:K|adaptive]
               [--drop-rate P] [--metrics-out JSON]
+              [--backend sim|threads] [--threads N]
   aa serve    <graph> [--format F] [--procs P] [--top K]
               [--turns N]         (serving turns to drive, default 64)
               [--offered N]       (requests offered per turn, default 32)
@@ -52,6 +55,7 @@ usage:
               [--data-dir DIR]    (crash-consistent: recover, WAL, checkpoints)
               [--checkpoint-every N] (durable checkpoint cadence in turns)
               [--verify-recovery] (after shutdown, prove a restart replays exactly)
+              [--backend sim|threads] [--threads N]
   aa partition <graph> --parts K [--format F]
   aa convert  <in> <out> [--from F] [--to F]
 ";
@@ -163,6 +167,12 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
             "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
             "--progress-out" => opts.progress_out = Some(PathBuf::from(value("--progress-out"))),
             "--spans-out" => opts.spans_out = Some(PathBuf::from(value("--spans-out"))),
+            "--backend" => opts.backend = value("--backend").parse()?,
+            "--threads" => {
+                opts.threads = value("--threads")
+                    .parse()
+                    .map_err(|_| "invalid --threads")?
+            }
             other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),
         }
@@ -203,6 +213,12 @@ fn run_stream(args: &[String]) -> Result<String, String> {
                     .map_err(|_| "invalid --drop-rate")?
             }
             "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--backend" => opts.backend = value("--backend").parse()?,
+            "--threads" => {
+                opts.threads = value("--threads")
+                    .parse()
+                    .map_err(|_| "invalid --threads")?
+            }
             other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),
         }
@@ -271,6 +287,12 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                     .map_err(|_| "invalid --checkpoint-every")?
             }
             "--verify-recovery" => opts.verify_recovery = true,
+            "--backend" => opts.backend = value("--backend").parse()?,
+            "--threads" => {
+                opts.threads = value("--threads")
+                    .parse()
+                    .map_err(|_| "invalid --threads")?
+            }
             other if !other.starts_with('-') => positional = Some(PathBuf::from(other)),
             other => fail(&format!("unknown flag {other:?}")),
         }

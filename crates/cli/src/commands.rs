@@ -9,7 +9,28 @@ use aa_partition::{
     quality, BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner,
     RoundRobinPartitioner,
 };
+use aa_runtime::{threads_available, BackendKind};
 use std::path::{Path, PathBuf};
+
+/// Validates a `--backend`/`--threads` combination up front, so a
+/// misconfiguration fails with a clear CLI error instead of a
+/// construction-time panic deep inside the engine. Two loud failure modes:
+/// the simulator is strictly sequential (the vendored rayon stub has no real
+/// thread pool, so `--threads N > 1` would silently run on one core), and
+/// the threads backend needs the host to actually spawn OS threads.
+pub fn validate_backend(backend: BackendKind, threads: usize) -> Result<(), String> {
+    match backend {
+        BackendKind::Sim if threads > 1 => Err(format!(
+            "--threads {threads} is incompatible with --backend sim: the simulator is \
+             single-threaded and the vendored rayon stub has no real thread pool, so the run \
+             would silently execute sequentially; use --backend threads for real parallelism"
+        )),
+        BackendKind::Threads if !threads_available() => Err(
+            "--backend threads: this host cannot spawn OS threads; use --backend sim".to_string(),
+        ),
+        _ => Ok(()),
+    }
+}
 
 /// Options shared by the analysis subcommands.
 #[derive(Debug, Clone)]
@@ -52,6 +73,10 @@ pub struct AnalyzeOpts {
     pub progress_out: Option<PathBuf>,
     /// Optional JSONL file to dump phase spans to.
     pub spans_out: Option<PathBuf>,
+    /// Execution backend (`--backend sim|threads`).
+    pub backend: BackendKind,
+    /// Worker-thread cap for the threads backend (`--threads`, 0 = one per rank).
+    pub threads: usize,
 }
 
 /// Additional measures the `analyze` subcommand can report.
@@ -103,6 +128,8 @@ impl Default for AnalyzeOpts {
             metrics_out: None,
             progress_out: None,
             spans_out: None,
+            backend: BackendKind::Sim,
+            threads: 0,
         }
     }
 }
@@ -150,6 +177,7 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     if opts.detector_timeout == Some(0) {
         return Err("--detector-timeout must be at least 1 RC step".to_string());
     }
+    validate_backend(opts.backend, opts.threads)?;
     let supervision = SupervisorConfig {
         detector_timeout: opts
             .detector_timeout
@@ -164,6 +192,8 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
         fault,
         proc_fault,
         supervision,
+        backend: opts.backend,
+        threads: opts.threads,
         ..Default::default()
     };
     let mut engine = if let Some(ckpt) = &opts.resume {
@@ -373,6 +403,10 @@ pub struct StreamOpts {
     pub drop_rate: f64,
     /// Optional JSON file for the merged engine + ingest metrics registry.
     pub metrics_out: Option<PathBuf>,
+    /// Execution backend (`--backend sim|threads`).
+    pub backend: BackendKind,
+    /// Worker-thread cap for the threads backend (`--threads`, 0 = one per rank).
+    pub threads: usize,
 }
 
 impl Default for StreamOpts {
@@ -389,6 +423,8 @@ impl Default for StreamOpts {
             drain_policy: "size".to_string(),
             drop_rate: 0.0,
             metrics_out: None,
+            backend: BackendKind::Sim,
+            threads: 0,
         }
     }
 }
@@ -436,6 +472,7 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
         ));
     }
     let policy = parse_drain_policy(&opts.drain_policy, opts.batch, opts.queue_cap)?;
+    validate_backend(opts.backend, opts.threads)?;
     let fault = (opts.drop_rate > 0.0).then(|| FaultConfig {
         p_drop: opts.drop_rate,
         ..Default::default()
@@ -443,6 +480,8 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
     let config = EngineConfig {
         num_procs: opts.procs,
         fault,
+        backend: opts.backend,
+        threads: opts.threads,
         ..Default::default()
     };
     let graph = load_graph(&opts.input, opts.format)?;
@@ -546,6 +585,10 @@ pub struct ServeOpts {
     /// After shutdown, re-run recovery against the data dir and verify the
     /// restarted engine reproduces the served ranking exactly.
     pub verify_recovery: bool,
+    /// Execution backend (`--backend sim|threads`).
+    pub backend: BackendKind,
+    /// Worker-thread cap for the threads backend (`--threads`, 0 = one per rank).
+    pub threads: usize,
 }
 
 impl Default for ServeOpts {
@@ -567,6 +610,8 @@ impl Default for ServeOpts {
             data_dir: None,
             checkpoint_every: 16,
             verify_recovery: false,
+            backend: BackendKind::Sim,
+            threads: 0,
         }
     }
 }
@@ -621,10 +666,13 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
     if opts.verify_recovery && opts.data_dir.is_none() {
         return Err("--verify-recovery requires --data-dir".to_string());
     }
+    validate_backend(opts.backend, opts.threads)?;
     let config = EngineConfig {
         num_procs: opts.procs,
         fault,
         proc_fault,
+        backend: opts.backend,
+        threads: opts.threads,
         ..Default::default()
     };
     let serve_config = aa_serve::ServeConfig {
@@ -1282,6 +1330,82 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("out of range"));
+    }
+
+    #[test]
+    fn sim_backend_with_threads_fails_loudly_everywhere() {
+        // The vendored rayon stub is silently single-threaded, so asking the
+        // sim for parallelism must be a hard CLI error — on every subcommand
+        // that builds an engine, and before any file I/O happens.
+        let err = analyze(&AnalyzeOpts {
+            input: PathBuf::from("/nope.txt"),
+            threads: 8,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("single-threaded") && err.contains("--backend threads"),
+            "unhelpful error: {err}"
+        );
+        let err = stream_serve(&StreamOpts {
+            input: PathBuf::from("/nope.txt"),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("incompatible with --backend sim"), "{err}");
+        let err = serve_cmd(&ServeOpts {
+            input: PathBuf::from("/nope.txt"),
+            threads: 4,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("incompatible with --backend sim"), "{err}");
+        // threads <= 1 is the sequential contract the sim satisfies.
+        for threads in [0, 1] {
+            assert!(validate_backend(BackendKind::Sim, threads).is_ok());
+        }
+    }
+
+    #[test]
+    fn analyze_on_threads_backend_matches_sim() {
+        let dir = temp_dir("backend_threads");
+        let input = write_test_graph(&dir);
+        let sim = analyze(&AnalyzeOpts {
+            input: input.clone(),
+            procs: 4,
+            top: 5,
+            drop_rate: 0.2,
+            ..Default::default()
+        })
+        .unwrap();
+        let threads = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            top: 5,
+            drop_rate: 0.2,
+            backend: BackendKind::Threads,
+            threads: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        // The ranking and the fault accounting are part of the cross-backend
+        // determinism contract; cluster time is measured-compute-derived and
+        // is not, so compare the deterministic report lines only.
+        let deterministic = |report: &str| -> Vec<String> {
+            report
+                .lines()
+                .filter(|l| l.starts_with("  vertex") || l.starts_with("lossy links:"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert!(threads.contains("converged"), "{threads}");
+        assert_eq!(
+            deterministic(&sim),
+            deterministic(&threads),
+            "threads backend diverged from the sim oracle"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

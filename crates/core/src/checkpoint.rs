@@ -29,7 +29,7 @@ use crate::proc_state::ProcState;
 use aa_graph::{Graph, VertexId, Weight};
 use aa_partition::partition::UNASSIGNED;
 use aa_partition::Partition;
-use aa_runtime::SimCluster;
+
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"AACP";
@@ -310,9 +310,7 @@ impl AnytimeEngine {
         }
 
         let p = config.num_procs;
-        let mut cluster = SimCluster::new(p, config.logp, config.exchange);
-        cluster.set_compute_scale(config.compute_scale);
-        cluster.set_fault_plan(config.build_fault_plan());
+        let cluster = crate::engine::build_cluster(&config);
         // Supervision restarts fresh: the whole-cluster checkpoint does not
         // carry per-rank checkpoints (they describe volatile replica state),
         // and the detector's clocks re-anchor to the restored step counter —

@@ -4,7 +4,7 @@ use aa_logp::LogPParams;
 use aa_partition::{
     BfsGrowPartitioner, HashPartitioner, MultilevelKWay, Partitioner, RoundRobinPartitioner,
 };
-use aa_runtime::{ExchangeMode, FaultPlan};
+use aa_runtime::{BackendKind, ExchangeMode, FaultPlan};
 
 /// Which partitioner drives domain decomposition (and repartitioning).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,6 +213,14 @@ pub struct EngineConfig {
     pub proc_fault: Option<ProcFaultConfig>,
     /// Failure detection + recovery policy.
     pub supervision: SupervisorConfig,
+    /// Execution backend: the deterministic simulator (default, the
+    /// correctness oracle) or real OS threads with the same schedule and
+    /// accounting (see `aa_runtime::backend`).
+    pub backend: BackendKind,
+    /// Worker-thread cap for the threads backend (`0` = one worker per
+    /// rank). Must be 0 or 1 on the sim backend, which is strictly
+    /// sequential — requesting more fails loudly at construction.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -230,6 +238,8 @@ impl Default for EngineConfig {
             fault: None,
             proc_fault: None,
             supervision: SupervisorConfig::default(),
+            backend: BackendKind::Sim,
+            threads: 0,
         }
     }
 }

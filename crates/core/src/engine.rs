@@ -10,7 +10,7 @@ use aa_graph::{Graph, VertexId, Weight, INF};
 use aa_logp::Phase;
 use aa_obs::Stopwatch;
 use aa_partition::Partition;
-use aa_runtime::{SimCluster, TransferOut};
+use aa_runtime::{Cluster, TransferOut};
 use std::collections::{HashMap, HashSet};
 
 /// What a recombination exchange carries: boundary-row updates, plus the
@@ -20,6 +20,16 @@ pub(crate) enum RcPayload {
     Row(VertexId, RowUpdate),
     Heartbeat,
 }
+
+/// Per-rank input to the receipt-settlement stage: row-send descriptors
+/// `(row, dst, is_retransmit)`, heartbeat destinations, delivery receipts in
+/// send order, and per-dirty-row trivially-delivered destinations.
+type SettleInput = (
+    Vec<(VertexId, usize, bool)>,
+    Vec<usize>,
+    Vec<bool>,
+    Vec<(VertexId, Vec<usize>)>,
+);
 
 /// The distributed anytime-anywhere closeness-centrality engine.
 ///
@@ -31,7 +41,7 @@ pub struct AnytimeEngine {
     pub(crate) world: Graph,
     pub(crate) partition: Partition,
     pub(crate) procs: Vec<ProcState>,
-    pub(crate) cluster: SimCluster,
+    pub(crate) cluster: Cluster,
     pub(crate) config: EngineConfig,
     pub(crate) rc_steps_done: usize,
     pub(crate) converged: bool,
@@ -52,15 +62,31 @@ pub struct AnytimeEngine {
     pub(crate) obs: EngineObs,
 }
 
+/// Builds the execution backend an [`EngineConfig`] asks for, with the
+/// configured fault plan and compute calibration installed. Shared by
+/// [`AnytimeEngine::new`] and the whole-cluster checkpoint restore path.
+pub(crate) fn build_cluster(config: &EngineConfig) -> Cluster {
+    let mut cluster = Cluster::build(
+        config.backend,
+        config.num_procs,
+        config.logp,
+        config.exchange,
+        config.threads,
+    )
+    // aa-lint: allow(AA01, backend availability is probed at CLI/config time via threads_available; failing here is construction-time misconfiguration, same contract as the num_procs assert)
+    .unwrap_or_else(|e| panic!("cannot build execution backend: {e}"));
+    cluster.set_compute_scale(config.compute_scale);
+    cluster.set_fault_plan(config.build_fault_plan());
+    cluster
+}
+
 impl AnytimeEngine {
     /// Creates an engine over `graph`. Call [`Self::initialize`] before
     /// stepping.
     pub fn new(graph: Graph, config: EngineConfig) -> Self {
         assert!(config.num_procs >= 1, "need at least one processor");
         let p = config.num_procs;
-        let mut cluster = SimCluster::new(p, config.logp, config.exchange);
-        cluster.set_compute_scale(config.compute_scale);
-        cluster.set_fault_plan(config.build_fault_plan());
+        let cluster = build_cluster(&config);
         let supervision = Supervision::new(p, &config.supervision);
         AnytimeEngine {
             partition: Partition::unassigned(graph.capacity(), p),
@@ -94,7 +120,7 @@ impl AnytimeEngine {
 
     /// Domain decomposition + initial approximation. Also used by the
     /// baseline-restart strategy to rebuild from scratch (accounting
-    /// accumulates across restarts; use [`SimCluster::reset_accounting`]
+    /// accumulates across restarts; use [`Cluster::reset_accounting`]
     /// via [`Self::cluster_mut`] to zero it).
     // aa-lint: allow(AA07, outbox is sized to num_procs which is asserted >= 1 at construction)
     pub fn initialize(&mut self) {
@@ -150,13 +176,18 @@ impl AnytimeEngine {
         );
 
         // --- Initial approximation ---------------------------------------
+        // The heavy per-rank SSSP phase: one closure per rank on the
+        // execution backend (sequential on the simulator, worker threads on
+        // the threads backend).
         let ia_span = self.span_open();
-        for rank in 0..p {
-            let t = Stopwatch::start();
-            self.procs[rank].initial_approximation(self.config.ia);
-            self.cluster
-                .compute_measured(rank, Phase::InitialApproximation, t.elapsed());
-        }
+        let ia = self.config.ia;
+        self.cluster.run_on_ranks(
+            Phase::InitialApproximation,
+            &mut self.procs,
+            vec![(); p],
+            &vec![false; p],
+            |_, ps, ()| ps.initial_approximation(ia),
+        );
         self.cluster.barrier();
         self.span_close(ia_span, "initial-approximation", format!("p={p}"));
 
@@ -206,74 +237,91 @@ impl AnytimeEngine {
         // dropped rows. `descs[rank][i]` describes `outbox[rank][i]`:
         // (row, destination, is_retransmit). Down ranks assemble nothing —
         // their dirty sets and retransmit queues stay frozen until recovery.
-        let mut outbox: Vec<Vec<TransferOut<RcPayload>>> = (0..p).map(|_| Vec::new()).collect();
-        let mut descs: Vec<Vec<(VertexId, usize, bool)>> = (0..p).map(|_| Vec::new()).collect();
+        // Each live rank assembles its sends on the execution backend (the
+        // threads backend runs these closures on real workers); down ranks
+        // are skipped and contribute empty plans without a compute charge.
+        let down: Vec<bool> = (0..p).map(|r| self.cluster.is_down(r)).collect();
+        let partition = &self.partition;
+        let plans = self.cluster.run_on_ranks(
+            Phase::Recombination,
+            &mut self.procs,
+            vec![(); p],
+            &down,
+            |_, ps, ()| {
+                let mut outbox: Vec<TransferOut<RcPayload>> = Vec::new();
+                let mut descs: Vec<(VertexId, usize, bool)> = Vec::new();
+                let mut dirty_meta: Vec<(VertexId, Vec<usize>)> = Vec::new();
+                let mut dirty: Vec<VertexId> = ps.dirty.drain().collect();
+                dirty.sort_unstable(); // deterministic order
+                for u in dirty {
+                    // A fresh send supersedes any pending retransmit of the
+                    // same row: destinations still neighbouring get the new
+                    // data below, the rest no longer need the row at all.
+                    ps.outstanding.retain(|&(v, _), _| v != u);
+                    let ranks = ps.neighbor_ranks(u, partition);
+                    if ranks.is_empty() {
+                        continue; // interior vertex: no neighbour processor needs it
+                    }
+                    let mut trivial = Vec::new();
+                    for &dst in &ranks {
+                        if let Some(update) = ps.build_row_update(u, dst) {
+                            outbox.push(TransferOut {
+                                dst,
+                                bytes: update.bytes(),
+                                payload: RcPayload::Row(u, update),
+                            });
+                            descs.push((u, dst, false));
+                        } else {
+                            trivial.push(dst);
+                        }
+                    }
+                    dirty_meta.push((u, trivial));
+                }
+                // Due retransmits. The destination was removed from `sent_to`
+                // when its receipt came back negative, so these are always
+                // full rows.
+                let mut due: Vec<(VertexId, usize)> = ps
+                    .outstanding
+                    .iter()
+                    .filter(|(_, o)| o.next_step <= now)
+                    .map(|(&key, _)| key)
+                    .collect();
+                due.sort_unstable();
+                for (u, dst) in due {
+                    match ps.build_row_update(u, dst) {
+                        Some(update) => {
+                            outbox.push(TransferOut {
+                                dst,
+                                bytes: update.bytes(),
+                                payload: RcPayload::Row(u, update),
+                            });
+                            descs.push((u, dst, true));
+                        }
+                        None => {
+                            // dst already holds the current row (it was acked
+                            // through another path); nothing left to deliver.
+                            ps.outstanding.remove(&(u, dst));
+                        }
+                    }
+                }
+                (outbox, descs, dirty_meta)
+            },
+        );
+        let mut outbox: Vec<Vec<TransferOut<RcPayload>>> = Vec::with_capacity(p);
+        let mut descs: Vec<Vec<(VertexId, usize, bool)>> = Vec::with_capacity(p);
         // Per dirty row: destinations that were already up to date (no bytes
         // needed — trivially delivered).
-        let mut dirty_meta: Vec<Vec<(VertexId, Vec<usize>)>> = (0..p).map(|_| Vec::new()).collect();
-        for rank in 0..p {
-            if self.cluster.is_down(rank) {
-                continue;
-            }
-            let t = Stopwatch::start();
-            let mut dirty: Vec<VertexId> = self.procs[rank].dirty.drain().collect();
-            dirty.sort_unstable(); // deterministic order
-            for u in dirty {
-                // A fresh send supersedes any pending retransmit of the same
-                // row: destinations still neighbouring get the new data
-                // below, the rest no longer need the row at all.
-                self.procs[rank].outstanding.retain(|&(v, _), _| v != u);
-                let ranks = self.procs[rank].neighbor_ranks(u, &self.partition);
-                if ranks.is_empty() {
-                    continue; // interior vertex: no neighbour processor needs it
-                }
-                let mut trivial = Vec::new();
-                for &dst in &ranks {
-                    if let Some(update) = self.procs[rank].build_row_update(u, dst) {
-                        outbox[rank].push(TransferOut {
-                            dst,
-                            bytes: update.bytes(),
-                            payload: RcPayload::Row(u, update),
-                        });
-                        descs[rank].push((u, dst, false));
-                    } else {
-                        trivial.push(dst);
-                    }
-                }
-                dirty_meta[rank].push((u, trivial));
-            }
-            // Due retransmits. The destination was removed from `sent_to`
-            // when its receipt came back negative, so these are always full
-            // rows.
-            let mut due: Vec<(VertexId, usize)> = self.procs[rank]
-                .outstanding
-                .iter()
-                .filter(|(_, o)| o.next_step <= now)
-                .map(|(&key, _)| key)
-                .collect();
-            due.sort_unstable();
-            for (u, dst) in due {
-                match self.procs[rank].build_row_update(u, dst) {
-                    Some(update) => {
-                        outbox[rank].push(TransferOut {
-                            dst,
-                            bytes: update.bytes(),
-                            payload: RcPayload::Row(u, update),
-                        });
-                        descs[rank].push((u, dst, true));
-                    }
-                    None => {
-                        // dst already holds the current row (it was acked
-                        // through another path); nothing left to deliver.
-                        self.procs[rank].outstanding.remove(&(u, dst));
-                    }
-                }
-            }
-            self.obs.retransmit_sends +=
-                descs[rank].iter().filter(|&&(_, _, retry)| retry).count() as u64;
-            self.cluster
-                .compute_measured(rank, Phase::Recombination, t.elapsed());
+        let mut dirty_meta: Vec<Vec<(VertexId, Vec<usize>)>> = Vec::with_capacity(p);
+        for (ob, ds, dm) in plans {
+            outbox.push(ob);
+            descs.push(ds);
+            dirty_meta.push(dm);
         }
+        self.obs.retransmit_sends += descs
+            .iter()
+            .flatten()
+            .filter(|&&(_, _, retry)| retry)
+            .count() as u64;
 
         // 1b. Piggyback one-byte heartbeats from every live rank to every
         // other rank on the same exchange, so silent-but-alive ranks remain
@@ -315,113 +363,152 @@ impl AnytimeEngine {
         // baseline can be refreshed to exactly what every receiver now
         // holds. Positive receipts double as liveness evidence: an ack
         // proves the destination was up this step.
-        for rank in 0..p {
-            let t = Stopwatch::start();
-            debug_assert_eq!(
-                descs[rank].len() + hb_dsts[rank].len(),
-                receipts[rank].len()
-            );
-            for (&dst, &ok) in hb_dsts[rank]
-                .iter()
-                .zip(&receipts[rank][descs[rank].len()..])
-            {
-                if ok {
-                    self.supervision.detector.observe_contact(dst, now);
-                }
-            }
-            for (&(_, dst, _), &ok) in descs[rank].iter().zip(&receipts[rank]) {
-                if ok {
-                    self.supervision.detector.observe_contact(dst, now);
-                }
-            }
-            for &ok in receipts[rank].iter().take(descs[rank].len()) {
-                if ok {
-                    self.obs.acked_sends += 1;
-                } else {
-                    self.obs.failed_sends += 1;
-                }
-            }
-            let ps = &mut self.procs[rank];
-            let mut acked: HashMap<VertexId, Vec<usize>> = HashMap::new();
-            let mut failed: HashMap<VertexId, Vec<usize>> = HashMap::new();
-            for (&(u, dst, is_retry), &ok) in descs[rank].iter().zip(&receipts[rank]) {
-                if is_retry {
+        // Every rank (down ranks have nothing to settle — empty descs and
+        // receipts) settles on the backend; liveness contacts and protocol
+        // counters are returned and applied centrally in rank order, since
+        // the detector and `obs` are coordinator-side state.
+        let no_skip = vec![false; p];
+        let settle_inputs: Vec<SettleInput> = descs
+            .into_iter()
+            .zip(hb_dsts)
+            .zip(receipts)
+            .zip(dirty_meta)
+            .map(|(((ds, hb), rc), dm)| (ds, hb, rc, dm))
+            .collect();
+        let settled = self.cluster.run_on_ranks(
+            Phase::Recombination,
+            &mut self.procs,
+            settle_inputs,
+            &no_skip,
+            |_, ps, (descs_r, hb_r, receipts_r, dirty_r): SettleInput| {
+                debug_assert_eq!(descs_r.len() + hb_r.len(), receipts_r.len());
+                let mut contacts: Vec<usize> = Vec::new();
+                let (mut acked_sends, mut failed_sends) = (0u64, 0u64);
+                for (&dst, &ok) in hb_r.iter().zip(&receipts_r[descs_r.len()..]) {
                     if ok {
-                        // The receiver now caches the row as it was at send
-                        // time, which is ≤ the (older) baseline snapshot, so
-                        // future deltas against that snapshot stay a
-                        // superset of what the receiver needs. Deliberately
-                        // no baseline refresh: other members may still be on
-                        // the older snapshot.
-                        ps.sent_to.entry(u).or_default().insert(dst);
-                        ps.outstanding.remove(&(u, dst));
-                    } else {
-                        let o = ps
-                            .outstanding
-                            .get_mut(&(u, dst))
-                            .expect("retransmit has an outstanding entry");
-                        o.attempts += 1;
-                        o.next_step = now + retry_backoff(o.attempts);
+                        contacts.push(dst);
                     }
-                } else if ok {
-                    acked.entry(u).or_default().push(dst);
-                } else {
-                    failed.entry(u).or_default().push(dst);
                 }
+                for (&(_, dst, _), &ok) in descs_r.iter().zip(&receipts_r) {
+                    if ok {
+                        contacts.push(dst);
+                    }
+                }
+                for &ok in receipts_r.iter().take(descs_r.len()) {
+                    if ok {
+                        acked_sends += 1;
+                    } else {
+                        failed_sends += 1;
+                    }
+                }
+                let mut acked: HashMap<VertexId, Vec<usize>> = HashMap::new();
+                let mut failed: HashMap<VertexId, Vec<usize>> = HashMap::new();
+                for (&(u, dst, is_retry), &ok) in descs_r.iter().zip(&receipts_r) {
+                    if is_retry {
+                        if ok {
+                            // The receiver now caches the row as it was at
+                            // send time, which is ≤ the (older) baseline
+                            // snapshot, so future deltas against that
+                            // snapshot stay a superset of what the receiver
+                            // needs. Deliberately no baseline refresh: other
+                            // members may still be on the older snapshot.
+                            ps.sent_to.entry(u).or_default().insert(dst);
+                            ps.outstanding.remove(&(u, dst));
+                        } else {
+                            let o = ps
+                                .outstanding
+                                .get_mut(&(u, dst))
+                                .expect("retransmit has an outstanding entry");
+                            o.attempts += 1;
+                            o.next_step = now + retry_backoff(o.attempts);
+                        }
+                    } else if ok {
+                        acked.entry(u).or_default().push(dst);
+                    } else {
+                        failed.entry(u).or_default().push(dst);
+                    }
+                }
+                for (u, trivial) in dirty_r {
+                    let mut delivered: HashSet<usize> = trivial.into_iter().collect();
+                    delivered.extend(acked.remove(&u).unwrap_or_default());
+                    let failures = failed.remove(&u).unwrap_or_default();
+                    // Destinations that missed this send (dropped, or their
+                    // cut edges to `u` came and went) are out of the
+                    // up-to-date set: they get a full row on next contact.
+                    ps.sent_to.insert(u, delivered);
+                    // Refresh the delta baseline only when every destination
+                    // got this send; otherwise keep the old baseline (an
+                    // upper bound of every member's cache) so deltas remain
+                    // supersets of what each member still needs. First sends
+                    // always refresh — there is no older member to protect.
+                    if failures.is_empty() || !ps.sent_snapshot.contains_key(&u) {
+                        ps.sent_snapshot.insert(u, ps.dv.row(u).to_vec());
+                    }
+                    for dst in failures {
+                        ps.outstanding.insert(
+                            (u, dst),
+                            Outstanding {
+                                attempts: 1,
+                                next_step: now + 1,
+                            },
+                        );
+                    }
+                }
+                (contacts, acked_sends, failed_sends)
+            },
+        );
+        for (contacts, acked_sends, failed_sends) in settled {
+            for dst in contacts {
+                self.supervision.detector.observe_contact(dst, now);
             }
-            for (u, trivial) in dirty_meta[rank].drain(..) {
-                let mut delivered: HashSet<usize> = trivial.into_iter().collect();
-                delivered.extend(acked.remove(&u).unwrap_or_default());
-                let failures = failed.remove(&u).unwrap_or_default();
-                // Destinations that missed this send (dropped, or their cut
-                // edges to `u` came and went) are out of the up-to-date set:
-                // they get a full row on next contact.
-                ps.sent_to.insert(u, delivered);
-                // Refresh the delta baseline only when every destination got
-                // this send; otherwise keep the old baseline (an upper bound
-                // of every member's cache) so deltas remain supersets of
-                // what each member still needs. First sends always refresh —
-                // there is no older member to protect.
-                if failures.is_empty() || !ps.sent_snapshot.contains_key(&u) {
-                    ps.sent_snapshot.insert(u, ps.dv.row(u).to_vec());
-                }
-                for dst in failures {
-                    ps.outstanding.insert(
-                        (u, dst),
-                        Outstanding {
-                            attempts: 1,
-                            next_step: now + 1,
-                        },
-                    );
-                }
-            }
-            self.cluster
-                .compute_measured(rank, Phase::Recombination, t.elapsed());
+            self.obs.acked_sends += acked_sends;
+            self.obs.failed_sends += failed_sends;
         }
 
-        // 3b. Apply received rows and refine locally. Every inbound message
-        // (row or heartbeat) is liveness evidence for its sender.
-        for (rank, received) in inbox.into_iter().enumerate() {
-            let t = Stopwatch::start();
-            let mut seeds = Vec::new();
-            for (src, payload) in received {
-                self.supervision.detector.observe_contact(src, now);
-                if let RcPayload::Row(v, update) = payload {
-                    seeds.extend(self.procs[rank].apply_row_update(v, update));
-                }
-            }
-            match self.config.refinement {
-                Refinement::WorklistRelax => {
-                    self.procs[rank].propagate_worklist(seeds);
-                }
-                Refinement::PivotPass => {
-                    if !seeds.is_empty() || self.pivot_pending[rank] {
-                        self.pivot_pending[rank] = self.procs[rank].pivot_pass();
+        // 3b. Apply received rows and refine locally, one closure per rank
+        // on the backend. Every inbound message (row or heartbeat) is
+        // liveness evidence for its sender, reported back as contacts and
+        // observed centrally.
+        let refinement = self.config.refinement;
+        let apply_inputs: Vec<(Vec<(usize, RcPayload)>, bool)> = inbox
+            .into_iter()
+            .zip(self.pivot_pending.iter().copied())
+            .collect();
+        let applied = self.cluster.run_on_ranks(
+            Phase::Recombination,
+            &mut self.procs,
+            apply_inputs,
+            &no_skip,
+            |_, ps, (received, pending): (Vec<(usize, RcPayload)>, bool)| {
+                let mut contacts: Vec<usize> = Vec::new();
+                let mut seeds = Vec::new();
+                for (src, payload) in received {
+                    contacts.push(src);
+                    if let RcPayload::Row(v, update) = payload {
+                        seeds.extend(ps.apply_row_update(v, update));
                     }
                 }
+                let pending = match refinement {
+                    Refinement::WorklistRelax => {
+                        ps.propagate_worklist(seeds);
+                        pending
+                    }
+                    Refinement::PivotPass => {
+                        if !seeds.is_empty() || pending {
+                            ps.pivot_pass()
+                        } else {
+                            pending
+                        }
+                    }
+                };
+                (contacts, pending)
+            },
+        );
+        for (rank, (contacts, pending)) in applied.into_iter().enumerate() {
+            for src in contacts {
+                self.supervision.detector.observe_contact(src, now);
             }
-            self.cluster
-                .compute_measured(rank, Phase::Recombination, t.elapsed());
+            self.pivot_pending[rank] = pending;
         }
 
         // 3c. Failure detection. Stragglers: compare this step's per-rank
@@ -489,14 +576,14 @@ impl AnytimeEngine {
         &self.partition
     }
 
-    /// The simulated cluster (clocks + ledger).
-    pub fn cluster(&self) -> &SimCluster {
+    /// The execution backend (clocks + ledger, sim or threads).
+    pub fn cluster(&self) -> &Cluster {
         &self.cluster
     }
 
     /// Mutable cluster access (e.g. to reset accounting between experiment
     /// phases).
-    pub fn cluster_mut(&mut self) -> &mut SimCluster {
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
         &mut self.cluster
     }
 

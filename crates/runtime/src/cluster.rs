@@ -55,6 +55,47 @@ impl std::fmt::Display for DeliveryKind {
     }
 }
 
+/// Outcome of judging one transfer against the cluster's down-state and the
+/// installed fault plan. Judging is side-effect-free on the cluster (only the
+/// plan's per-link replay counters advance), which is what lets the threaded
+/// backend judge per-sender concurrently and settle sequentially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Sent to (or from) a crashed rank; never received or acked.
+    LostDown,
+    /// Dropped by the fault plan.
+    Dropped,
+    /// Delivered; `duplicated` means a second copy also arrives.
+    Delivered {
+        /// Whether a second copy also arrives.
+        duplicated: bool,
+    },
+}
+
+/// Judges one transfer: the down-rank check comes first and does *not*
+/// advance the link's decision stream (a dead link draws no randomness), so
+/// fault schedules replay identically across crash/recovery timings. Each
+/// directed link's stream is only ever advanced by its own sender, which
+/// makes the verdict independent of how senders interleave.
+// aa-lint: allow(AA07, down is the cluster's per-rank table sized to proc_count and src/dst are asserted below proc_count by both judge call sites before judging)
+pub(crate) fn judge_transfer(
+    down: &[bool],
+    plan: Option<&mut FaultPlan>,
+    src: usize,
+    dst: usize,
+) -> Verdict {
+    if down[dst] || down[src] {
+        return Verdict::LostDown;
+    }
+    match plan {
+        Some(plan) => match plan.decide(src, dst) {
+            Delivery::Dropped => Verdict::Dropped,
+            Delivery::Delivered { duplicated } => Verdict::Delivered { duplicated },
+        },
+        None => Verdict::Delivered { duplicated: false },
+    }
+}
+
 /// One recorded communication event (tracing enabled via
 /// [`SimCluster::enable_trace`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -349,40 +390,75 @@ impl SimCluster {
     ) -> ExchangeReceipts<T> {
         let p = self.proc_count();
         assert_eq!(outbox.len(), p, "outbox must have one slot per processor");
+        let (mut plan, down) = self.fault_and_down();
+        let judged: Vec<(Vec<TransferOut<T>>, Vec<Verdict>)> = outbox
+            .into_iter()
+            .enumerate()
+            .map(|(src, transfers)| {
+                let verdicts = transfers
+                    .iter()
+                    .map(|t| {
+                        assert!(t.dst < p, "destination {} out of range", t.dst);
+                        assert_ne!(t.dst, src, "self-send from processor {src}");
+                        judge_transfer(down, plan.as_deref_mut(), src, t.dst)
+                    })
+                    .collect();
+                (transfers, verdicts)
+            })
+            .collect();
+        self.settle_exchange(phase, judged)
+    }
+
+    /// Split borrow for the judge stage: the fault plan (mutable — judging
+    /// advances per-link replay counters) alongside the down-rank flags.
+    pub(crate) fn fault_and_down(&mut self) -> (Option<&mut FaultPlan>, &[bool]) {
+        (self.fault.as_mut(), &self.down)
+    }
+
+    /// Applies already-judged transfers: charges bytes (including dropped and
+    /// duplicated copies — the network was used either way), fills receiver
+    /// inboxes and per-sender receipts, traces faulted transfers at the final
+    /// makespan, and runs the deterministic inbox reshuffle. `judged` holds
+    /// each sender's transfers with one verdict per transfer, in submission
+    /// order; both backends funnel through here so the accounting is shared
+    /// byte-for-byte.
+    // aa-lint: allow(AA07, every dst was asserted below proc_count at judge time and the p*p pair table is sized from proc_count)
+    pub(crate) fn settle_exchange<T: Clone>(
+        &mut self,
+        phase: Phase,
+        judged: Vec<(Vec<TransferOut<T>>, Vec<Verdict>)>,
+    ) -> ExchangeReceipts<T> {
+        let p = self.proc_count();
+        assert_eq!(judged.len(), p, "outbox must have one slot per processor");
         let mut per_pair_bytes = vec![0usize; p * p];
         let mut inbox: Vec<Vec<(usize, T)>> = (0..p).map(|_| Vec::new()).collect();
         let mut receipts: Vec<Vec<bool>> = (0..p).map(|_| Vec::new()).collect();
         // Faulted transfers are traced after the charge loop (at the final
         // makespan), keeping the trace ordered by time.
         let mut faulted: Vec<(usize, usize, usize, DeliveryKind)> = Vec::new();
-        for (src, transfers) in outbox.into_iter().enumerate() {
-            for t in transfers {
-                assert!(t.dst < p, "destination {} out of range", t.dst);
-                assert_ne!(t.dst, src, "self-send from processor {src}");
+        for (src, (transfers, verdicts)) in judged.into_iter().enumerate() {
+            assert_eq!(transfers.len(), verdicts.len(), "one verdict per transfer");
+            for (t, verdict) in transfers.into_iter().zip(verdicts) {
                 per_pair_bytes[src * p + t.dst] += t.bytes;
-                if self.down[t.dst] || self.down[src] {
-                    // Nobody home at one end: the transfer rides the network
-                    // (bytes are charged via `per_pair_bytes`) but is never
-                    // received or acked, so the sender sees a nack and will
-                    // retransmit until the rank is recovered.
-                    receipts[src].push(false);
-                    let msgs = self.params.message_count(t.bytes) as u64;
-                    self.ledger.record_drop(phase, msgs, t.bytes as u64);
-                    faulted.push((src, t.dst, t.bytes, DeliveryKind::LostDown));
-                    continue;
-                }
-                let verdict = match &mut self.fault {
-                    Some(plan) => plan.decide(src, t.dst),
-                    None => Delivery::Delivered { duplicated: false },
-                };
                 match verdict {
-                    Delivery::Dropped => {
+                    Verdict::LostDown => {
+                        // Nobody home at one end: the transfer rides the
+                        // network (bytes are charged via `per_pair_bytes`)
+                        // but is never received or acked, so the sender sees
+                        // a nack and will retransmit until the rank is
+                        // recovered.
+                        receipts[src].push(false);
+                        let msgs = self.params.message_count(t.bytes) as u64;
+                        self.ledger.record_drop(phase, msgs, t.bytes as u64);
+                        faulted.push((src, t.dst, t.bytes, DeliveryKind::LostDown));
+                    }
+                    Verdict::Dropped => {
                         receipts[src].push(false);
                         let msgs = self.params.message_count(t.bytes) as u64;
                         self.ledger.record_drop(phase, msgs, t.bytes as u64);
                         faulted.push((src, t.dst, t.bytes, DeliveryKind::Dropped));
                     }
-                    Delivery::Delivered { duplicated } => {
+                    Verdict::Delivered { duplicated } => {
                         receipts[src].push(true);
                         if duplicated {
                             // The second copy also rides the network.

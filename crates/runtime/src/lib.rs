@@ -7,18 +7,28 @@
 //! moves data between them exclusively through [`SimCluster`], which charges
 //! every transfer to per-processor LogP virtual clocks and a cost ledger.
 //!
-//! Why simulation instead of threads + real sockets: the algorithms under
-//! study are defined entirely by *which bytes move when* and *what each
-//! processor may know*; a deterministic simulator preserves exactly those
-//! semantics, makes every run reproducible, and yields a hardware-independent
-//! "cluster time" (the LogP makespan) that the figure reproductions report —
-//! see DESIGN.md §2. Real shared-memory parallelism still happens *inside*
-//! each virtual processor (the paper's OpenMP level, rayon here).
+//! Why keep the simulator at all: the algorithms under study are defined
+//! entirely by *which bytes move when* and *what each processor may know*; a
+//! deterministic simulator preserves exactly those semantics, makes every
+//! run reproducible, and yields a hardware-independent "cluster time" (the
+//! LogP makespan) that the figure reproductions report — see DESIGN.md §2.
+//!
+//! Since ISSUE 9 there are two interchangeable [`backend::Cluster`]
+//! variants: the [`SimCluster`] oracle above, and a [`ThreadCluster`] that
+//! runs per-rank work on real OS threads with bounded channels while
+//! funnelling all accounting through the same simulator core — so real
+//! wall-clock parallelism and the deterministic replay contract coexist,
+//! proven equivalent by the cross-backend differential suite (DESIGN.md
+//! §16).
 
+pub mod backend;
 pub mod cluster;
 pub mod detector;
 pub mod fault;
+pub mod threads;
 
+pub use backend::{BackendKind, Cluster, ExecutionBackend};
 pub use cluster::{DeliveryKind, ExchangeMode, SimCluster, TraceEvent, TransferOut};
 pub use detector::{FailureDetector, RankHealth};
 pub use fault::{CrashFault, Delivery, FaultPlan, LinkFaults, StragglerFault};
+pub use threads::{threads_available, ThreadCluster};

@@ -14,13 +14,23 @@
 //!
 //! `AA_DIFF_SEED=<n> cargo test differential_seeded_replay` replays one
 //! deterministic schedule derived from the seed — the hook CI uses to pin a
-//! known-failing case while it is being fixed.
+//! known-failing case while it is being fixed. The same variable drives
+//! `cross_backend_seeded_replay`, the pinned-schedule hook for the
+//! sim-vs-threads comparison below.
+//!
+//! Since ISSUE 9 the harness is also *cross-backend*: every case can run on
+//! the deterministic simulator and on the real threaded backend, and the two
+//! must produce identical post-convergence distances, closeness scores and
+//! recovery logs (the sim is the oracle for the threads backend, exactly as
+//! the brute-force APSP is the oracle for the sim). Failures shrink through
+//! the same ddmin pass.
 
 use aa_core::{
     AdditionStrategy, AnytimeEngine, Endpoint, EngineConfig, FaultConfig, PartitionerKind,
-    ProgressSample, VertexBatch,
+    ProcFaultConfig, ProgressSample, SupervisorConfig, VertexBatch,
 };
-use aa_graph::{algo, Graph, VertexId};
+use aa_graph::{algo, Graph, VertexId, Weight};
+use aa_runtime::BackendKind;
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -52,6 +62,12 @@ struct Case {
     drop_rate: f64,
     seed: u64,
     ops: Vec<Op>,
+    /// Scheduled fail-stop crash `(step, rank)`, auto-recovered by the
+    /// supervisor (used by the cross-backend chaos matrix).
+    crash: Option<(u64, usize)>,
+    /// Injected straggler `(rank, scale)` — advisory-only, must not change
+    /// any result on either backend.
+    straggler: Option<(usize, f64)>,
 }
 
 /// Spine + extra edges, like the proptests generator: the spine keeps the
@@ -112,26 +128,52 @@ fn apply(e: &mut AnytimeEngine, op: Op) {
     }
 }
 
-/// Runs a case to convergence and differentially checks it against the
-/// brute-force oracle. Returns the failure description (if any) and the
-/// anytime progress timeline of the run.
-fn run_case(case: &Case) -> (Option<String>, Vec<ProgressSample>) {
+/// Builds the case's engine on the requested execution backend. All other
+/// configuration (seeds, fault schedule, partitioner) is identical, so any
+/// difference in the outcome is the backend's fault.
+fn engine_for(case: &Case, backend: BackendKind, threads: usize) -> AnytimeEngine {
     let graph = build_graph(case.n, &case.extra_edges);
     let fault = (case.drop_rate > 0.0).then(|| FaultConfig {
         p_drop: case.drop_rate,
         seed: case.seed ^ 0x5eed,
         ..Default::default()
     });
-    let mut e = AnytimeEngine::new(
+    let proc_fault = (case.crash.is_some() || case.straggler.is_some()).then(|| ProcFaultConfig {
+        crashes: case.crash.into_iter().collect(),
+        stragglers: case.straggler.into_iter().collect(),
+    });
+    // A scheduled crash needs the supervisor: tight detection and frequent
+    // checkpoints keep the recovery inside the convergence budget.
+    let supervision = if case.crash.is_some() {
+        SupervisorConfig {
+            checkpoint_interval: 2,
+            detector_timeout: 2,
+            ..Default::default()
+        }
+    } else {
+        SupervisorConfig::default()
+    };
+    AnytimeEngine::new(
         graph,
         EngineConfig {
             num_procs: case.procs,
             seed: case.seed,
             partitioner: case.partitioner,
             fault,
+            proc_fault,
+            supervision,
+            backend,
+            threads,
             ..Default::default()
         },
-    );
+    )
+}
+
+/// Runs a case to convergence and differentially checks it against the
+/// brute-force oracle. Returns the failure description (if any) and the
+/// anytime progress timeline of the run.
+fn run_case(case: &Case) -> (Option<String>, Vec<ProgressSample>) {
+    let mut e = engine_for(case, BackendKind::Sim, 0);
     e.initialize();
     e.enable_progress_probe();
     for &op in &case.ops {
@@ -175,9 +217,12 @@ fn fails(case: &Case) -> bool {
 }
 
 /// ddmin over a vector-valued field: greedily removes chunks (halving the
-/// chunk size) for as long as the case keeps failing.
+/// chunk size) for as long as `still_fails` keeps holding. The predicate is
+/// a parameter so the same shrinker serves both the engine-vs-brute-force
+/// harness and the sim-vs-threads cross-backend harness.
 fn ddmin<T: Clone>(
     case: &Case,
+    still_fails: &dyn Fn(&Case) -> bool,
     get: fn(&Case) -> &Vec<T>,
     get_mut: fn(&mut Case) -> &mut Vec<T>,
 ) -> Case {
@@ -190,7 +235,7 @@ fn ddmin<T: Clone>(
             let mut candidate = best.clone();
             let upper = (i + chunk).min(get(&candidate).len());
             get_mut(&mut candidate).drain(i..upper);
-            if fails(&candidate) {
+            if still_fails(&candidate) {
                 best = candidate;
                 shrunk = true;
             } else {
@@ -207,11 +252,21 @@ fn ddmin<T: Clone>(
     }
 }
 
-/// Minimizes a failing case: first the operation schedule, then the extra
-/// edge list of the base graph.
+/// Minimizes a case that fails `still_fails`: first the operation schedule,
+/// then the extra edge list of the base graph.
+fn shrink_with(case: &Case, still_fails: &dyn Fn(&Case) -> bool) -> Case {
+    let best = ddmin(case, still_fails, |c| &c.ops, |c| &mut c.ops);
+    ddmin(
+        &best,
+        still_fails,
+        |c| &c.extra_edges,
+        |c| &mut c.extra_edges,
+    )
+}
+
+/// Minimizes a failing oracle-differential case.
 fn shrink(case: &Case) -> Case {
-    let best = ddmin(case, |c| &c.ops, |c| &mut c.ops);
-    ddmin(&best, |c| &c.extra_edges, |c| &mut c.extra_edges)
+    shrink_with(case, &fails)
 }
 
 /// Checks a case; on failure, prints the delta-debugged minimal schedule and
@@ -300,6 +355,8 @@ fn arb_case<O: Strategy<Value = Op>>(op: O, drop_rate: f64) -> impl Strategy<Val
             drop_rate,
             seed,
             ops,
+            crash: None,
+            straggler: None,
         })
 }
 
@@ -388,11 +445,244 @@ fn differential_seeded_replay() {
             drop_rate: if round % 2 == 0 { 0.0 } else { 0.2 },
             seed: seed ^ round,
             ops,
+            crash: None,
+            straggler: None,
         };
         let (failure, _) = run_case(&case);
         if let Some(msg) = failure {
             let minimal = shrink(&case);
             panic!("AA_DIFF_SEED={seed} round {round} failed ({msg}); minimal case: {minimal:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend harness: the simulator is the oracle for the threads backend.
+// ---------------------------------------------------------------------------
+
+/// Worker-thread count for the threads side of every comparison. Three
+/// workers on up to four ranks forces lane multiplexing (one worker owns
+/// more than one rank), the regime where merge-order bugs would hide.
+const CROSS_THREADS: usize = 3;
+
+/// Everything the determinism contract covers, gathered from one converged
+/// run: dense distances, closeness, stale flags and the recovery log.
+/// Measured wall time (makespan, per-rank `compute_us`) and straggler
+/// *health* flags — which derive from measured compute — are deliberately
+/// excluded: they are the sanctioned cross-backend differences (DESIGN.md
+/// §16). Recovery logs stay in because crash suspicion is silence-based and
+/// therefore deterministic.
+type Fingerprint = (
+    Vec<Vec<Weight>>,
+    Vec<f64>,
+    Vec<bool>,
+    Vec<(u64, usize, String, usize, usize)>,
+);
+
+/// Runs a case on one backend and extracts its determinism fingerprint.
+/// The convergence budget is generous (drop 0.5 cells retransmit a lot).
+fn fingerprint_on(
+    case: &Case,
+    backend: BackendKind,
+    threads: usize,
+) -> Result<Fingerprint, String> {
+    let mut e = engine_for(case, backend, threads);
+    e.initialize();
+    for &op in &case.ops {
+        apply(&mut e, op);
+        e.rc_step();
+    }
+    e.run_to_convergence(4000);
+    if !e.is_converged() {
+        return Err(format!("{backend:?} backend failed to converge"));
+    }
+    if let Err(err) = e.check_invariants() {
+        return Err(format!("{backend:?} backend invariant violated: {err}"));
+    }
+    let snap = e.snapshot();
+    let recoveries = e
+        .recovery_log()
+        .iter()
+        .map(|ev| {
+            (
+                ev.step,
+                ev.report.rank,
+                ev.report.method.to_string(),
+                ev.report.restored_rows,
+                ev.report.reseeded_rows,
+            )
+        })
+        .collect();
+    Ok((e.distances_dense(), snap.closeness, snap.stale, recoveries))
+}
+
+/// Compares the sim fingerprint against the threaded one; `None` means they
+/// agree on every covered field.
+fn cross_backend_failure(case: &Case) -> Option<String> {
+    let sim = match fingerprint_on(case, BackendKind::Sim, 0) {
+        Ok(fp) => fp,
+        Err(e) => return Some(e),
+    };
+    let thr = match fingerprint_on(case, BackendKind::Threads, CROSS_THREADS) {
+        Ok(fp) => fp,
+        Err(e) => return Some(e),
+    };
+    if sim.0 != thr.0 {
+        let v = sim.0.iter().zip(&thr.0).position(|(a, b)| a != b);
+        return Some(format!("distance rows diverge (first at vertex {v:?})"));
+    }
+    if sim.1 != thr.1 {
+        let v = sim.1.iter().zip(&thr.1).position(|(a, b)| a != b);
+        return Some(format!("closeness diverges (first at vertex {v:?})"));
+    }
+    if sim.2 != thr.2 {
+        return Some("stale flags diverge".into());
+    }
+    if sim.3 != thr.3 {
+        return Some(format!(
+            "recovery logs diverge: sim {:?} vs threads {:?}",
+            sim.3, thr.3
+        ));
+    }
+    None
+}
+
+fn cross_fails(case: &Case) -> bool {
+    cross_backend_failure(case).is_some()
+}
+
+/// Checks sim-vs-threads agreement; on failure, ddmin-shrinks the case
+/// through the same machinery as the oracle harness and prints the minimal
+/// divergent schedule.
+fn check_cross_case(case: Case) -> Result<(), TestCaseError> {
+    let Some(msg) = cross_backend_failure(&case) else {
+        return Ok(());
+    };
+    let minimal = shrink_with(&case, &cross_fails);
+    let min_msg = cross_backend_failure(&minimal);
+    eprintln!("=== cross-backend divergence (sim vs threads) ===");
+    eprintln!("original divergence: {msg}");
+    eprintln!(
+        "minimal divergent case: n={} procs={} partitioner={:?} drop_rate={} seed={} \
+         crash={:?} straggler={:?} extra_edges={:?}",
+        minimal.n,
+        minimal.procs,
+        minimal.partitioner,
+        minimal.drop_rate,
+        minimal.seed,
+        minimal.crash,
+        minimal.straggler,
+        minimal.extra_edges
+    );
+    for (i, op) in minimal.ops.iter().enumerate() {
+        eprintln!("  op[{i}] = {op:?}");
+    }
+    prop_assert!(
+        false,
+        "sim-vs-threads divergence ({}): minimal case printed above",
+        min_msg.unwrap_or(msg)
+    );
+    Ok(())
+}
+
+/// The ISSUE 9 chaos matrix: drop rate {0.0, 0.2, 0.5} × processor fault
+/// {none, crash, straggler}, every cell run on both backends with identical
+/// seeds and compared field-by-field. Deterministic (no proptest), so a red
+/// cell names itself.
+#[test]
+fn cross_backend_chaos_matrix() {
+    let drops = [0.0, 0.2, 0.5];
+    type ProcFaultCell = (&'static str, Option<(u64, usize)>, Option<(usize, f64)>);
+    let proc_faults: [ProcFaultCell; 3] = [
+        ("none", None, None),
+        ("crash", Some((2, 1)), None),
+        ("straggler", None, Some((1, 3.0))),
+    ];
+    for (di, &drop_rate) in drops.iter().enumerate() {
+        for (fault_name, crash, straggler) in proc_faults {
+            let case = Case {
+                n: 14,
+                extra_edges: vec![(0, 7, 2), (3, 11, 1), (5, 13, 3)],
+                procs: 4,
+                partitioner: partitioner_for(di as u64),
+                drop_rate,
+                seed: 0x9 ^ (di as u64) << 8,
+                ops: vec![Op::AddEdge(2, 9, 2), Op::AddVertex(4, 1), Op::DeleteEdge(6)],
+                crash,
+                straggler,
+            };
+            if let Some(msg) = cross_backend_failure(&case) {
+                let minimal = shrink_with(&case, &cross_fails);
+                panic!(
+                    "chaos-matrix cell drop={drop_rate} fault={fault_name} diverged ({msg}); \
+                     minimal case: {minimal:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random churn schedules over lossy links must land both backends on
+    /// bit-identical results — the property form of the chaos matrix.
+    #[test]
+    fn vertex_churn_matches_across_backends(case in arb_case(arb_vertex_op(), 0.2)) {
+        check_cross_case(case)?;
+    }
+}
+
+/// `AA_DIFF_SEED`-pinned replay for the cross-backend comparison: four
+/// deterministic rounds cycling through the processor-fault matrix on top of
+/// a seed-derived schedule, each compared sim-vs-threads.
+#[test]
+fn cross_backend_seeded_replay() {
+    let seed: u64 = std::env::var("AA_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xAA);
+    let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1));
+    for round in 0..4u64 {
+        let n = 8 + rng.below(10) as usize;
+        let extra_edges: Vec<(u32, u32, u32)> = (0..rng.below(6))
+            .map(|_| {
+                (
+                    rng.below(n as u64) as u32,
+                    rng.below(n as u64) as u32,
+                    1 + rng.below(5) as u32,
+                )
+            })
+            .collect();
+        let ops: Vec<Op> = (0..1 + rng.below(4))
+            .map(|_| match rng.below(3) {
+                0 => Op::AddEdge(
+                    rng.below(64) as u32,
+                    rng.below(64) as u32,
+                    1 + rng.below(5) as u32,
+                ),
+                1 => Op::AddVertex(rng.below(64) as u32, 1 + rng.below(5) as u32),
+                _ => Op::ChangeWeight(rng.below(64) as u32, 1 + rng.below(5) as u32),
+            })
+            .collect();
+        let procs = 3 + (round % 2) as usize;
+        let case = Case {
+            n,
+            extra_edges,
+            procs,
+            partitioner: partitioner_for(round),
+            drop_rate: [0.0, 0.2, 0.5, 0.2][round as usize % 4],
+            seed: seed ^ (round << 16),
+            ops,
+            crash: (round % 4 == 1).then(|| (2, 1 + rng.below(procs as u64 - 1) as usize)),
+            straggler: (round % 4 == 2).then(|| (rng.below(procs as u64) as usize, 2.5)),
+        };
+        if let Some(msg) = cross_backend_failure(&case) {
+            let minimal = shrink_with(&case, &cross_fails);
+            panic!(
+                "AA_DIFF_SEED={seed} cross-backend round {round} diverged ({msg}); \
+                 minimal case: {minimal:?}"
+            );
         }
     }
 }

@@ -9,6 +9,12 @@
 //! reseed hands it local upper bounds that keep improving as boundary rows
 //! arrive (re-flood plus correction deltas); a baseline restart re-floods
 //! every boundary row of every rank.
+//!
+//! Every scenario runs on both execution backends (`mod on_sim`,
+//! `mod on_threads`): crash suspicion is silence-based and straggler
+//! flagging is advisory, so detection, the ladder, and the recovery log must
+//! behave identically whether ranks run sequentially in the simulator or on
+//! real OS threads.
 
 use aa_core::{
     AdditionStrategy, AnytimeEngine, EngineConfig, FaultConfig, ProcFaultConfig, RankHealth,
@@ -16,6 +22,7 @@ use aa_core::{
 };
 use aa_graph::{algo, generators};
 use aa_logp::Phase;
+use aa_runtime::BackendKind;
 
 fn assert_oracle(e: &AnytimeEngine) {
     let dense = e.distances_dense();
@@ -25,11 +32,27 @@ fn assert_oracle(e: &AnytimeEngine) {
     }
 }
 
-fn supervised_config(procs: usize, seed: u64, supervision: SupervisorConfig) -> EngineConfig {
+/// Worker cap used for the threaded backend in these tests: fewer workers
+/// than ranks, so lane multiplexing is exercised too.
+fn threads_for(backend: BackendKind) -> usize {
+    match backend {
+        BackendKind::Sim => 0,
+        BackendKind::Threads => 3,
+    }
+}
+
+fn supervised_config(
+    procs: usize,
+    seed: u64,
+    supervision: SupervisorConfig,
+    backend: BackendKind,
+) -> EngineConfig {
     EngineConfig {
         num_procs: procs,
         seed,
         supervision,
+        backend,
+        threads: threads_for(backend),
         ..Default::default()
     }
 }
@@ -38,8 +61,7 @@ fn supervised_config(procs: usize, seed: u64, supervision: SupervisorConfig) -> 
 /// manual `fail_and_recover_processor` call anywhere — fires mid-run, is
 /// detected by heartbeat timeout, is recovered from the last valid periodic
 /// checkpoint, and the engine converges to the exact oracle.
-#[test]
-fn scheduled_crash_detected_and_recovered_via_checkpoint() {
+fn scheduled_crash_detected_and_recovered_via_checkpoint(backend: BackendKind) {
     let g = generators::barabasi_albert(60, 2, 2, 41);
     let mut e = AnytimeEngine::new(
         g,
@@ -55,6 +77,8 @@ fn scheduled_crash_detected_and_recovered_via_checkpoint() {
                 detector_timeout: 2,
                 ..Default::default()
             },
+            backend,
+            threads: threads_for(backend),
             ..Default::default()
         },
     );
@@ -98,7 +122,7 @@ fn scheduled_crash_detected_and_recovered_via_checkpoint() {
 /// recombination bytes moved from the crash onward. `checkpoint_interval`
 /// selects the ladder rung; `restart` instead measures the baseline
 /// (detect the crash, then rebuild the whole computation from scratch).
-fn crash_recovery_bytes(checkpoint_interval: usize, restart: bool) -> u64 {
+fn crash_recovery_bytes(checkpoint_interval: usize, restart: bool, backend: BackendKind) -> u64 {
     let g = generators::barabasi_albert(60, 2, 2, 77);
     let mut e = AnytimeEngine::new(
         g,
@@ -111,6 +135,7 @@ fn crash_recovery_bytes(checkpoint_interval: usize, restart: bool) -> u64 {
                 auto_recover: !restart,
                 ..Default::default()
             },
+            backend,
         ),
     );
     e.initialize();
@@ -155,11 +180,10 @@ fn crash_recovery_bytes(checkpoint_interval: usize, restart: bool) -> u64 {
 /// The issue's cost acceptance: checkpoint-assisted recovery moves strictly
 /// fewer recombination bytes than SSSP-reseed recovery, which moves strictly
 /// fewer than a baseline restart.
-#[test]
-fn recovery_ladder_byte_ordering() {
-    let checkpoint = crash_recovery_bytes(1, false);
-    let reseed = crash_recovery_bytes(0, false);
-    let restart = crash_recovery_bytes(0, true);
+fn recovery_ladder_byte_ordering(backend: BackendKind) {
+    let checkpoint = crash_recovery_bytes(1, false, backend);
+    let reseed = crash_recovery_bytes(0, false, backend);
+    let restart = crash_recovery_bytes(0, true, backend);
     assert!(
         checkpoint < reseed,
         "checkpoint restore ({checkpoint} B) must move fewer recombination \
@@ -175,7 +199,7 @@ fn recovery_ladder_byte_ordering() {
 /// Converges with periodic checkpoints, corrupts rank 1's stored checkpoint
 /// with `mutate`, crashes rank 1 — recovery must detect the damage (CRC or
 /// framing) and fall back to the SSSP reseed, still reaching the oracle.
-fn corrupt_and_recover(mutate: impl FnOnce(&mut Vec<u8>)) {
+fn corrupt_and_recover(backend: BackendKind, mutate: impl FnOnce(&mut Vec<u8>)) {
     let g = generators::barabasi_albert(50, 2, 1, 53);
     let mut e = AnytimeEngine::new(
         g,
@@ -187,6 +211,7 @@ fn corrupt_and_recover(mutate: impl FnOnce(&mut Vec<u8>)) {
                 detector_timeout: 2,
                 ..Default::default()
             },
+            backend,
         ),
     );
     e.initialize();
@@ -213,19 +238,17 @@ fn corrupt_and_recover(mutate: impl FnOnce(&mut Vec<u8>)) {
     e.check_invariants().unwrap();
 }
 
-#[test]
-fn bit_flipped_checkpoint_falls_back_to_reseed() {
+fn bit_flipped_checkpoint_falls_back_to_reseed(backend: BackendKind) {
     // Flip one payload bit: the CRC32 footer must reject the blob.
-    corrupt_and_recover(|blob| {
+    corrupt_and_recover(backend, |blob| {
         let mid = blob.len() / 2;
         blob[mid] ^= 0x10;
     });
 }
 
-#[test]
-fn truncated_checkpoint_falls_back_to_reseed() {
+fn truncated_checkpoint_falls_back_to_reseed(backend: BackendKind) {
     // Cut the blob short: framing must reject it before any row is read.
-    corrupt_and_recover(|blob| {
+    corrupt_and_recover(backend, |blob| {
         let half = blob.len() / 2;
         blob.truncate(half);
     });
@@ -235,8 +258,7 @@ fn truncated_checkpoint_falls_back_to_reseed() {
 /// have invalidated (rows are only guaranteed upper bounds for the graph
 /// they were computed on). Recovery must notice the epoch mismatch and
 /// reseed instead of restoring.
-#[test]
-fn stale_epoch_checkpoint_falls_back_to_reseed() {
+fn stale_epoch_checkpoint_falls_back_to_reseed(backend: BackendKind) {
     let g = generators::barabasi_albert(50, 2, 1, 67);
     let mut e = AnytimeEngine::new(
         g,
@@ -248,6 +270,7 @@ fn stale_epoch_checkpoint_falls_back_to_reseed() {
                 detector_timeout: 2,
                 ..Default::default()
             },
+            backend,
         ),
     );
     e.initialize();
@@ -281,8 +304,7 @@ fn stale_epoch_checkpoint_falls_back_to_reseed() {
 /// With automatic recovery off, a detected crash degrades gracefully: the
 /// engine keeps answering closeness queries, flagging exactly the down
 /// rank's vertices as stale, until a manual recovery is requested.
-#[test]
-fn down_rank_degrades_gracefully_with_stale_flags() {
+fn down_rank_degrades_gracefully_with_stale_flags(backend: BackendKind) {
     let g = generators::barabasi_albert(50, 2, 1, 29);
     let mut e = AnytimeEngine::new(
         g,
@@ -294,6 +316,7 @@ fn down_rank_degrades_gracefully_with_stale_flags() {
                 auto_recover: false,
                 ..Default::default()
             },
+            backend,
         ),
     );
     e.initialize();
@@ -345,8 +368,7 @@ fn down_rank_degrades_gracefully_with_stale_flags() {
 
 /// An injected straggler slows down but never corrupts: the detector flags
 /// it in the health report while the answer stays oracle-exact.
-#[test]
-fn straggler_is_flagged_but_harmless() {
+fn straggler_is_flagged_but_harmless(backend: BackendKind) {
     let g = generators::barabasi_albert(80, 2, 2, 59);
     let mut e = AnytimeEngine::new(
         g,
@@ -357,6 +379,8 @@ fn straggler_is_flagged_but_harmless() {
                 crashes: vec![],
                 stragglers: vec![(2, 10_000.0)],
             }),
+            backend,
+            threads: threads_for(backend),
             ..Default::default()
         },
     );
@@ -386,8 +410,7 @@ fn straggler_is_flagged_but_harmless() {
 /// Crash detection and checkpoint recovery compose with lossy links: the
 /// heartbeats ride the same faulty network, yet a real crash is still told
 /// apart from dropped heartbeats and the engine reconverges exactly.
-#[test]
-fn scheduled_crash_composes_with_chaos_links() {
+fn scheduled_crash_composes_with_chaos_links(backend: BackendKind) {
     let g = generators::barabasi_albert(50, 2, 2, 83);
     let mut e = AnytimeEngine::new(
         g,
@@ -408,6 +431,8 @@ fn scheduled_crash_composes_with_chaos_links() {
                 checkpoint_interval: 2,
                 ..Default::default()
             },
+            backend,
+            threads: threads_for(backend),
             ..Default::default()
         },
     );
@@ -426,8 +451,7 @@ fn scheduled_crash_composes_with_chaos_links() {
 
 /// Processor faults are seeded and replayable: two runs with the same
 /// schedule produce identical traffic counters, recovery logs and distances.
-#[test]
-fn self_healing_is_deterministic() {
+fn self_healing_is_deterministic(backend: BackendKind) {
     let run = || {
         let g = generators::barabasi_albert(50, 2, 1, 31);
         let mut e = AnytimeEngine::new(
@@ -444,6 +468,8 @@ fn self_healing_is_deterministic() {
                     detector_timeout: 2,
                     ..Default::default()
                 },
+                backend,
+                threads: threads_for(backend),
                 ..Default::default()
             },
         );
@@ -467,4 +493,64 @@ fn self_healing_is_deterministic() {
     assert_eq!(t1, t2, "same schedule must replay the same traffic");
     assert_eq!(l1, l2, "same schedule must replay the same recoveries");
     assert_eq!(d1, d2);
+}
+
+macro_rules! backend_tests {
+    ($backend:expr) => {
+        #[test]
+        fn scheduled_crash_detected_and_recovered_via_checkpoint() {
+            super::scheduled_crash_detected_and_recovered_via_checkpoint($backend);
+        }
+
+        #[test]
+        fn recovery_ladder_byte_ordering() {
+            super::recovery_ladder_byte_ordering($backend);
+        }
+
+        #[test]
+        fn bit_flipped_checkpoint_falls_back_to_reseed() {
+            super::bit_flipped_checkpoint_falls_back_to_reseed($backend);
+        }
+
+        #[test]
+        fn truncated_checkpoint_falls_back_to_reseed() {
+            super::truncated_checkpoint_falls_back_to_reseed($backend);
+        }
+
+        #[test]
+        fn stale_epoch_checkpoint_falls_back_to_reseed() {
+            super::stale_epoch_checkpoint_falls_back_to_reseed($backend);
+        }
+
+        #[test]
+        fn down_rank_degrades_gracefully_with_stale_flags() {
+            super::down_rank_degrades_gracefully_with_stale_flags($backend);
+        }
+
+        #[test]
+        fn straggler_is_flagged_but_harmless() {
+            super::straggler_is_flagged_but_harmless($backend);
+        }
+
+        #[test]
+        fn scheduled_crash_composes_with_chaos_links() {
+            super::scheduled_crash_composes_with_chaos_links($backend);
+        }
+
+        #[test]
+        fn self_healing_is_deterministic() {
+            super::self_healing_is_deterministic($backend);
+        }
+    };
+}
+
+/// Every self-healing scenario on the deterministic simulator (the oracle).
+mod on_sim {
+    backend_tests!(aa_runtime::BackendKind::Sim);
+}
+
+/// The identical scenarios on real OS threads: silence-based detection and
+/// the recovery ladder must behave exactly as they do on the simulator.
+mod on_threads {
+    backend_tests!(aa_runtime::BackendKind::Threads);
 }
