@@ -16,7 +16,8 @@ use aa_bench::experiments::{self, AnytimeRow, Fig4Row, Fig8Row, ScalingRow, Sing
 use aa_bench::ingest::{
     durable_overhead, ingest_throughput, overhead_to_json, rows_to_json, IngestRow,
 };
-use aa_bench::serve::{serve_load, serve_rows_to_json, ServeRow};
+use aa_bench::serve::{serve_load, serve_rows_to_json, serve_topk_mix, ServeRow};
+use aa_bench::topk::{topk_rows_to_json, topk_sweep, TopkRow};
 use aa_bench::workload::ExperimentParams;
 
 fn parse_args() -> (Vec<String>, ExperimentParams, Option<String>) {
@@ -39,14 +40,14 @@ fn parse_args() -> (Vec<String>, ExperimentParams, Option<String>) {
             "--json" => json_out = Some(args.next().expect("--json PATH")),
             "all" => figs.extend(["fig4", "fig5", "fig6", "fig7", "fig8"].map(String::from)),
             f @ ("fig4" | "fig5" | "fig6" | "fig7" | "fig8" | "scaling" | "anytime" | "ingest"
-            | "serve" | "backend") => figs.push(f.to_string()),
+            | "serve" | "backend" | "topk") => figs.push(f.to_string()),
             "replay" => {
                 let path = args.next().expect("replay <progress.jsonl>");
                 figs.push(format!("replay:{path}"));
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|ingest|serve|backend|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X] [--json PATH]");
+                eprintln!("usage: figures [fig4|fig5|fig6|fig7|fig8|scaling|anytime|ingest|serve|backend|topk|replay FILE|all] [--n N] [--procs P] [--seed S] [--compute-scale X] [--json PATH]");
                 // CLI entry point: a usage error is the one place an abrupt
                 // exit is the right interface.
                 #[allow(clippy::exit)]
@@ -242,9 +243,10 @@ fn print_ingest(rows: &[IngestRow]) {
 
 fn print_serve(rows: &[ServeRow]) {
     println!(
-        "{:<9} {:>6} {:>9} {:>8} {:>9} {:>7} {:>12} {:>12} {:>9} {:>9}",
+        "{:<9} {:>6} {:>6} {:>9} {:>8} {:>9} {:>7} {:>12} {:>12} {:>9} {:>8} {:>8} {:>9}",
         "offered",
         "reads",
+        "topk",
         "served",
         "shed",
         "throttle",
@@ -252,13 +254,16 @@ fn print_serve(rows: &[ServeRow]) {
         "p50 (us)",
         "p99 (us)",
         "shed%",
+        "tk.exct",
+        "tk.any",
         "degraded"
     );
     for r in rows {
         println!(
-            "{:<9} {:>5.0}% {:>9} {:>8} {:>9} {:>7} {:>12.1} {:>12.1} {:>8.2}% {:>9}",
+            "{:<9} {:>5.0}% {:>5.0}% {:>9} {:>8} {:>9} {:>7} {:>12.1} {:>12.1} {:>8.2}% {:>8} {:>8} {:>9}",
             r.offered_per_turn,
             r.read_fraction * 100.0,
+            r.topk_read_mix * 100.0,
             r.reads_served,
             r.reads_shed,
             r.reads_throttled,
@@ -266,13 +271,15 @@ fn print_serve(rows: &[ServeRow]) {
             r.p50_us,
             r.p99_us,
             r.shed_rate * 100.0,
+            r.topk_exact,
+            r.topk_anytime,
             r.degraded_turns
         );
     }
 }
 
 fn run_serve(params: &ExperimentParams, json_out: Option<&str>) {
-    let rows = match serve_load(params, &[16, 64, 256], &[0.5, 0.8, 0.95], 32) {
+    let mut rows = match serve_load(params, &[16, 64, 256], &[0.5, 0.8, 0.95], 32) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("serve experiment failed: {e}");
@@ -280,9 +287,72 @@ fn run_serve(params: &ExperimentParams, json_out: Option<&str>) {
             std::process::exit(1);
         }
     };
+    // Top-k read-mix sweep at moderate load: how the latency quantiles and
+    // the exact/anytime confidence split move as reads shift from vertex
+    // lookups to ranking queries.
+    match serve_topk_mix(params, 64, &[0.0, 0.5, 1.0], 32) {
+        Ok(mix_rows) => rows.extend(mix_rows),
+        Err(e) => {
+            eprintln!("serve top-k mix sweep failed: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    }
     print_serve(&rows);
     if let Some(path) = json_out {
         if let Err(e) = std::fs::write(path, serve_rows_to_json(&rows)) {
+            eprintln!("cannot write {path}: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}
+
+fn print_topk(rows: &[TopkRow]) {
+    println!(
+        "{:<7} {:>9} {:>9} {:>4} {:>7} {:>12} {:>12} {:>12} {:>11} {:>7}",
+        "scale",
+        "vertices",
+        "edges",
+        "k",
+        "pivots",
+        "exact@step",
+        "converge@",
+        "pruned@exct",
+        "peak prune",
+        "oracle"
+    );
+    for r in rows {
+        println!(
+            "{:<7} {:>9} {:>9} {:>4} {:>7} {:>12} {:>12} {:>11.1}% {:>10.1}% {:>7}",
+            r.scale,
+            r.vertices,
+            r.edges,
+            r.k,
+            r.pivots,
+            r.steps_to_exact
+                .map_or("never".to_string(), |s| s.to_string()),
+            r.steps_to_converge,
+            r.pruned_at_exact * 100.0,
+            r.peak_pruned * 100.0,
+            if r.oracle_match { "exact" } else { "FAIL" }
+        );
+    }
+}
+
+fn run_topk(params: &ExperimentParams, json_out: Option<&str>) {
+    let rows = match topk_sweep(params, &[9, 10, 12], 10, 64) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("top-k sweep failed: {e}");
+            #[allow(clippy::exit)]
+            std::process::exit(1);
+        }
+    };
+    print_topk(&rows);
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(path, topk_rows_to_json(&rows)) {
             eprintln!("cannot write {path}: {e}");
             #[allow(clippy::exit)]
             std::process::exit(1);
@@ -480,6 +550,13 @@ fn main() {
                     "Execution backends: sim oracle vs real threads on R-MAT (beyond-paper)",
                 );
                 run_backend(&params, json_out.as_deref());
+            }
+            "topk" => {
+                print_header(
+                    &params,
+                    "Anytime top-k: bound-based pruning vs full convergence on R-MAT (beyond-paper)",
+                );
+                run_topk(&params, json_out.as_deref());
             }
             replay if replay.starts_with("replay:") => {
                 print_replay(&replay["replay:".len()..]);

@@ -22,6 +22,8 @@ pub struct ServeRow {
     pub offered_per_turn: usize,
     /// Read share of the offered load.
     pub read_fraction: f64,
+    /// Top-k share of the reads (the rest are single-vertex lookups).
+    pub topk_read_mix: f64,
     /// Per-transfer link drop probability during recombination.
     pub drop_rate: f64,
     /// Serving turns driven.
@@ -44,6 +46,10 @@ pub struct ServeRow {
     pub p99_us: f64,
     /// Shed fraction of resolved reads.
     pub shed_rate: f64,
+    /// Top-k reads answered with `Exact` confidence.
+    pub topk_exact: u64,
+    /// Top-k reads answered with `Anytime` confidence (bounds still open).
+    pub topk_anytime: u64,
     /// Turns spent in degraded mode.
     pub degraded_turns: u64,
     /// Cluster-seconds of LogP makespan the run consumed.
@@ -56,6 +62,7 @@ fn serve_cell(
     params: &ExperimentParams,
     offered: usize,
     read_fraction: f64,
+    topk_read_mix: f64,
     drop_rate: f64,
     turns: usize,
 ) -> Result<ServeRow, String> {
@@ -76,8 +83,26 @@ fn serve_cell(
         seed: params.seed ^ 0x5e47e,
         offered_per_turn: offered,
         read_fraction,
+        topk_read_mix,
         top_k: 10,
     });
+    let mut topk_exact = 0u64;
+    let mut topk_anytime = 0u64;
+    let mut count_topk = |outcomes: &[aa_serve::ReadOutcome]| {
+        for o in outcomes {
+            if let aa_serve::ReadOutcome::Served {
+                value: aa_serve::ReadValue::TopK(ans),
+                ..
+            } = o
+            {
+                if ans.is_exact() {
+                    topk_exact += 1;
+                } else {
+                    topk_anytime += 1;
+                }
+            }
+        }
+    };
     let t0 = server.engine().makespan_us();
     for _ in 0..turns {
         for op in gen.turn_ops(server.engine()) {
@@ -90,9 +115,9 @@ fn serve_cell(
                 }
             }
         }
-        server.turn()?;
+        count_topk(&server.turn()?.served);
     }
-    server.drain(16 * params.procs + 256)?;
+    count_topk(&server.drain(16 * params.procs + 256)?);
     let cluster_seconds = (server.engine().makespan_us() - t0) / 1e6;
 
     let stats = server.stats();
@@ -100,6 +125,7 @@ fn serve_cell(
     Ok(ServeRow {
         offered_per_turn: offered,
         read_fraction,
+        topk_read_mix,
         drop_rate,
         turns,
         reads_submitted: stats.reads_submitted,
@@ -111,6 +137,8 @@ fn serve_cell(
         p50_us,
         p99_us,
         shed_rate: stats.read_shed_rate(),
+        topk_exact,
+        topk_anytime,
         degraded_turns: stats.degraded_turns,
         cluster_seconds,
     })
@@ -127,8 +155,25 @@ pub fn serve_load(
     let mut rows = Vec::new();
     for &offered in offered_loads {
         for &rf in read_fractions {
-            rows.push(serve_cell(params, offered, rf, 0.0, turns)?);
+            rows.push(serve_cell(params, offered, rf, 0.7, 0.0, turns)?);
         }
+    }
+    Ok(rows)
+}
+
+/// Sweeps the top-k share of the read traffic at fixed offered load and an
+/// all-read mix: how do latency quantiles and exact/anytime confidence
+/// split move as reads shift from single-vertex lookups to full top-k
+/// ranking queries under concurrent write churn?
+pub fn serve_topk_mix(
+    params: &ExperimentParams,
+    offered: usize,
+    mixes: &[f64],
+    turns: usize,
+) -> Result<Vec<ServeRow>, String> {
+    let mut rows = Vec::new();
+    for &mix in mixes {
+        rows.push(serve_cell(params, offered, 0.8, mix, 0.0, turns)?);
     }
     Ok(rows)
 }
@@ -141,7 +186,7 @@ pub fn serve_under_faults(
     drop_rate: f64,
     turns: usize,
 ) -> Result<ServeRow, String> {
-    serve_cell(params, offered, 0.8, drop_rate, turns)
+    serve_cell(params, offered, 0.8, 0.7, drop_rate, turns)
 }
 
 /// Serializes the sweep as a JSON array (the committed `BENCH_serve.json`
@@ -150,13 +195,16 @@ pub fn serve_rows_to_json(rows: &[ServeRow]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "  {{\"offered_per_turn\": {}, \"read_fraction\": {}, \"drop_rate\": {}, \
+            "  {{\"offered_per_turn\": {}, \"read_fraction\": {}, \"topk_read_mix\": {}, \
+             \"drop_rate\": {}, \
              \"turns\": {}, \"reads_submitted\": {}, \"reads_served\": {}, \
              \"reads_throttled\": {}, \"reads_shed\": {}, \"writes_accepted\": {}, \
              \"writes_shed\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
-             \"shed_rate\": {:.4}, \"degraded_turns\": {}, \"cluster_seconds\": {:.6}}}{}",
+             \"shed_rate\": {:.4}, \"topk_exact\": {}, \"topk_anytime\": {}, \
+             \"degraded_turns\": {}, \"cluster_seconds\": {:.6}}}{}",
             r.offered_per_turn,
             r.read_fraction,
+            r.topk_read_mix,
             r.drop_rate,
             r.turns,
             r.reads_submitted,
@@ -168,6 +216,8 @@ pub fn serve_rows_to_json(rows: &[ServeRow]) -> String {
             r.p50_us,
             r.p99_us,
             r.shed_rate,
+            r.topk_exact,
+            r.topk_anytime,
             r.degraded_turns,
             r.cluster_seconds,
             if i + 1 < rows.len() { ",\n" } else { "\n" }
@@ -235,6 +285,31 @@ mod tests {
         if !cfg!(debug_assertions) {
             assert!(heavy.shed_rate > 0.0, "expected shedding at 16x load");
         }
+    }
+
+    #[test]
+    fn topk_mix_sweep_counts_confidence_and_serializes() {
+        let params = tiny_params();
+        let rows = serve_topk_mix(&params, 16, &[0.0, 1.0], 24).unwrap();
+        assert_eq!(rows.len(), 2);
+        // All-vertex reads: no top-k outcomes at all.
+        assert_eq!(
+            rows[0].topk_exact + rows[0].topk_anytime,
+            0,
+            "{:?}",
+            rows[0]
+        );
+        // All-top-k reads: every served read carries a confidence verdict.
+        assert_eq!(
+            rows[1].topk_exact + rows[1].topk_anytime,
+            rows[1].reads_served,
+            "{:?}",
+            rows[1]
+        );
+        assert!(rows[1].reads_served > 0);
+        let json = serve_rows_to_json(&rows);
+        assert!(json.contains("\"topk_read_mix\": 1"), "{json}");
+        assert!(json.contains("\"topk_exact\""), "{json}");
     }
 
     #[test]

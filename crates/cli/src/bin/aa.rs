@@ -24,6 +24,7 @@ use std::process::exit;
 const USAGE: &str = "\
 usage:
   aa analyze  <graph> [--format edgelist|pajek|metis] [--procs P] [--top K]
+              [--top-k K]  (anytime top-k tracker: bound-based pruning + confidence)
               [--strategy roundrobin|cutedge|repartition|restart]
               [--stream FILE] [--save-checkpoint FILE] [--resume FILE]
               [--measure degree|eigenvector|pagerank|cliques]... [--trace CSV]
@@ -38,6 +39,7 @@ usage:
               [--backend sim|threads]     (execution backend, default sim)
               [--threads N]               (threads-backend workers, 0 = per rank)
   aa stream   <graph> <updates> [--format F] [--procs P] [--top K]
+              [--top-k K]  (keep the anytime top-k tracker current across flushes)
               [--strategy roundrobin|cutedge|repartition|restart]
               [--batch N]         (size-policy batch target, default 64)
               [--queue-cap N]     (ingest queue hard capacity, default 4096)
@@ -48,6 +50,7 @@ usage:
               [--turns N]         (serving turns to drive, default 64)
               [--offered N]       (requests offered per turn, default 32)
               [--read-fraction R] (read share of offered load, default 0.8)
+              [--topk-read-mix R] (top-k share of reads, default 0.7)
               [--deadline-us D]   (read deadline in virtual microseconds)
               [--seed S]          (workload seed)
               [--drop-rate P] [--crash-at STEP:RANK]... [--straggler RANK:SCALE]...
@@ -125,6 +128,9 @@ fn run_analyze(args: &[String]) -> Result<String, String> {
             "--format" => opts.format = Some(Format::parse(&value("--format"))?),
             "--procs" => opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?,
             "--top" => opts.top = value("--top").parse().map_err(|_| "invalid --top")?,
+            "--top-k" => {
+                opts.top_k = Some(value("--top-k").parse().map_err(|_| "invalid --top-k")?)
+            }
             "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
             "--stream" => opts.stream = Some(PathBuf::from(value("--stream"))),
             "--save-checkpoint" => {
@@ -199,6 +205,9 @@ fn run_stream(args: &[String]) -> Result<String, String> {
             "--format" => opts.format = Some(Format::parse(&value("--format"))?),
             "--procs" => opts.procs = value("--procs").parse().map_err(|_| "invalid --procs")?,
             "--top" => opts.top = value("--top").parse().map_err(|_| "invalid --top")?,
+            "--top-k" => {
+                opts.top_k = Some(value("--top-k").parse().map_err(|_| "invalid --top-k")?)
+            }
             "--strategy" => opts.strategy = parse_strategy(&value("--strategy")),
             "--batch" => opts.batch = value("--batch").parse().map_err(|_| "invalid --batch")?,
             "--queue-cap" => {
@@ -255,6 +264,11 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 opts.read_fraction = value("--read-fraction")
                     .parse()
                     .map_err(|_| "invalid --read-fraction")?
+            }
+            "--topk-read-mix" => {
+                opts.topk_read_mix = value("--topk-read-mix")
+                    .parse()
+                    .map_err(|_| "invalid --topk-read-mix")?
             }
             "--deadline-us" => {
                 opts.deadline_us = value("--deadline-us")

@@ -43,6 +43,10 @@ pub struct AnalyzeOpts {
     pub procs: usize,
     /// Ranking size to print.
     pub top: usize,
+    /// Run the anytime top-k tracker alongside the computation: sound
+    /// closeness bounds observed every superstep, bound-based candidate
+    /// pruning, and an exact/anytime confidence in the report.
+    pub top_k: Option<usize>,
     /// Vertex-addition strategy for `av` stream commands.
     pub strategy: AdditionStrategy,
     /// Optional update stream file to apply after the static analysis.
@@ -114,6 +118,7 @@ impl Default for AnalyzeOpts {
             format: None,
             procs: 8,
             top: 10,
+            top_k: None,
             strategy: AdditionStrategy::CutEdgePs,
             stream: None,
             save_checkpoint: None,
@@ -214,8 +219,22 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     if opts.progress_out.is_some() {
         engine.enable_progress_probe();
     }
+    if opts.top_k == Some(0) {
+        return Err("--top-k must be at least 1".to_string());
+    }
+    let mut tracker = opts.top_k.map(|k| {
+        engine.enable_bound_feed();
+        aa_query::TopKTracker::new(aa_query::TopKConfig {
+            k,
+            max_pivots: 16.max(k),
+        })
+    });
     let mut out = String::new();
-    let steps = engine.run_to_convergence(16 * opts.procs + 64);
+    let budget = 16 * opts.procs + 64;
+    let steps = match tracker.as_mut() {
+        Some(t) => crate::stream::run_observed(&mut engine, t, budget),
+        None => engine.run_to_convergence(budget),
+    };
     out.push_str(&format!(
         "graph: {} vertices, {} edges — converged in {steps} RC steps\n",
         engine.graph().vertex_count(),
@@ -235,12 +254,25 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
             strategy: opts.strategy,
             ..Default::default()
         })?;
-        let lines = crate::stream::apply_batch(&mut engine, &mut pipeline, &cmds, opts.strategy)?;
+        let lines = crate::stream::apply_batch(
+            &mut engine,
+            &mut pipeline,
+            &cmds,
+            opts.strategy,
+            tracker.as_mut(),
+        )?;
         for line in lines {
             out.push_str(&line);
             out.push('\n');
         }
-        engine.run_to_convergence(16 * opts.procs + 64);
+        match tracker.as_mut() {
+            Some(t) => {
+                crate::stream::run_observed(&mut engine, t, budget);
+            }
+            None => {
+                engine.run_to_convergence(budget);
+            }
+        }
     }
 
     let snap = engine.snapshot();
@@ -252,6 +284,20 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     ));
     for (v, c) in snap.top_k(opts.top) {
         out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
+    }
+    if let Some(t) = &tracker {
+        let k = t.config().k;
+        if let Some(ans) = t.answer(k) {
+            out.push_str(&format!(
+                "\nanytime top-{k} ({} pivots, {:.1}% of non-member candidates pruned):\n",
+                t.pivots().len(),
+                t.pruned_fraction() * 100.0
+            ));
+            for (v, c) in &ans.members {
+                out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
+            }
+            out.push_str(&format!("  {}\n", crate::stream::confidence_line(t, &ans)));
+        }
     }
     for measure in &opts.measures {
         match measure {
@@ -340,7 +386,11 @@ pub fn analyze(opts: &AnalyzeOpts) -> Result<String, String> {
     }
 
     if let Some(path) = &opts.metrics_out {
-        atomic_write_file(path, engine.metrics_registry().to_json().as_bytes())
+        let mut registry = engine.metrics_registry();
+        if let Some(t) = &tracker {
+            registry.merge(&t.metrics_registry());
+        }
+        atomic_write_file(path, registry.to_json().as_bytes())
             .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
         out.push_str(&format!("metrics written to {}\n", path.display()));
     }
@@ -391,6 +441,9 @@ pub struct StreamOpts {
     pub procs: usize,
     /// Ranking size to print after the stream drains.
     pub top: usize,
+    /// Keep an anytime top-k tracker current across batched ingest flushes
+    /// and report its confidence alongside the final ranking.
+    pub top_k: Option<usize>,
     /// Vertex-addition strategy for flushed vertex batches.
     pub strategy: AdditionStrategy,
     /// Batch target for the size-triggered drain policy (`--batch`).
@@ -417,6 +470,7 @@ impl Default for StreamOpts {
             updates: PathBuf::new(),
             procs: 8,
             top: 10,
+            top_k: None,
             strategy: AdditionStrategy::CutEdgePs,
             batch: 64,
             queue_cap: 4096,
@@ -484,10 +538,24 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
         threads: opts.threads,
         ..Default::default()
     };
+    if opts.top_k == Some(0) {
+        return Err("--top-k must be at least 1".to_string());
+    }
     let graph = load_graph(&opts.input, opts.format)?;
     let mut engine = AnytimeEngine::new(graph, config);
     engine.initialize();
-    let steps = engine.run_to_convergence(16 * opts.procs + 64);
+    let mut tracker = opts.top_k.map(|k| {
+        engine.enable_bound_feed();
+        aa_query::TopKTracker::new(aa_query::TopKConfig {
+            k,
+            max_pivots: 16.max(k),
+        })
+    });
+    let budget = 16 * opts.procs + 64;
+    let steps = match tracker.as_mut() {
+        Some(t) => crate::stream::run_observed(&mut engine, t, budget),
+        None => engine.run_to_convergence(budget),
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "graph: {} vertices, {} edges — converged in {steps} RC steps\n",
@@ -509,12 +577,25 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
         cmds.len(),
         opts.queue_cap
     ));
-    let lines = crate::stream::apply_batch(&mut engine, &mut pipeline, &cmds, opts.strategy)?;
+    let lines = crate::stream::apply_batch(
+        &mut engine,
+        &mut pipeline,
+        &cmds,
+        opts.strategy,
+        tracker.as_mut(),
+    )?;
     for line in lines {
         out.push_str(&line);
         out.push('\n');
     }
-    engine.run_to_convergence(16 * opts.procs + 64);
+    match tracker.as_mut() {
+        Some(t) => {
+            crate::stream::run_observed(&mut engine, t, budget);
+        }
+        None => {
+            engine.run_to_convergence(budget);
+        }
+    }
 
     let stats = pipeline.stats();
     out.push_str(&format!(
@@ -538,9 +619,26 @@ pub fn stream_serve(opts: &StreamOpts) -> Result<String, String> {
     for (v, c) in snap.top_k(opts.top) {
         out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
     }
+    if let Some(t) = &tracker {
+        let k = t.config().k;
+        if let Some(ans) = t.answer(k) {
+            out.push_str(&format!(
+                "\nanytime top-{k} ({} pivots, {:.1}% of non-member candidates pruned):\n",
+                t.pivots().len(),
+                t.pruned_fraction() * 100.0
+            ));
+            for (v, c) in &ans.members {
+                out.push_str(&format!("  vertex {v:>8}  closeness {c:.6e}\n"));
+            }
+            out.push_str(&format!("  {}\n", crate::stream::confidence_line(t, &ans)));
+        }
+    }
     if let Some(path) = &opts.metrics_out {
         let mut registry = engine.metrics_registry();
         registry.merge(&pipeline.metrics_registry());
+        if let Some(t) = &tracker {
+            registry.merge(&t.metrics_registry());
+        }
         atomic_write_file(path, registry.to_json().as_bytes())
             .map_err(|e| format!("cannot write metrics {}: {e}", path.display()))?;
         out.push_str(&format!("metrics written to {}\n", path.display()));
@@ -565,6 +663,9 @@ pub struct ServeOpts {
     pub offered: usize,
     /// Fraction of offered requests that are reads.
     pub read_fraction: f64,
+    /// Fraction of reads that are top-k queries (the rest are single-vertex
+    /// lookups).
+    pub topk_read_mix: f64,
     /// Read deadline relative to submission (virtual µs).
     pub deadline_us: f64,
     /// Workload seed.
@@ -601,6 +702,7 @@ impl Default for ServeOpts {
             turns: 64,
             offered: 32,
             read_fraction: 0.8,
+            topk_read_mix: 0.7,
             deadline_us: 5_000_000.0,
             seed: 42,
             drop_rate: 0.0,
@@ -631,6 +733,12 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
         return Err(format!(
             "read fraction {} must lie in [0, 1]",
             opts.read_fraction
+        ));
+    }
+    if !(0.0..=1.0).contains(&opts.topk_read_mix) {
+        return Err(format!(
+            "top-k read mix {} must lie in [0, 1]",
+            opts.topk_read_mix
         ));
     }
     for &(step, rank) in &opts.crash_at {
@@ -740,6 +848,7 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
         seed: opts.seed,
         offered_per_turn: opts.offered,
         read_fraction: opts.read_fraction,
+        topk_read_mix: opts.topk_read_mix,
         top_k: opts.top,
     });
 
@@ -752,6 +861,23 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
         (opts.read_fraction * 100.0).round()
     ));
     let mut degraded_turns = 0usize;
+    let mut topk_exact = 0u64;
+    let mut topk_anytime = 0u64;
+    let mut count_topk = |outcomes: &[aa_serve::ReadOutcome]| {
+        for o in outcomes {
+            if let aa_serve::ReadOutcome::Served {
+                value: aa_serve::ReadValue::TopK(ans),
+                ..
+            } = o
+            {
+                if ans.is_exact() {
+                    topk_exact += 1;
+                } else {
+                    topk_anytime += 1;
+                }
+            }
+        }
+    };
     for _ in 0..opts.turns {
         for op in gen.turn_ops(server.engine()) {
             match op {
@@ -764,6 +890,7 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
             }
         }
         let report = server.turn()?;
+        count_topk(&report.served);
         if report.mode == aa_serve::ServeMode::Degraded {
             degraded_turns += 1;
         }
@@ -772,10 +899,12 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
     // additionally commits stragglers and takes a final covering checkpoint.
     let drain_turns = 16 * opts.procs + 256;
     let final_ckpt = if server.is_durable() {
-        let (_, seq) = server.shutdown(drain_turns)?;
+        let (outcomes, seq) = server.shutdown(drain_turns)?;
+        count_topk(&outcomes);
         seq
     } else {
-        server.drain(drain_turns)?;
+        let outcomes = server.drain(drain_turns)?;
+        count_topk(&outcomes);
         None
     };
 
@@ -789,6 +918,12 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, String> {
         stats.reads_shed_capacity,
         stats.reads_shed_deadline
     ));
+    if topk_exact + topk_anytime > 0 {
+        out.push_str(&format!(
+            "top-k reads: {topk_exact} exact, {topk_anytime} anytime ({} resident pivots)\n",
+            server.topk_tracker().pivots().len()
+        ));
+    }
     out.push_str(&format!(
         "writes: {} submitted, {} accepted, {} throttled, {} shed (queue {}, budget {}), {} rejected\n",
         stats.writes_submitted,
@@ -978,6 +1113,40 @@ mod tests {
         assert!(report.contains("converged"));
         assert!(report.contains("top-5 closeness"));
         assert!(report.contains("recombination"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_top_k_reports_anytime_section_with_exact_confidence() {
+        let dir = temp_dir("analyze_topk");
+        let input = write_test_graph(&dir);
+        let report = analyze(&AnalyzeOpts {
+            input,
+            procs: 4,
+            top: 5,
+            top_k: Some(3),
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(report.contains("anytime top-3"), "report:\n{report}");
+        assert!(
+            report.contains("top-3 confidence: exact"),
+            "converged batch run must resolve to exact confidence:\n{report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_rejects_zero_top_k() {
+        let dir = temp_dir("analyze_topk0");
+        let input = write_test_graph(&dir);
+        let err = analyze(&AnalyzeOpts {
+            input,
+            top_k: Some(0),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("--top-k"), "unexpected error: {err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

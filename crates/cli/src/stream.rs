@@ -3,6 +3,7 @@
 use aa_core::{AdditionStrategy, AnytimeEngine, Endpoint, VertexBatch};
 use aa_graph::{VertexId, Weight};
 use aa_ingest::{Admission, IngestPipeline, UpdateOp};
+use aa_query::{Confidence, TopKAnswer, TopKTracker};
 
 /// One parsed stream command.
 #[derive(Debug, Clone, PartialEq)]
@@ -286,6 +287,60 @@ pub fn apply(
     Ok(out)
 }
 
+/// Folds the engine's current published frame and drained bound deltas into
+/// the top-k tracker, keeping its bounds current with whatever the stream
+/// just applied or stepped.
+pub(crate) fn observe_frame(engine: &mut AnytimeEngine, tracker: &mut TopKTracker) {
+    let frame = engine.publish_snapshot();
+    let deltas = engine.drain_bound_deltas();
+    tracker.observe(&frame, engine.graph(), &deltas);
+}
+
+/// Advances the engine to convergence (or the step budget), observing every
+/// superstep so the tracker's pruning statistics cover the whole run rather
+/// than just the terminal state. Returns the steps taken, matching
+/// `run_to_convergence`.
+pub(crate) fn run_observed(
+    engine: &mut AnytimeEngine,
+    tracker: &mut TopKTracker,
+    budget: usize,
+) -> usize {
+    observe_frame(engine, tracker);
+    let mut steps = 0;
+    while !engine.is_converged() && steps < budget {
+        engine.rc_step();
+        steps += 1;
+        observe_frame(engine, tracker);
+    }
+    steps
+}
+
+/// One-line confidence summary of a top-k answer.
+pub(crate) fn confidence_line(tracker: &TopKTracker, ans: &TopKAnswer) -> String {
+    match &ans.confidence {
+        Confidence::Exact => format!(
+            "top-{} confidence: exact{} ({} pivots)",
+            ans.k,
+            tracker
+                .resolution_step()
+                .map(|s| format!(", resolved at RC step {s}"))
+                .unwrap_or_default(),
+            tracker.pivots().len()
+        ),
+        Confidence::Anytime {
+            kth_bound_gap,
+            unresolved_candidates,
+        } => format!(
+            "top-{} confidence: anytime — {} unresolved candidate(s), kth bound gap {:.3e}, \
+             {:.1}% of non-members pruned",
+            ans.k,
+            unresolved_candidates,
+            kth_bound_gap,
+            tracker.pruned_fraction() * 100.0
+        ),
+    }
+}
+
 /// Converts a mutation command into its ingest op; `None` for control
 /// commands (steps, barriers, chaos, snapshots), which don't buffer.
 fn to_update_op(cmd: &Command) -> Option<UpdateOp> {
@@ -311,11 +366,17 @@ fn to_update_op(cmd: &Command) -> Option<UpdateOp> {
 /// [`apply`]. A trailing flush guarantees nothing stays buffered. Errors
 /// carry the offending stream line number; backpressure decisions surface
 /// as printed lines, never as errors.
+///
+/// When a [`TopKTracker`] is attached it is re-observed after every flush
+/// and control command, so its bounds stay current across batched ingest —
+/// `snapshot k` commands then also print the tracker's confidence for the
+/// requested k.
 pub fn apply_batch(
     engine: &mut AnytimeEngine,
     pipeline: &mut IngestPipeline,
     cmds: &[(usize, Command)],
     strategy: AdditionStrategy,
+    mut tracker: Option<&mut TopKTracker>,
 ) -> Result<Vec<String>, String> {
     let mut out = Vec::new();
     for (lineno, cmd) in cmds {
@@ -352,16 +413,30 @@ pub fn apply_batch(
                         pipeline.maybe_flush(engine).map_err(ctx)?;
                     }
                 }
+                if let Some(t) = tracker.as_deref_mut() {
+                    observe_frame(engine, t);
+                }
             }
             None => {
                 pipeline.flush(engine).map_err(ctx)?;
                 out.extend(apply(engine, cmd, strategy).map_err(ctx)?);
+                if let Some(t) = tracker.as_deref_mut() {
+                    observe_frame(engine, t);
+                    if let Command::Snapshot(k) = cmd {
+                        if let Some(ans) = t.answer(*k) {
+                            out.push(format!("  {}", confidence_line(t, &ans)));
+                        }
+                    }
+                }
             }
         }
     }
     pipeline
         .flush(engine)
         .map_err(|e| format!("stream flush: {e}"))?;
+    if let Some(t) = tracker {
+        observe_frame(engine, t);
+    }
     Ok(out)
 }
 
@@ -479,6 +554,7 @@ snapshot 3
             &mut pipeline,
             &cmds,
             AdditionStrategy::RoundRobinPs,
+            None,
         )
         .unwrap();
         batched.run_to_convergence(256);
@@ -493,6 +569,70 @@ snapshot 3
             assert_eq!(db[v as usize], oracle[v as usize]);
         }
         assert_eq!(unbatched.graph().edge_count(), batched.graph().edge_count());
+    }
+
+    #[test]
+    fn apply_batch_keeps_tracker_current_and_snapshot_prints_confidence() {
+        let g = generators::barabasi_albert(60, 2, 1, 11);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 3,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e.enable_bound_feed();
+        let mut tracker = TopKTracker::new(aa_query::TopKConfig {
+            k: 3,
+            max_pivots: 8,
+        });
+        run_observed(&mut e, &mut tracker, 256);
+        assert!(tracker.is_exact(), "converged run must resolve the top-k");
+        let cmds = parse_stream("snapshot 3\nae 0 30 1\nde 0 1\nconverge\nsnapshot 3\n").unwrap();
+        let mut pipeline = aa_ingest::IngestPipeline::new(aa_ingest::IngestConfig {
+            strategy: AdditionStrategy::RoundRobinPs,
+            ..Default::default()
+        })
+        .unwrap();
+        let printed = apply_batch(
+            &mut e,
+            &mut pipeline,
+            &cmds,
+            AdditionStrategy::RoundRobinPs,
+            Some(&mut tracker),
+        )
+        .unwrap();
+        let confidence_lines: Vec<&String> = printed
+            .iter()
+            .filter(|l| l.contains("top-3 confidence"))
+            .collect();
+        assert_eq!(confidence_lines.len(), 2, "{printed:?}");
+        assert!(
+            confidence_lines[0].contains("exact"),
+            "{confidence_lines:?}"
+        );
+        // The deletion forced a rebuild and the trailing converge resolved
+        // the new generation again.
+        assert!(
+            confidence_lines[1].contains("exact"),
+            "{confidence_lines:?}"
+        );
+        assert!(tracker.is_exact());
+        let ans = tracker.answer(3).unwrap();
+        let exact = aa_graph::algo::exact_closeness(e.graph());
+        let mut ranked: Vec<(VertexId, f64)> = exact
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0.0)
+            .map(|(v, &c)| (v as VertexId, c))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(3);
+        assert_eq!(
+            ans.ids(),
+            ranked.iter().map(|&(v, _)| v).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -519,8 +659,14 @@ snapshot 3
         let cmds: Vec<(usize, Command)> = (0..12)
             .map(|i| (i + 1, Command::AddEdge(i as u32, i as u32 + 2, 1)))
             .collect();
-        let printed =
-            apply_batch(&mut e, &mut pipeline, &cmds, AdditionStrategy::RoundRobinPs).unwrap();
+        let printed = apply_batch(
+            &mut e,
+            &mut pipeline,
+            &cmds,
+            AdditionStrategy::RoundRobinPs,
+            None,
+        )
+        .unwrap();
         let stats = pipeline.stats();
         assert_eq!(stats.shed, 0, "backoff must prevent shedding");
         assert!(stats.throttled >= 1, "the tiny watermark must throttle");

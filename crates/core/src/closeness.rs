@@ -19,6 +19,20 @@ pub struct Snapshot {
     pub closeness: Vec<f64>,
     /// Harmonic closeness estimate per vertex id slot.
     pub harmonic: Vec<f64>,
+    /// Sum of the finite non-self distance estimates per vertex id slot —
+    /// the exact integer denominator behind `closeness` (0 for dead or
+    /// fully-unreached slots). Bound consumers need the integer sum, not the
+    /// lossy `1/sum` float.
+    pub dist_sum: Vec<u64>,
+    /// Number of finite non-self targets per vertex id slot: how many
+    /// vertices this row has found *some* path to so far.
+    pub finite_targets: Vec<u32>,
+    /// Per vertex id slot: the row has no scheduled (dirty) or in-flight
+    /// (unacknowledged send) refinement work and its owner is up. Unlike the
+    /// frame-global `max_overestimate_bound`, this lets a bound consumer
+    /// widen only the rows that are actually still moving instead of
+    /// widening every row whenever anything in the cluster is busy.
+    pub row_quiescent: Vec<bool>,
     /// Per vertex id slot: whether the estimate is served from the frozen
     /// state of a currently-down processor (graceful degradation — still a
     /// valid upper-bound-derived estimate for the graph as it stood, but not
@@ -72,6 +86,11 @@ impl Snapshot {
         self.stale.iter().any(|&s| s)
     }
 
+    /// Rows with no pending or in-flight refinement work on a live rank.
+    pub fn quiescent_rows(&self) -> usize {
+        self.row_quiescent.iter().filter(|&&q| q).count()
+    }
+
     /// Mean absolute closeness error against a reference (e.g. the exact
     /// oracle), over slots live in the reference.
     pub fn mean_abs_error(&self, reference: &[f64]) -> f64 {
@@ -101,6 +120,9 @@ mod tests {
             makespan_us: 0.0,
             harmonic: closeness.clone(),
             stale: vec![false; closeness.len()],
+            dist_sum: vec![0; closeness.len()],
+            finite_targets: vec![0; closeness.len()],
+            row_quiescent: vec![true; closeness.len()],
             closeness,
             outstanding_rows: 0,
             live_ranks: 1,
@@ -120,6 +142,14 @@ mod tests {
     fn top_k_excludes_zero_scores() {
         let s = snap(vec![0.0, 0.2]);
         assert_eq!(s.top_k(10).len(), 1);
+    }
+
+    #[test]
+    fn quiescent_rows_counts_flags() {
+        let mut s = snap(vec![0.1, 0.2, 0.3]);
+        assert_eq!(s.quiescent_rows(), 3);
+        s.row_quiescent[1] = false;
+        assert_eq!(s.quiescent_rows(), 2);
     }
 
     #[test]

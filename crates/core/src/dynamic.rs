@@ -113,6 +113,7 @@ impl AnytimeEngine {
         self.relax_through_edge(u, v, w);
         self.converged = false;
         self.span_close(span, "dynamic-update", format!("add-edge {u}-{v}"));
+        self.feed_capture(false);
         true
     }
 
@@ -244,6 +245,7 @@ impl AnytimeEngine {
             "dynamic-update",
             format!("add-edges n={}", inserted.len()),
         );
+        self.feed_capture(false);
         inserted.len()
     }
 
@@ -333,6 +335,7 @@ impl AnytimeEngine {
             "dynamic-update",
             format!("delete-edges n={}", present.len()),
         );
+        self.feed_capture(true);
         present.len()
     }
 
@@ -384,6 +387,7 @@ impl AnytimeEngine {
         }
         self.converged = false;
         self.span_close(span, "dynamic-update", format!("delete-edge {u}-{v}"));
+        self.feed_capture(true);
         true
     }
 
@@ -412,6 +416,7 @@ impl AnytimeEngine {
             self.relax_through_edge(u, v, new_w);
             self.converged = false;
             self.span_close(span, "dynamic-update", format!("decrease-weight {u}-{v}"));
+            self.feed_capture(false);
             return true;
         }
         // Increase: invalidate paths supported at the old weight, then make
@@ -475,6 +480,7 @@ impl AnytimeEngine {
         self.partition.assignment[v as usize] = UNASSIGNED;
         self.converged = false;
         self.span_close(span, "dynamic-update", format!("delete-vertex {v}"));
+        self.feed_capture(true);
         removed
     }
 }

@@ -550,6 +550,7 @@ impl AnytimeEngine {
         self.converged = !any;
         self.span_close(rc_span, "recombination", format!("step {now}"));
         self.record_progress_sample();
+        self.feed_capture(false);
         self.converged
     }
 
@@ -657,6 +658,12 @@ impl AnytimeEngine {
         let mut closeness = vec![0.0f64; cap];
         let mut harmonic = vec![0.0f64; cap];
         let mut stale = vec![false; cap];
+        let mut dist_sum = vec![0u64; cap];
+        let mut finite_targets = vec![0u32; cap];
+        // A slot is quiescent when its owning row has no scheduled or
+        // in-flight refinement work and its rank is up; dead/unowned slots
+        // stay non-quiescent so consumers never treat them as settled.
+        let mut row_quiescent = vec![false; cap];
         for rank in self.cluster.down_ranks() {
             for &v in self.procs[rank].dv.vertices() {
                 stale[v as usize] = true;
@@ -666,18 +673,26 @@ impl AnytimeEngine {
         let mut outbox: Vec<Vec<TransferOut<()>>> = (0..p).map(|_| Vec::new()).collect();
         for (rank, ps) in self.procs.iter().enumerate() {
             let t = Stopwatch::start();
+            let rank_down = self.cluster.is_down(rank);
+            let in_flight: HashSet<VertexId> = ps.outstanding.keys().map(|&(v, _)| v).collect();
             for &v in ps.dv.vertices() {
                 let row = ps.dv.row(v);
                 let mut sum = 0u64;
                 let mut h = 0.0f64;
+                let mut finite = 0u32;
                 for (t_idx, &d) in row.iter().enumerate() {
                     if t_idx != v as usize && d != INF && d > 0 {
                         sum += d as u64;
                         h += 1.0 / d as f64;
+                        finite += 1;
                     }
                 }
                 closeness[v as usize] = if sum == 0 { 0.0 } else { 1.0 / sum as f64 };
                 harmonic[v as usize] = h;
+                dist_sum[v as usize] = sum;
+                finite_targets[v as usize] = finite;
+                row_quiescent[v as usize] =
+                    !rank_down && !ps.dirty.contains(&v) && !in_flight.contains(&v);
             }
             self.cluster
                 .compute_measured(rank, Phase::Recombination, t.elapsed());
@@ -697,6 +712,9 @@ impl AnytimeEngine {
             makespan_us: self.cluster.makespan_us(),
             closeness,
             harmonic,
+            dist_sum,
+            finite_targets,
+            row_quiescent,
             stale,
             outstanding_rows: self.outstanding_rows(),
             live_ranks: self.cluster.live_count(),

@@ -52,6 +52,7 @@ pub mod config;
 pub mod dv;
 pub mod dynamic;
 pub mod engine;
+pub mod feed;
 pub mod measures;
 pub mod obs;
 pub mod proc_state;
@@ -72,6 +73,7 @@ pub use config::{
 };
 pub use dynamic::{Endpoint, VertexBatch};
 pub use engine::AnytimeEngine;
+pub use feed::BoundDelta;
 pub use publish::{SnapshotFrame, SnapshotMeta};
 pub use rebalance::ImbalanceReport;
 pub use resilience::{RecoveryError, RecoveryMethod, RecoveryReport};

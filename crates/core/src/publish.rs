@@ -50,6 +50,12 @@ pub struct SnapshotMeta {
     pub epoch: u64,
     /// Recombination step at publication.
     pub rc_step: usize,
+    /// Monotone mutation/recovery version at publication (bumped by every
+    /// graph mutation and every recovery-ladder run). Two frames with equal
+    /// `(epoch, state_version)` were built over the identical world graph —
+    /// the stamp a consumer keys *structural* caches (pivot rows, component
+    /// membership) on, where the epoch alone misses additions.
+    pub state_version: u64,
     /// Virtual cluster time at publication (µs).
     pub published_at_us: f64,
     /// Whether the engine had declared convergence.
@@ -111,6 +117,7 @@ impl AnytimeEngine {
         let meta = SnapshotMeta {
             epoch,
             rc_step: snapshot.rc_step,
+            state_version: key.state_version,
             published_at_us: snapshot.makespan_us,
             converged: key.converged,
             outstanding_rows: snapshot.outstanding_rows,

@@ -87,7 +87,7 @@ const DURABILITY_CRATES: &[&str] = &["durable", "cli", "serve"];
 /// these crates; panics elsewhere still seed propagation (a helper crate's
 /// unwrap surfaces at the core fn that reaches it) and are AA01's direct
 /// business at the leaf.
-const AVAILABILITY_CRATES: &[&str] = &["core", "runtime", "durable", "serve"];
+const AVAILABILITY_CRATES: &[&str] = &["core", "runtime", "durable", "serve", "query"];
 
 /// Method names never resolved to workspace impls. These are the ubiquitous
 /// std-container vocabulary: nearly every `.len()`/`.push(..)` in the

@@ -25,7 +25,7 @@ const PANICKY_CRATES: &[&str] = &["bench", "cli"];
 /// Crates forming the deterministic replay core (AA04 applies). `durable`
 /// belongs here: recovery replay must be a pure function of the bytes on
 /// disk, so wall clocks and ambient randomness are banned from it too.
-const DETERMINISTIC_CORE: &[&str] = &["core", "runtime", "durable"];
+const DETERMINISTIC_CORE: &[&str] = &["core", "runtime", "durable", "query"];
 
 /// Engine hot-path files (AA05 applies), workspace-relative.
 const HOT_PATHS: &[&str] = &[

@@ -1,0 +1,731 @@
+#![forbid(unsafe_code)]
+//! Anytime top-k closeness queries over the running engine.
+//!
+//! Production traffic asks "who are the k most central vertices?", not
+//! "dump all n closeness values". The paper's anytime property makes that
+//! question answerable *mid-computation*: every in-flight distance estimate
+//! is an upper bound on a true distance, so every partially-filled row
+//! yields a sound **lower bound** on its vertex's closeness, and a few exact
+//! pivot Dijkstras yield sound **upper bounds** (see [`pivots`]). A vertex
+//! whose upper bound cannot beat the current k-th lower bound can never
+//! enter the top-k of this graph generation — it is pruned without ever
+//! waiting for its row to converge.
+//!
+//! [`TopKTracker`] is the first consumer that reads engine state
+//! *incrementally across supersteps* rather than from a terminal snapshot:
+//! it observes published [`SnapshotFrame`]s plus the engine's
+//! [`BoundDelta`] feed (which rows moved, and whether a deletion voided
+//! previous bounds), retightens only the rows that changed, and answers
+//! [`TopKAnswer`]s whose [`Confidence`] states precisely how settled the
+//! ranking is:
+//!
+//! * [`Confidence::Exact`] — the members *are* the true top-k of the
+//!   current graph, bit-for-bit what the brute-force oracle would return.
+//!   Reported when the frame is fresh (converged, nothing in flight,
+//!   nobody down), or earlier, when every surviving candidate outside the
+//!   members is pruned and every member's score is pivot-exact.
+//! * [`Confidence::Anytime`] — the true top-k is guaranteed to be a subset
+//!   of {members ∪ unresolved candidates}; `kth_bound_gap` says how far the
+//!   best unresolved challenger's upper bound still sits above the k-th
+//!   member's lower bound.
+//!
+//! ## Soundness under dynamics and faults
+//!
+//! Lower bounds derive from the anytime invariant `d̂(v,t) ≥ d(v,t)`, which
+//! the engine maintains through additions (only shorten true distances),
+//! deletions (invalidate-and-reseed before serving), crash recovery
+//! (checkpoints stamped with the invalidation epoch; stale ones are
+//! rejected), and down ranks (frozen rows are pre-crash estimates for the
+//! same epoch, and deletions rewrite even frozen state). Upper bounds are
+//! structural per generation; any graph change bumps the frame's
+//! `(epoch, state_version)` stamp and the tracker rebuilds them before
+//! trusting anything. Pruning compares *integer distance sums*, never
+//! floats, so there is no epsilon to get wrong.
+
+pub mod pivots;
+
+use aa_core::{BoundDelta, Snapshot, SnapshotFrame, SnapshotMeta};
+use aa_graph::{Graph, VertexId};
+use aa_obs::MetricsRegistry;
+use pivots::StructuralBounds;
+use std::sync::Arc;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKConfig {
+    /// The k the tracker keys its pruning metrics to. [`TopKTracker::answer`]
+    /// still serves any k on demand.
+    pub k: usize,
+    /// Pivot budget for the structural upper bounds (degree seeds +
+    /// component cover + greedy k-center fill). More pivots prune harder at
+    /// `O(m log n)` build cost each per generation.
+    pub max_pivots: usize,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        TopKConfig {
+            k: 8,
+            max_pivots: 16,
+        }
+    }
+}
+
+/// How settled a [`TopKAnswer`] is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Confidence {
+    /// The members are the true top-k of the current graph, in the exact
+    /// order (score descending, ties by lower vertex id) the brute-force
+    /// oracle would produce.
+    Exact,
+    /// The ranking is still in flight. The true top-k is a subset of
+    /// {members ∪ the unresolved candidates}.
+    Anytime {
+        /// How far the best unresolved challenger's closeness upper bound
+        /// sits above the k-th member's lower bound (0 when the member
+        /// *set* is resolved but member scores are not yet exact).
+        kth_bound_gap: f64,
+        /// Candidates outside the members that are not yet pruned.
+        unresolved_candidates: usize,
+    },
+}
+
+/// An answer to "who are the k most central vertices right now?".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKAnswer {
+    /// The k that was asked for (members may be fewer if the graph has
+    /// fewer vertices with positive closeness).
+    pub k: usize,
+    /// Members, best first. Scores are exact closeness values when
+    /// `confidence` is [`Confidence::Exact`]; otherwise they are the
+    /// members' sound lower bounds (they converge to the exact values).
+    pub members: Vec<(VertexId, f64)>,
+    /// How settled the ranking is.
+    pub confidence: Confidence,
+    /// Consistency stamp of the snapshot frame the answer was derived from.
+    pub meta: SnapshotMeta,
+}
+
+impl TopKAnswer {
+    /// Whether the answer is exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.confidence, Confidence::Exact)
+    }
+
+    /// Member vertex ids, best first.
+    pub fn ids(&self) -> Vec<VertexId> {
+        self.members.iter().map(|&(v, _)| v).collect()
+    }
+}
+
+/// Internal result of ranking candidates by their bound state.
+struct Ranking {
+    /// `(lb denominator, id)` of the members, best (smallest denominator)
+    /// first.
+    members: Vec<(u64, VertexId)>,
+    /// Denominator of the k-th member (`u64::MAX` when fewer than k
+    /// candidates exist — then nothing is prunable).
+    kth_den: u64,
+    /// Candidates with positive possible closeness.
+    candidates: usize,
+    /// Non-members whose upper bound cannot beat the k-th lower bound.
+    pruned: Vec<VertexId>,
+    /// Non-members still in the running.
+    unresolved: Vec<VertexId>,
+    /// Largest closeness upper bound among the unresolved (0 when none).
+    max_unresolved_ub: f64,
+    /// Every member's lower bound equals its pivot-exact sum.
+    members_exact: bool,
+}
+
+/// Maintains sound per-vertex closeness bounds from published snapshot
+/// frames and the engine's bound-delta feed, and answers anytime top-k
+/// queries. See the crate docs for the bound derivation.
+#[derive(Debug, Clone, Default)]
+pub struct TopKTracker {
+    config: TopKConfig,
+    structural: Option<StructuralBounds>,
+    /// Upper bound on the final distance sum per id slot (`u64::MAX` =
+    /// nothing known yet); `1/lb_den` is the closeness lower bound.
+    lb_den: Vec<u64>,
+    /// The last observed frame, for answer metadata and the fresh path.
+    last: Option<Arc<SnapshotFrame>>,
+    observes: u64,
+    rebuilds: u64,
+    rows_updated: u64,
+    /// First rc_step of the current generation at which the configured-k
+    /// answer became exact.
+    resolution_step: Option<u64>,
+    last_candidates: usize,
+    last_pruned: usize,
+    last_unresolved: usize,
+    last_gap: f64,
+    last_exact: bool,
+}
+
+impl TopKTracker {
+    /// A tracker with the given configuration.
+    pub fn new(config: TopKConfig) -> TopKTracker {
+        TopKTracker {
+            config,
+            ..TopKTracker::default()
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TopKConfig {
+        self.config
+    }
+
+    /// Folds one published frame (and the bound deltas drained since the
+    /// previous observation) into the tracker. On a new graph generation —
+    /// the frame's `(epoch, state_version)` moved, or a widened delta
+    /// arrived — all structural bounds are rebuilt from the graph and every
+    /// row is retightened; otherwise only the rows the deltas name (plus
+    /// rows the frame flags as still moving) are touched.
+    pub fn observe(&mut self, frame: &Arc<SnapshotFrame>, graph: &Graph, deltas: &[BoundDelta]) {
+        self.observes += 1;
+        let meta = frame.meta;
+        let gen_changed = !self
+            .structural
+            .as_ref()
+            .is_some_and(|s| s.epoch == meta.epoch && s.state_version == meta.state_version);
+        let widened = deltas.iter().any(|d| d.widened);
+        let overflowed = deltas.iter().any(|d| d.full);
+        if gen_changed || widened {
+            let s = StructuralBounds::build(
+                graph,
+                meta.epoch,
+                meta.state_version,
+                self.config.k,
+                self.config.max_pivots,
+            );
+            let mut lb_den = vec![u64::MAX; graph.capacity()];
+            for &p in &s.pivots {
+                if let (Some(slot), Some(&exact)) =
+                    (lb_den.get_mut(p as usize), s.exact_sum.get(p as usize))
+                {
+                    *slot = exact;
+                }
+            }
+            self.lb_den = lb_den;
+            self.structural = Some(s);
+            self.resolution_step = None;
+            self.rebuilds += 1;
+        }
+        let snap = &frame.snapshot;
+        if gen_changed || widened || overflowed {
+            for v in graph.vertices() {
+                self.update_row(v, snap);
+            }
+        } else {
+            let mut rows: Vec<VertexId> = deltas
+                .iter()
+                .flat_map(|d| d.changed.iter().copied())
+                .collect();
+            for (v, &q) in snap.row_quiescent.iter().enumerate() {
+                if !q {
+                    rows.push(v as VertexId);
+                }
+            }
+            rows.sort_unstable();
+            rows.dedup();
+            for v in rows {
+                self.update_row(v, snap);
+            }
+        }
+        self.last = Some(Arc::clone(frame));
+
+        // Refresh the configured-k pruning metrics.
+        let fresh = meta.fresh;
+        match self.rank(self.config.k) {
+            Some(r) => {
+                self.last_candidates = r.candidates;
+                self.last_pruned = r.pruned.len();
+                self.last_unresolved = r.unresolved.len();
+                let kth_lb = den_to_score(r.kth_den);
+                self.last_gap = if r.unresolved.is_empty() {
+                    0.0
+                } else {
+                    (r.max_unresolved_ub - kth_lb).max(0.0)
+                };
+                self.last_exact = fresh || (r.unresolved.is_empty() && r.members_exact);
+            }
+            None => {
+                self.last_candidates = 0;
+                self.last_pruned = 0;
+                self.last_unresolved = 0;
+                self.last_gap = 0.0;
+                self.last_exact = fresh;
+            }
+        }
+        if self.last_exact && self.resolution_step.is_none() {
+            self.resolution_step = Some(meta.rc_step as u64);
+        }
+    }
+
+    /// Retightens one row's closeness lower bound from the snapshot's
+    /// integer distance sum: unreached-but-reachable targets are padded with
+    /// the component's distance ceiling `(|comp| − 1) · w_max`. The
+    /// denominator is monotone non-increasing within a generation, so the
+    /// smaller of old and new is always the tightest sound bound.
+    fn update_row(&mut self, v: VertexId, snap: &Snapshot) {
+        let Some(s) = &self.structural else { return };
+        let i = v as usize;
+        let cs = s.comp_size.get(i).copied().unwrap_or(0);
+        if cs < 2 {
+            return;
+        }
+        let reach = cs - 1;
+        let dist_sum = snap.dist_sum.get(i).copied().unwrap_or(0);
+        let finite = u64::from(snap.finite_targets.get(i).copied().unwrap_or(0));
+        let missing = reach.saturating_sub(finite);
+        let ceiling = reach.saturating_mul(s.w_max);
+        let den = dist_sum
+            .saturating_add(missing.saturating_mul(ceiling))
+            .max(1);
+        if let Some(slot) = self.lb_den.get_mut(i) {
+            if den < *slot {
+                *slot = den;
+            }
+            self.rows_updated += 1;
+        }
+    }
+
+    /// Ranks candidates by lower bound and applies the pruning rule. `None`
+    /// before the first observation.
+    fn rank(&self, k: usize) -> Option<Ranking> {
+        let s = self.structural.as_ref()?;
+        let mut cands: Vec<(u64, VertexId)> = Vec::new();
+        for (i, &cs) in s.comp_size.iter().enumerate() {
+            if cs >= 2 {
+                let den = self.lb_den.get(i).copied().unwrap_or(u64::MAX);
+                cands.push((den, i as VertexId));
+            }
+        }
+        // Best lower bound first: smaller denominator = larger closeness;
+        // ties by lower id, matching the snapshot/oracle ordering.
+        cands.sort_unstable();
+        let members: Vec<(u64, VertexId)> = cands.iter().take(k).copied().collect();
+        let kth_den = if members.len() < k {
+            u64::MAX
+        } else {
+            members.last().map(|&(d, _)| d).unwrap_or(u64::MAX)
+        };
+        let mut pruned = Vec::new();
+        let mut unresolved = Vec::new();
+        let mut max_ub = 0.0f64;
+        for &(_, v) in cands.iter().skip(k) {
+            let floor = s.ub_sum.get(v as usize).copied().unwrap_or(0);
+            // Prune iff UB(v) < kth lower bound, as integers: the floor on
+            // v's final distance sum strictly exceeds the k-th member's
+            // denominator. `floor == 0` means "no structural bound".
+            if floor > kth_den && kth_den != u64::MAX {
+                pruned.push(v);
+            } else {
+                unresolved.push(v);
+                let ub = if floor == 0 { 1.0 } else { den_to_score(floor) };
+                if ub > max_ub {
+                    max_ub = ub;
+                }
+            }
+        }
+        let members_exact = members.iter().all(|&(den, v)| {
+            s.exact_sum
+                .get(v as usize)
+                .is_some_and(|&e| e != u64::MAX && e == den)
+        });
+        Some(Ranking {
+            kth_den,
+            candidates: cands.len(),
+            pruned,
+            unresolved,
+            max_unresolved_ub: max_ub,
+            members_exact,
+            members,
+        })
+    }
+
+    /// The current top-k answer for any `k`, from the last observed frame.
+    /// `None` until the first [`TopKTracker::observe`].
+    pub fn answer(&self, k: usize) -> Option<TopKAnswer> {
+        let frame = self.last.as_ref()?;
+        let meta = frame.meta;
+        if meta.fresh {
+            // The frame is exact (converged, nothing in flight, nobody
+            // down): the snapshot's own ranking is the oracle's.
+            return Some(TopKAnswer {
+                k,
+                members: frame.snapshot.top_k(k),
+                confidence: Confidence::Exact,
+                meta,
+            });
+        }
+        let r = self.rank(k)?;
+        let exact = r.unresolved.is_empty() && r.members_exact;
+        let mut members: Vec<(VertexId, f64)> = r
+            .members
+            .iter()
+            .map(|&(den, v)| (v, den_to_score(den)))
+            .filter(|&(_, score)| score > 0.0)
+            .collect();
+        // Present in the oracle's order: score descending, ties by id.
+        members.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let confidence = if exact {
+            Confidence::Exact
+        } else {
+            let kth_lb = den_to_score(r.kth_den);
+            Confidence::Anytime {
+                kth_bound_gap: if r.unresolved.is_empty() {
+                    0.0
+                } else {
+                    (r.max_unresolved_ub - kth_lb).max(0.0)
+                },
+                unresolved_candidates: r.unresolved.len(),
+            }
+        };
+        Some(TopKAnswer {
+            k,
+            members,
+            confidence,
+            meta,
+        })
+    }
+
+    /// Identity-level partition of the candidates for `k`: `(members,
+    /// unresolved, pruned)` vertex ids. The soundness contract — checked
+    /// every superstep by the differential harness — is that the true top-k
+    /// is a subset of members ∪ unresolved, i.e. a pruned vertex can never
+    /// re-enter the true top-k within this generation. `None` before the
+    /// first observation.
+    pub fn partition(&self, k: usize) -> Option<(Vec<VertexId>, Vec<VertexId>, Vec<VertexId>)> {
+        let r = self.rank(k)?;
+        Some((
+            r.members.iter().map(|&(_, v)| v).collect(),
+            r.unresolved,
+            r.pruned,
+        ))
+    }
+
+    /// Fraction of candidates outside the members already pruned for the
+    /// configured k (0 when there is nothing to prune).
+    pub fn pruned_fraction(&self) -> f64 {
+        let outside = self.last_candidates.saturating_sub(self.config.k);
+        if outside == 0 {
+            0.0
+        } else {
+            self.last_pruned as f64 / outside as f64
+        }
+    }
+
+    /// Unresolved candidates for the configured k at the last observation.
+    pub fn unresolved_candidates(&self) -> usize {
+        self.last_unresolved
+    }
+
+    /// Whether the configured-k answer was exact at the last observation.
+    pub fn is_exact(&self) -> bool {
+        self.last_exact
+    }
+
+    /// First rc_step of the current generation at which the configured-k
+    /// answer became exact.
+    pub fn resolution_step(&self) -> Option<u64> {
+        self.resolution_step
+    }
+
+    /// Pivots of the current generation (empty before the first observe).
+    pub fn pivots(&self) -> &[VertexId] {
+        self.structural
+            .as_ref()
+            .map(|s| s.pivots.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Exports tracker state as `aa_topk_*` metrics.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_help("aa_topk_observes_total", "Snapshot frames observed");
+        r.set_help(
+            "aa_topk_rebuilds_total",
+            "Structural bound rebuilds (one per graph generation)",
+        );
+        r.set_help(
+            "aa_topk_rows_updated_total",
+            "Row lower-bound retightenings applied",
+        );
+        r.set_help("aa_topk_pivots", "Pivots in the current generation");
+        r.set_help(
+            "aa_topk_pruned_fraction",
+            "Fraction of non-member candidates pruned by bounds",
+        );
+        r.set_help(
+            "aa_topk_kth_bound_gap",
+            "Best unresolved upper bound minus the k-th lower bound",
+        );
+        r.set_help(
+            "aa_topk_unresolved_candidates",
+            "Candidates neither member nor pruned",
+        );
+        r.set_help(
+            "aa_topk_exact",
+            "1 when the configured-k answer is provably exact",
+        );
+        r.set_help(
+            "aa_topk_resolution_step",
+            "rc_step at which the answer became exact this generation (-1 while unresolved)",
+        );
+        r.inc_counter("aa_topk_observes_total", &[], self.observes);
+        r.inc_counter("aa_topk_rebuilds_total", &[], self.rebuilds);
+        r.inc_counter("aa_topk_rows_updated_total", &[], self.rows_updated);
+        r.set_gauge("aa_topk_pivots", &[], self.pivots().len() as f64);
+        r.set_gauge("aa_topk_pruned_fraction", &[], self.pruned_fraction());
+        r.set_gauge("aa_topk_kth_bound_gap", &[], self.last_gap);
+        r.set_gauge(
+            "aa_topk_unresolved_candidates",
+            &[],
+            self.last_unresolved as f64,
+        );
+        r.set_gauge(
+            "aa_topk_exact",
+            &[],
+            if self.last_exact { 1.0 } else { 0.0 },
+        );
+        r.set_gauge(
+            "aa_topk_resolution_step",
+            &[],
+            self.resolution_step.map(|s| s as f64).unwrap_or(-1.0),
+        );
+        r
+    }
+}
+
+/// Converts an integer distance-sum denominator to a closeness score.
+fn den_to_score(den: u64) -> f64 {
+    if den == 0 || den == u64::MAX {
+        0.0
+    } else {
+        1.0 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aa_core::{AnytimeEngine, EngineConfig};
+    use aa_graph::{algo, generators};
+
+    fn engine(n: usize, p: usize, seed: u64) -> AnytimeEngine {
+        let g = generators::barabasi_albert(n, 2, 4, seed);
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: p,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e
+    }
+
+    fn oracle_top_k(g: &Graph, k: usize) -> Vec<VertexId> {
+        let c = algo::exact_closeness(g);
+        let mut ranked: Vec<(VertexId, f64)> = c
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x > 0.0)
+            .map(|(v, &x)| (v as VertexId, x))
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked.iter().map(|&(v, _)| v).collect()
+    }
+
+    #[test]
+    fn converged_engine_yields_exact_answer_matching_oracle() {
+        let mut e = engine(80, 4, 7);
+        e.enable_bound_feed();
+        let mut t = TopKTracker::new(TopKConfig {
+            k: 5,
+            max_pivots: 8,
+        });
+        e.run_to_convergence(64);
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        t.observe(&frame, e.graph(), &deltas);
+        let ans = t.answer(5).unwrap();
+        assert!(ans.is_exact());
+        assert_eq!(ans.ids(), oracle_top_k(e.graph(), 5));
+        assert_eq!(ans.members, frame.snapshot.top_k(5));
+        assert!(t.is_exact());
+        assert!(t.resolution_step().is_some());
+    }
+
+    #[test]
+    fn anytime_invariant_holds_every_superstep() {
+        let mut e = engine(100, 5, 13);
+        e.enable_bound_feed();
+        let mut t = TopKTracker::new(TopKConfig {
+            k: 4,
+            max_pivots: 8,
+        });
+        let truth = oracle_top_k(e.graph(), 4);
+        for _ in 0..64 {
+            let converged = e.rc_step();
+            let frame = e.publish_snapshot();
+            let deltas = e.drain_bound_deltas();
+            t.observe(&frame, e.graph(), &deltas);
+            let ans = t.answer(4).unwrap();
+            // True top-k ⊆ members ∪ unresolved: every true member is
+            // either reported or not yet pruned.
+            let ids = ans.ids();
+            let unresolved = match ans.confidence {
+                Confidence::Exact => 0,
+                Confidence::Anytime {
+                    unresolved_candidates,
+                    ..
+                } => unresolved_candidates,
+            };
+            for &v in &truth {
+                if !ids.contains(&v) {
+                    assert!(
+                        unresolved > 0,
+                        "true member {v} missing with nothing unresolved"
+                    );
+                }
+            }
+            // Member scores are sound lower bounds.
+            let exact = algo::exact_closeness(e.graph());
+            if !ans.is_exact() {
+                for &(v, score) in &ans.members {
+                    assert!(
+                        score <= exact[v as usize] + 1e-12,
+                        "lb {score} above exact {} for {v}",
+                        exact[v as usize]
+                    );
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+        e.run_to_convergence(64);
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        t.observe(&frame, e.graph(), &deltas);
+        assert_eq!(t.answer(4).unwrap().ids(), truth);
+    }
+
+    #[test]
+    fn deletion_invalidates_and_tracker_recovers() {
+        let mut e = engine(70, 4, 21);
+        e.enable_bound_feed();
+        let mut t = TopKTracker::new(TopKConfig::default());
+        e.run_to_convergence(64);
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        t.observe(&frame, e.graph(), &deltas);
+        assert!(t.answer(8).unwrap().is_exact());
+
+        let (u, v, _) = e.graph().edges().next().unwrap();
+        assert!(e.delete_edge(u, v));
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        assert!(deltas.iter().any(|d| d.widened));
+        t.observe(&frame, e.graph(), &deltas);
+        let mid = t.answer(8).unwrap();
+        assert!(!mid.is_exact(), "post-deletion frame cannot be exact");
+
+        e.run_to_convergence(64);
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        t.observe(&frame, e.graph(), &deltas);
+        let ans = t.answer(8).unwrap();
+        assert!(ans.is_exact());
+        assert_eq!(ans.ids(), oracle_top_k(e.graph(), 8));
+    }
+
+    #[test]
+    fn pruning_bites_before_convergence_on_larger_graphs() {
+        let mut e = engine(300, 6, 33);
+        e.enable_bound_feed();
+        let mut t = TopKTracker::new(TopKConfig {
+            k: 5,
+            max_pivots: 24,
+        });
+        // Observe the very first published frame, before any rc_step.
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        t.observe(&frame, e.graph(), &deltas);
+        let truth = oracle_top_k(e.graph(), 5);
+        let mut peak = 0.0f64;
+        for _ in 0..64 {
+            let converged = e.rc_step();
+            let frame = e.publish_snapshot();
+            let deltas = e.drain_bound_deltas();
+            t.observe(&frame, e.graph(), &deltas);
+            peak = peak.max(t.pruned_fraction());
+            // Pruned vertices never include true members.
+            let ans = t.answer(5).unwrap();
+            let unresolved = match ans.confidence {
+                Confidence::Exact => 0,
+                Confidence::Anytime {
+                    unresolved_candidates,
+                    ..
+                } => unresolved_candidates,
+            };
+            for &v in &truth {
+                assert!(
+                    ans.ids().contains(&v) || unresolved > 0,
+                    "true member {v} pruned"
+                );
+            }
+            if converged {
+                break;
+            }
+        }
+        assert!(
+            peak > 0.0,
+            "bounds never pruned anyone on a 300-vertex graph"
+        );
+    }
+
+    #[test]
+    fn answer_serves_arbitrary_k_and_empty_graphs() {
+        let g = Graph::with_vertices(3); // no edges: everyone has C = 0
+        let mut e = AnytimeEngine::new(
+            g,
+            EngineConfig {
+                num_procs: 2,
+                ..Default::default()
+            },
+        );
+        e.initialize();
+        e.run_to_convergence(8);
+        let mut t = TopKTracker::new(TopKConfig::default());
+        assert!(t.answer(3).is_none(), "no observation yet");
+        let frame = e.publish_snapshot();
+        t.observe(&frame, e.graph(), &[]);
+        let ans = t.answer(3).unwrap();
+        assert!(ans.members.is_empty());
+        assert!(ans.is_exact());
+    }
+
+    #[test]
+    fn metrics_export_families() {
+        let mut e = engine(60, 3, 5);
+        e.enable_bound_feed();
+        let mut t = TopKTracker::new(TopKConfig::default());
+        e.run_to_convergence(64);
+        let frame = e.publish_snapshot();
+        let deltas = e.drain_bound_deltas();
+        t.observe(&frame, e.graph(), &deltas);
+        let r = t.metrics_registry();
+        assert_eq!(r.counter_value("aa_topk_observes_total", &[]), 1);
+        assert_eq!(r.counter_value("aa_topk_rebuilds_total", &[]), 1);
+        assert_eq!(r.gauge_value("aa_topk_exact", &[]), Some(1.0));
+        assert!(r.gauge_value("aa_topk_pivots", &[]).unwrap_or(0.0) > 0.0);
+        let prom = r.to_prometheus_text();
+        assert!(prom.contains("aa_topk_pruned_fraction"));
+    }
+}

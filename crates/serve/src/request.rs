@@ -11,6 +11,7 @@
 use aa_core::SnapshotMeta;
 use aa_graph::VertexId;
 use aa_ingest::Admission;
+use aa_query::TopKAnswer;
 
 /// What a read wants from the published snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,8 +25,11 @@ pub enum ReadKind {
 /// The payload of a served read.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReadValue {
-    /// Ranked `(vertex, closeness)` pairs for [`ReadKind::TopK`].
-    TopK(Vec<(VertexId, f64)>),
+    /// The anytime top-k answer for [`ReadKind::TopK`]: ranked members plus
+    /// a [`Confidence`](aa_query::Confidence) stating whether they are the
+    /// proven-exact top-k or a bound-backed anytime superset description.
+    /// Boxed so the rare large payload doesn't inflate every [`ReadOutcome`].
+    TopK(Box<TopKAnswer>),
     /// Estimates for one vertex.
     Vertex {
         /// Closeness estimate (0.0 for dead/unreached slots).

@@ -11,9 +11,14 @@
 //! 3. runs up to [`ServeConfig::steps_per_turn`] recombination steps while
 //!    unconverged,
 //! 4. updates the degraded-mode state machine,
-//! 5. publishes a snapshot frame (allocation-stable when nothing changed),
+//! 5. publishes a snapshot frame (allocation-stable when nothing changed)
+//!    and folds it — together with the engine's drained bound-delta feed —
+//!    into the resident [`TopKTracker`], keeping sound anytime top-k
+//!    bounds current across supersteps,
 //! 6. sheds queued reads whose deadline passed, then serves the front of
-//!    the read queue from the published frame under the read token budget.
+//!    the read queue from the published frame under the read token budget;
+//!    [`ReadKind::TopK`] reads are answered by the tracker with an explicit
+//!    exact/anytime confidence.
 //!
 //! Every admitted request resolves at a turn boundary — served or shed —
 //! so nothing ever hangs, and every served response carries the frame's
@@ -49,6 +54,7 @@ use aa_core::{AnytimeEngine, SnapshotFrame};
 use aa_durable::{DurableLog, Storage};
 use aa_ingest::{Admission, FlushReport, IngestPipeline, IngestStats, UpdateOp};
 use aa_obs::MetricsRegistry;
+use aa_query::{Confidence, TopKAnswer, TopKConfig, TopKTracker};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -188,6 +194,7 @@ pub struct Server {
     stats: ServeStats,
     metrics: MetricsRegistry,
     durability: Option<Durability>,
+    topk: TopKTracker,
 }
 
 impl Server {
@@ -199,6 +206,15 @@ impl Server {
         if !engine.is_initialized() {
             engine.initialize();
         }
+        // Seed the top-k tracker from the initial frame so every TopK read
+        // — even one served before the first turn's observation — has sound
+        // bounds behind it. The feed stays enabled for the server's life.
+        engine.enable_bound_feed();
+        let mut topk = TopKTracker::new(TopKConfig::default());
+        let frame = engine.publish_snapshot();
+        let deltas = engine.drain_bound_deltas();
+        topk.observe(&frame, engine.graph(), &deltas);
+        drop(frame);
         let mut metrics = MetricsRegistry::new();
         metrics.set_help(
             "aa_serve_requests_total",
@@ -249,6 +265,7 @@ impl Server {
             stats: ServeStats::default(),
             metrics,
             durability: None,
+            topk,
         })
     }
 
@@ -444,6 +461,8 @@ impl Server {
         }
 
         let frame = self.engine.publish_snapshot();
+        let deltas = self.engine.drain_bound_deltas();
+        self.topk.observe(&frame, self.engine.graph(), &deltas);
         let served = self.serve_reads(&frame);
 
         // Checkpoint cadence: the engine now holds exactly the committed
@@ -588,6 +607,12 @@ impl Server {
         &self.engine
     }
 
+    /// The resident top-k tracker (read-only; the turn loop keeps it
+    /// observed).
+    pub fn topk_tracker(&self) -> &TopKTracker {
+        &self.topk
+    }
+
     /// Mutable engine access (chaos injection in tests and the CLI; the
     /// server re-observes engine state at the next turn boundary).
     pub fn engine_mut(&mut self) -> &mut AnytimeEngine {
@@ -611,6 +636,7 @@ impl Server {
     pub fn metrics_registry(&self) -> MetricsRegistry {
         let mut r = self.engine.metrics_registry();
         r.merge(&self.pipeline.metrics_registry());
+        r.merge(&self.topk.metrics_registry());
         if let Some(d) = &self.durability {
             r.merge(d.log.metrics_registry());
         }
@@ -704,7 +730,7 @@ impl Server {
                     latency_us,
                     degraded,
                     meta: frame.meta,
-                    value: answer(frame, req.kind),
+                    value: answer(frame, &self.topk, req.kind),
                 });
             }
         }
@@ -728,11 +754,38 @@ impl Server {
     }
 }
 
-/// Computes a read's value from a published frame.
-fn answer(frame: &SnapshotFrame, kind: ReadKind) -> ReadValue {
+/// Computes a read's value from a published frame. Top-k reads go through
+/// the tracker's bound state; the snapshot fallback only fires if the
+/// tracker has never observed a frame (it is seeded at construction, so in
+/// practice every answer carries real bounds).
+fn answer(frame: &SnapshotFrame, topk: &TopKTracker, kind: ReadKind) -> ReadValue {
     let snap = &frame.snapshot;
     match kind {
-        ReadKind::TopK(k) => ReadValue::TopK(snap.top_k(k)),
+        ReadKind::TopK(k) => ReadValue::TopK(Box::new(topk.answer(k).unwrap_or_else(|| {
+            let members = snap.top_k(k);
+            let unresolved = snap
+                .closeness
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .count()
+                .saturating_sub(members.len());
+            let confidence = if frame.meta.fresh {
+                Confidence::Exact
+            } else {
+                // Claim nothing: every other candidate is unresolved and
+                // the gap is the widest possible closeness.
+                Confidence::Anytime {
+                    kth_bound_gap: 1.0,
+                    unresolved_candidates: unresolved,
+                }
+            };
+            TopKAnswer {
+                k,
+                members,
+                confidence,
+                meta: frame.meta,
+            }
+        }))),
         ReadKind::Vertex(v) => {
             let slot = v as usize;
             ReadValue::Vertex {
@@ -805,13 +858,78 @@ mod tests {
                 assert!(meta.fresh);
                 assert_eq!(meta.outstanding_rows, 0);
                 match value {
-                    ReadValue::TopK(ranked) => assert_eq!(ranked.len(), 5),
+                    ReadValue::TopK(ans) => {
+                        assert!(ans.is_exact(), "fresh frame must yield an exact answer");
+                        assert_eq!(ans.members.len(), 5);
+                        assert_eq!(ans.members, s.frame().snapshot.top_k(5));
+                    }
                     other => panic!("wrong value: {other:?}"),
                 }
             }
             other => panic!("read was not served: {other:?}"),
         }
         assert_eq!(s.stats().reads_served, 1);
+    }
+
+    #[test]
+    fn topk_reads_carry_anytime_confidence_under_churn_and_settle_exact() {
+        let cfg = ServeConfig {
+            steps_per_turn: 1,
+            ..Default::default()
+        };
+        let mut s = server(120, 4, cfg);
+        s.drain(400).unwrap();
+        // A deletion voids the converged state: the next frame is stale
+        // (one rc_step cannot re-converge the reseeded rows), and the
+        // tracker must answer with an honest anytime confidence. k is
+        // chosen above the tracker's pivot budget so the member scores
+        // cannot all be structurally exact — exactness can then only come
+        // from a fresh frame or fully reconverged rows.
+        let k = s.topk_tracker().config().max_pivots + 4;
+        let (u, v, _) = s.engine().graph().edges().next().unwrap();
+        assert!(s.engine_mut().delete_edge(u, v));
+        s.submit_read(ReadKind::TopK(k));
+        let rep = s.turn().unwrap();
+        let served: Vec<_> = rep
+            .served
+            .iter()
+            .filter_map(|o| match o {
+                ReadOutcome::Served { meta, value, .. } => Some((meta, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served.len(), 1);
+        let (meta, value) = &served[0];
+        assert!(!meta.fresh, "frame right after a deletion cannot be fresh");
+        match value {
+            ReadValue::TopK(ans) => {
+                assert_eq!(ans.k, k);
+                assert!(
+                    !ans.is_exact(),
+                    "stale frame with k beyond the pivot budget must not \
+                     claim an exact ranking"
+                );
+                assert_eq!(ans.meta.epoch, meta.epoch);
+            }
+            other => panic!("wrong value: {other:?}"),
+        }
+        // Once the server re-converges the same read settles to exact.
+        s.drain(200).unwrap();
+        s.submit_read(ReadKind::TopK(k));
+        let out = s.drain(64).unwrap();
+        match &out[0] {
+            ReadOutcome::Served { value, meta, .. } => {
+                assert!(meta.fresh);
+                match value {
+                    ReadValue::TopK(ans) => assert!(ans.is_exact()),
+                    other => panic!("wrong value: {other:?}"),
+                }
+            }
+            other => panic!("read was not served: {other:?}"),
+        }
+        let r = s.metrics_registry();
+        assert!(r.counter_value("aa_topk_observes_total", &[]) > 0);
+        assert!(r.counter_value("aa_topk_rebuilds_total", &[]) >= 2);
     }
 
     #[test]

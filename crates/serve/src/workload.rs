@@ -46,6 +46,9 @@ pub struct WorkloadConfig {
     pub offered_per_turn: usize,
     /// Fraction of offered requests that are reads (the rest are writes).
     pub read_fraction: f64,
+    /// Fraction of reads that are top-k queries (the rest are
+    /// single-vertex lookups).
+    pub topk_read_mix: f64,
     /// `k` for top-k reads.
     pub top_k: usize,
 }
@@ -56,6 +59,7 @@ impl Default for WorkloadConfig {
             seed: 0x5EED_5EED,
             offered_per_turn: 32,
             read_fraction: 0.8,
+            topk_read_mix: 0.7,
             top_k: 8,
         }
     }
@@ -83,8 +87,9 @@ impl LoadGen {
     }
 
     /// Produces one turn's worth of offered requests against the engine's
-    /// current graph. Reads are 70% top-k / 30% single-vertex; writes are
-    /// an add/delete/reweight edge-churn mix over live state.
+    /// current graph. Reads split into top-k / single-vertex per
+    /// [`WorkloadConfig::topk_read_mix`]; writes are an add/delete/reweight
+    /// edge-churn mix over live state.
     pub fn turn_ops(&mut self, engine: &AnytimeEngine) -> Vec<ClientOp> {
         let mut ops = Vec::with_capacity(self.config.offered_per_turn);
         for _ in 0..self.config.offered_per_turn {
@@ -98,7 +103,7 @@ impl LoadGen {
     }
 
     fn read(&mut self, engine: &AnytimeEngine) -> ReadKind {
-        if self.rng.unit() < 0.7 {
+        if self.rng.unit() < self.config.topk_read_mix {
             ReadKind::TopK(self.config.top_k)
         } else {
             let vertices: Vec<VertexId> = engine.graph().vertices().collect();
@@ -188,6 +193,31 @@ mod tests {
         assert!(reads > 320, "~90% reads expected, got {reads}/400");
         let writes = ops.len() - reads;
         assert!(writes > 10, "some writes expected, got {writes}");
+    }
+
+    #[test]
+    fn topk_read_mix_shapes_the_read_split() {
+        let e = engine();
+        let mut all_topk = LoadGen::new(WorkloadConfig {
+            offered_per_turn: 200,
+            read_fraction: 1.0,
+            topk_read_mix: 1.0,
+            ..Default::default()
+        });
+        assert!(all_topk
+            .turn_ops(&e)
+            .iter()
+            .all(|o| matches!(o, ClientOp::Read(ReadKind::TopK(_)))));
+        let mut no_topk = LoadGen::new(WorkloadConfig {
+            offered_per_turn: 200,
+            read_fraction: 1.0,
+            topk_read_mix: 0.0,
+            ..Default::default()
+        });
+        assert!(no_topk
+            .turn_ops(&e)
+            .iter()
+            .all(|o| matches!(o, ClientOp::Read(ReadKind::Vertex(_)))));
     }
 
     #[test]

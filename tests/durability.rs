@@ -72,6 +72,7 @@ fn workload(seed: u64) -> LoadGen {
         offered_per_turn: 12,
         read_fraction: 0.4,
         top_k: 4,
+        topk_read_mix: 0.5,
     })
 }
 

@@ -149,6 +149,7 @@ fn chaos_under_load_soak() {
         offered_per_turn: 24,
         read_fraction: 0.75,
         top_k: 6,
+        topk_read_mix: 0.5,
     });
 
     let mut admitted: BTreeSet<u64> = BTreeSet::new();
